@@ -1,0 +1,65 @@
+// E11: booting over Ethernet/JTAG.
+//
+// Paper Sections 2.3 and 3.1: there are no PROMs; "during the initial boot
+// of QCDOC, each node receives about 100 UDP packets that are handled by
+// the Ethernet/JTAG controller ... Then the run kernel is loaded down,
+// also taking about 100 UDP packets."  The host drives everything through
+// multiple Gigabit Ethernet links.
+#include "bench_util.h"
+#include "host/qdaemon.h"
+
+using namespace qcdoc;
+
+namespace {
+
+struct BootPoint {
+  int nodes;
+  double seconds;
+  u64 jtag_packets;
+  u64 udp_packets;
+  bool pirq_ok;
+};
+
+BootPoint run(std::array<int, 6> extents, int host_links) {
+  machine::MachineConfig cfg;
+  cfg.shape.extent = extents;
+  machine::Machine m(cfg);
+  net::EthernetConfig eth;
+  eth.host_links = host_links;
+  host::Qdaemon daemon(&m, eth);
+  const auto& report = daemon.boot();
+  return BootPoint{m.num_nodes(), m.seconds(report.total_cycles),
+                   report.jtag_packets, report.udp_packets,
+                   report.partition_interrupt_ok};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E11: bench_boot -- Ethernet/JTAG boot of the machine",
+      "~100 JTAG packets + ~100 UDP packets per node; boot scales with the "
+      "number of Gigabit host links");
+
+  std::printf("%10s %10s %10s %12s %12s %8s\n", "nodes", "host links",
+              "boot s", "jtag pkts", "udp pkts", "pirq ok");
+  for (const auto& [extents, links] :
+       std::vector<std::pair<std::array<int, 6>, int>>{
+           {{2, 2, 2, 1, 1, 1}, 1},
+           {{4, 4, 2, 1, 1, 1}, 1},
+           {{4, 4, 4, 2, 1, 1}, 1},
+           {{4, 4, 4, 2, 1, 1}, 4},
+           {{8, 4, 4, 2, 2, 1}, 4}}) {
+    const auto pt = run(extents, links);
+    std::printf("%10d %10d %10.3f %12llu %12llu %8s\n", pt.nodes, links,
+                pt.seconds, static_cast<unsigned long long>(pt.jtag_packets),
+                static_cast<unsigned long long>(pt.udp_packets),
+                pt.pirq_ok ? "yes" : "NO");
+  }
+
+  std::vector<perf::Row> rows = {
+      {"E11", "boot packets per node", 200, 200, "packets (100+100)"},
+  };
+  bench::print_rows(rows);
+  return 0;
+}

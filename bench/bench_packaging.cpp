@@ -1,0 +1,59 @@
+// E8: packaging, power and footprint (paper Section 2.4, Figures 3-5).
+//
+// "Two ASICs are mounted on a single ... daughterboard ... consumes about
+// 20 Watts for both nodes"; "we then plug 32 daughterboards into a
+// motherboard" (64 nodes as a 2^6 hypercube); "eight motherboards are
+// arranged into a single crate, and two crates are placed into a rack ...
+// this water-cooled rack gives a peak speed of 1.0 Teraflops and consumes
+// less than 10,000 watts ... allowing 10,000 nodes to have a footprint of
+// about 60 square feet."
+#include "bench_util.h"
+#include "machine/machine.h"
+#include "machine/packaging.h"
+
+using namespace qcdoc;
+using namespace qcdoc::machine;
+
+int main() {
+  bench::print_header(
+      "E8: bench_packaging -- daughterboards to racks",
+      "2 nodes/daughterboard @ ~20 W; 64-node motherboards (2^6 hypercube); "
+      "1024-node racks at 1.0 Tflops under 10 kW; 10k nodes in ~60 sq ft");
+
+  const auto rack = plan_for_nodes(1024, 1e9);
+  const auto machine4k = plan_for_nodes(4096, 1e9);
+  const auto machine12k = plan_for_nodes(12288, 420e6 * 2);
+
+  std::vector<perf::Row> rows = {
+      {"E8", "rack nodes", 1024, static_cast<double>(rack.nodes), ""},
+      {"E8", "rack daughterboards", 512, static_cast<double>(rack.daughterboards), ""},
+      {"E8", "rack motherboards", 16, static_cast<double>(rack.motherboards), ""},
+      {"E8", "rack crates", 2, static_cast<double>(rack.crates), ""},
+      {"E8", "rack peak", 1.0, rack.peak_flops / 1e12, "Tflops"},
+      {"E8", "rack power", 10.0, rack.power_watts / 1000, "kW (paper: <10)"},
+      {"E8", "4096-node daughterboards", 2048, static_cast<double>(machine4k.daughterboards), ""},
+      {"E8", "4096-node motherboards", 64, static_cast<double>(machine4k.motherboards), ""},
+      {"E8", "4096-node cabinets", 4, static_cast<double>(machine4k.racks), ""},
+      {"E8", "4096-node mesh cables", 768, static_cast<double>(machine4k.cables), ""},
+      {"E8", "12288-node peak @420MHz", 10.0, machine12k.peak_flops / 1e12,
+       "Tflops (paper: 10+)"},
+      {"E8", "10240-node footprint", 60.0,
+       plan_for_nodes(10240, 1e9).footprint_sqft, "sq ft"},
+  };
+  bench::print_rows(rows);
+
+  // Motherboard hypercube check on the real 1024-node topology.
+  torus::Shape shape;
+  shape.extent = {8, 4, 4, 2, 2, 2};
+  const torus::Torus torus_1k(shape);
+  const PackageMap map(torus_1k);
+  int mb0 = 0;
+  for (int n = 0; n < torus_1k.num_nodes(); ++n) {
+    if (map.locate(NodeId{static_cast<u32>(n)}).motherboard == 0) ++mb0;
+  }
+  std::printf(
+      "\n1024-node machine (8x4x4x2x2x2): %d motherboards, %d nodes on "
+      "motherboard 0 (2^6 hypercube = 64)\n",
+      map.motherboards(), mb0);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E6: machine cost and price/performance.
+//
+// Paper Section 4: the 4096-node machine's purchase orders total
+// $1,610,442 ($1,105,692.67 daughterboards + $180,404.88 motherboards +
+// $187,296 cabinets + $71,040 cables + $64,300 host system); prorated R&D
+// adds $99,159 for $1,709,601.  At 45% sustained efficiency this is
+// $1.29/Mflops at 360 MHz, $1.10 at 420 MHz and $1.03 at 450 MHz; volume
+// discounts should take the 12,288-node machines "very close to our
+// targeted $1 per sustained Megaflops".
+#include "bench_util.h"
+#include "lattice/cg.h"
+#include "lattice/rig.h"
+#include "lattice/wilson.h"
+#include "machine/cost.h"
+#include "machine/qcdsp.h"
+
+using namespace qcdoc;
+using namespace qcdoc::machine;
+
+namespace {
+
+/// Measured sustained efficiency at a given clock (Wilson CG, 4^4 local).
+double measured_efficiency(double clock_hz) {
+  MachineConfig cfg;
+  cfg.clock_hz = clock_hz;
+  lattice::SolverRig rig({2, 2, 2, 2, 1, 1}, {8, 8, 8, 8}, cfg);
+  lattice::GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(7);
+  gauge.randomize_near_unit(rng, 0.15);
+  lattice::WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                          lattice::WilsonParams{});
+  lattice::DistField x = op.make_field("x");
+  lattice::DistField b = op.make_field("b");
+  x.zero();
+  rig.fill_source(b);
+  lattice::CgParams params;
+  params.fixed_iterations = 5;
+  return perf::cg_efficiency(*rig.m, lattice::cg_solve(op, x, b, params));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E6: bench_price_performance -- 4096-node machine cost table",
+      "$1,610,442 parts / $1,709,601 with R&D; $1.29 / $1.10 / $1.03 per "
+      "sustained Mflops at 360/420/450 MHz (45% efficiency)");
+
+  const CostModel cost;
+  const auto plan = plan_for_nodes(4096, 1e9);
+
+  std::vector<perf::Row> rows = {
+      {"E6", "daughterboards", 1105692.67,
+       plan.daughterboards * cost.daughterboard_usd, "USD"},
+      {"E6", "motherboards", 180404.88,
+       plan.motherboards * cost.motherboard_usd, "USD"},
+      {"E6", "cabinets", 187296.0, plan.racks * cost.rack_usd, "USD"},
+      {"E6", "cables", 71040.0, plan.cables * cost.cable_usd, "USD"},
+      {"E6", "host + Ethernet + disks", 64300.0, cost.host_system_usd, "USD"},
+      {"E6", "machine total", 1610442.0, cost.parts_cost(plan), "USD"},
+      {"E6", "with prorated R&D", 1709601.0, cost.total_cost(plan), "USD"},
+  };
+  bench::print_rows(rows);
+
+  std::printf("\nprice/performance at the paper's 45%% efficiency:\n");
+  std::vector<perf::Row> pp = {
+      {"E6", "360 MHz", 1.29, cost.usd_per_sustained_mflops(plan, 360e6, 0.45),
+       "USD/Mflops"},
+      {"E6", "420 MHz", 1.10, cost.usd_per_sustained_mflops(plan, 420e6, 0.45),
+       "USD/Mflops"},
+      {"E6", "450 MHz", 1.03, cost.usd_per_sustained_mflops(plan, 450e6, 0.45),
+       "USD/Mflops"},
+  };
+  bench::print_rows(pp);
+
+  std::printf("\nwith this reproduction's own measured CG efficiencies:\n");
+  std::vector<perf::Row> meas;
+  for (double clock : {360e6, 420e6, 450e6}) {
+    const double eff = measured_efficiency(clock);
+    char qty[64];
+    std::snprintf(qty, sizeof(qty), "%d MHz (wilson, %.1f%% eff)",
+                  static_cast<int>(clock / 1e6), 100 * eff);
+    meas.push_back({"E6", qty, 0,
+                    cost.usd_per_sustained_mflops(plan, clock, eff),
+                    "USD/Mflops"});
+  }
+  bench::print_rows(meas);
+
+  const auto big = plan_for_nodes(12288, 1e9);
+  std::printf("\n12,288-node machine with volume discount:\n");
+  std::vector<perf::Row> big_rows = {
+      {"E6", "12288 nodes @450 MHz", 1.00,
+       cost.usd_per_sustained_mflops(big, 450e6, 0.45),
+       "USD/Mflops (target $1)"},
+  };
+  bench::print_rows(big_rows);
+
+  // Generational comparison against QCDSP (paper Section 1): "$10/sustained
+  // Megaflops and won the Gordon Bell prize in price/performance at SC 98."
+  const QcdspModel qcdsp;
+  std::printf("\nversus the predecessor QCDSP:\n");
+  std::vector<perf::Row> gen = {
+      {"E6", "QCDSP price/perf", 10.0, qcdsp.usd_per_sustained_mflops,
+       "USD/Mflops"},
+      {"E6", "QCDSP RBRC peak", 0.61, qcdsp.rbrc_peak_tflops(), "Tflops"},
+      {"E6", "QCDOC improvement @450", 10.0,
+       qcdsp.qcdoc_improvement(cost, plan, 450e6, 0.45), "x"},
+  };
+  bench::print_rows(gen);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E12: bit-identical re-runs and link checksums.
+//
+// Paper Section 4: "A five day simulation was completed on a 128 node
+// machine in December, 2003 and then redone, with the requirement that the
+// resulting QCD configuration be identical in all bits.  This was found to
+// be the case.  No hardware errors on the SCU links were reported."
+//
+// The bench evolves a quenched gauge configuration by heatbath, solves the
+// Wilson-Dirac equation on it, and repeats the whole run: configuration,
+// solution, plaquette, simulated machine time and every per-link checksum
+// must match bit for bit.
+#include "bench_util.h"
+#include "host/diagnostics.h"
+#include "lattice/cg.h"
+#include "lattice/rig.h"
+#include "lattice/wilson.h"
+
+using namespace qcdoc;
+using namespace qcdoc::lattice;
+
+namespace {
+
+struct EvolutionResult {
+  double plaquette;
+  double solution_norm;
+  Cycle machine_cycles;
+  u64 checksum_signature;  // XOR over all link checksums
+  bool checksums_match;
+  u64 scu_errors;
+};
+
+EvolutionResult run_once() {
+  SolverRig rig({2, 2, 2, 2, 1, 1}, {8, 8, 8, 8});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(20031208);  // the December 2003 verification run
+  gauge.randomize(rng);
+  for (int sweep = 0; sweep < 2; ++sweep) gauge.heatbath_sweep(5.7, rng);
+
+  WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                 WilsonParams{.kappa = 0.12});
+  DistField x = op.make_field("x");
+  DistField b = op.make_field("b");
+  x.zero();
+  rig.fill_source(b);
+  CgParams params;
+  params.fixed_iterations = 20;
+  (void)cg_solve(op, x, b, params);
+
+  EvolutionResult res;
+  res.plaquette = gauge.average_plaquette();
+  res.solution_norm = rig.ops->norm2(x);
+  res.machine_cycles = rig.bsp->now();
+  res.checksums_match = rig.m->mesh().verify_link_checksums();
+  res.checksum_signature = 0;
+  for (const auto& edge : rig.m->topology().edges()) {
+    res.checksum_signature ^=
+        rig.m->scu(edge.from).send_checksum(edge.link);
+  }
+  res.scu_errors = rig.m->mesh().total_stat("scu.detected_errors") +
+                   rig.m->mesh().total_stat("scu.undetected_errors");
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E12: bench_reproducibility -- bit-identical re-run verification",
+      "a repeated evolution + solve must be identical in all bits; link "
+      "checksums agree; no SCU errors");
+
+  const auto a = run_once();
+  const auto b = run_once();
+
+  const bool bits_identical = a.plaquette == b.plaquette &&
+                              a.solution_norm == b.solution_norm &&
+                              a.machine_cycles == b.machine_cycles &&
+                              a.checksum_signature == b.checksum_signature;
+
+  std::printf("run 1: plaquette %.15f  |x|^2 %.15e  cycles %llu\n",
+              a.plaquette, a.solution_norm,
+              static_cast<unsigned long long>(a.machine_cycles));
+  std::printf("run 2: plaquette %.15f  |x|^2 %.15e  cycles %llu\n",
+              b.plaquette, b.solution_norm,
+              static_cast<unsigned long long>(b.machine_cycles));
+
+  std::vector<perf::Row> rows = {
+      {"E12", "bit-identical re-run", 1, bits_identical ? 1.0 : 0.0, "bool"},
+      {"E12", "link checksums match", 1,
+       (a.checksums_match && b.checksums_match) ? 1.0 : 0.0, "bool"},
+      {"E12", "SCU errors", 0, static_cast<double>(a.scu_errors + b.scu_errors),
+       "errors"},
+  };
+  bench::print_rows(rows);
+  return bits_identical ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+// Shared helpers for the experiment benches: every bench prints a
+// paper-vs-measured table for its experiment id from DESIGN.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "perf/report.h"
+
+namespace qcdoc::bench {
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+inline void print_rows(const std::vector<perf::Row>& rows) {
+  std::printf("%s", perf::format_table(rows).c_str());
+}
+
+}  // namespace qcdoc::bench

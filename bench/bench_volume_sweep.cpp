@@ -1,0 +1,67 @@
+// E2: efficiency versus local volume and the EDRAM -> DDR cliff.
+//
+// Paper Section 4: "A 4^4 local volume is a reasonable size for machines
+// with a peak speed of 10 Teraflops ... For most of the fermion
+// formulations, a 6^4 local volume still fits in our 4 Megabytes of
+// imbedded memory.  For still larger volumes, when we must put part of the
+// problem in external DDR DRAM, the performance figures fall to the range
+// of 30% of peak."
+#include "bench_util.h"
+#include "lattice/cg.h"
+#include "lattice/rig.h"
+#include "lattice/wilson.h"
+
+using namespace qcdoc;
+using namespace qcdoc::lattice;
+
+namespace {
+
+struct SweepPoint {
+  int local_extent;
+  double efficiency;
+  bool fields_in_edram;
+  double edram_used_mb;
+};
+
+SweepPoint run_local_volume(int l) {
+  const Coord4 global{2 * l, 2 * l, 2 * l, 2 * l};
+  SolverRig rig({2, 2, 2, 2, 1, 1}, global);
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(7);
+  gauge.randomize_near_unit(rng, 0.15);
+  WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge, WilsonParams{});
+  DistField x = op.make_field("x");
+  DistField b = op.make_field("b");
+  x.zero();
+  rig.fill_source(b);
+  CgParams params;
+  params.fixed_iterations = 5;
+  const CgResult r = cg_solve(op, x, b, params);
+  const auto& mem = rig.m->memory(NodeId{0});
+  return SweepPoint{l, perf::cg_efficiency(*rig.m, r),
+                    b.body_region() == memsys::Region::kEdram,
+                    static_cast<double>(mem.edram_words_used()) * 8 / 1e6};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E2: bench_volume_sweep -- efficiency vs local volume (Wilson CG)",
+      "4^4 and 6^4 local volumes fit the 4 MB EDRAM (40%+); larger volumes "
+      "spill to DDR and fall to the range of 30% of peak");
+
+  std::vector<perf::Row> rows;
+  for (int l : {2, 4, 6, 8, 10}) {
+    const auto pt = run_local_volume(l);
+    const double paper = l <= 6 ? 40.0 : 30.0;
+    char qty[64];
+    std::snprintf(qty, sizeof(qty), "local %d^4 (%s, %.1f MB)", l,
+                  pt.fields_in_edram ? "EDRAM" : "DDR spill",
+                  pt.edram_used_mb);
+    rows.push_back(
+        {"E2", qty, paper, 100 * pt.efficiency, "% of peak"});
+  }
+  bench::print_rows(rows);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// A day in the machine room: assemble the hardware, boot it, break it, and
+// find the fault with the paper's diagnostics (Sections 2.3, 2.4, 4).
+#include <cstdio>
+
+#include "host/config_store.h"
+#include "host/diagnostics.h"
+#include "host/qdaemon.h"
+#include "lattice/rig.h"
+#include "lattice/gauge.h"
+#include "lattice/wilson.h"
+#include "machine/cost.h"
+
+using namespace qcdoc;
+
+int main() {
+  // --- Assembly: the paper's 1024-node rack, 8x4x4x2x2x2 ----------------
+  machine::MachineConfig cfg;
+  cfg.shape.extent = {4, 4, 2, 2, 2, 2};  // 256 nodes (a quarter rack, faster)
+  machine::Machine m(cfg);
+  const auto plan = m.packaging();
+  std::printf("assembled: %s\n", plan.to_string().c_str());
+  const machine::CostModel cost;
+  std::printf("bill of materials: $%.0f (+$%.0f prorated R&D)\n\n",
+              cost.parts_cost(plan),
+              cost.total_cost(plan) - cost.parts_cost(plan));
+
+  // --- Boot over Ethernet/JTAG ------------------------------------------
+  host::Qdaemon daemon(&m);
+  const auto& boot = daemon.boot();
+  std::printf("boot: %d/%d nodes ready in %.1f ms simulated; "
+              "partition interrupts %s\n",
+              boot.nodes_ready, m.num_nodes(),
+              m.seconds(boot.total_cycles) * 1e3,
+              boot.partition_interrupt_ok ? "ok" : "FAILED");
+
+  // --- Sabotage: one marginal serial link --------------------------------
+  const NodeId victim{137};
+  const auto bad_link = torus::link_index(2, torus::Dir::kPlus);
+  m.mesh().wire(victim, bad_link).set_bit_error_rate(2e-4);
+  std::printf("\n(a cable at node %u, link %d develops a marginal contact)\n",
+              victim.value, bad_link.value);
+
+  // --- Run physics anyway -----------------------------------------------
+  torus::Shape box;
+  box.extent = cfg.shape.extent;
+  const auto part = daemon.allocate_partition("physics", box, 4);
+  double norm = 0;
+  daemon.run_job(*part, [&](comms::Communicator& comm,
+                            std::vector<std::string>&) {
+    lattice::SolverRig rig(&m, &comm.partition(), {16, 16, 8, 8});
+    lattice::GaugeField gauge(rig.comm.get(), rig.geom.get());
+    gauge.set_unit();
+    lattice::WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                            lattice::WilsonParams{});
+    lattice::DistField in = op.make_field("in");
+    lattice::DistField out = op.make_field("out");
+    rig.fill_source(in);
+    for (int i = 0; i < 3; ++i) op.dslash(out, in);
+    norm = rig.ops->norm2(out);
+  });
+  std::printf("physics ran: |D psi|^2 = %.6e\n", norm);
+
+  // --- Diagnostics find the fault ----------------------------------------
+  host::Diagnostics diag(&m, &daemon.ethernet());
+  const auto scan = diag.scan_link_errors();
+  std::printf("\ndiagnostics: %llu detected errors, %llu undetected, "
+              "%llu resends\n",
+              static_cast<unsigned long long>(scan.detected_errors),
+              static_cast<unsigned long long>(scan.undetected_errors),
+              static_cast<unsigned long long>(scan.resends));
+  std::printf("suspect nodes:");
+  for (const auto n : scan.suspect_nodes) std::printf(" %u", n.value);
+  std::printf("\n");
+
+  const auto checks = diag.verify_checksums();
+  std::printf("end-of-run checksums: %s (%d links checked)\n",
+              checks.all_match ? "all match -- every detected error was "
+                                 "repaired by the automatic resend"
+                               : "MISMATCH -- data corruption slipped past "
+                                 "parity; rerun required",
+              checks.links_checked);
+
+  // --- RISCWatch-style probe over Ethernet/JTAG --------------------------
+  const auto probe = m.memory(victim).alloc(1, "probe");
+  diag.jtag_poke(victim, probe.word_addr, 0xdeadbeef);
+  std::printf("\nJTAG probe of node %u: wrote and read back 0x%llx "
+              "(no software running on the node)\n",
+              victim.value,
+              static_cast<unsigned long long>(
+                  diag.jtag_peek(victim, probe.word_addr)));
+
+  // --- Checkpoint a configuration to the host disk (NFS path) -----------
+  {
+    lattice::SolverRig rig(&m, part->partition, {8, 8, 4, 8});
+    lattice::GaugeField gauge(rig.comm.get(), rig.geom.get());
+    Rng rng(4096);
+    gauge.randomize_near_unit(rng, 0.2);
+    host::ConfigStore store(&m, &daemon.ethernet());
+    const auto io = store.save(gauge, "lat.conf.0042");
+    std::printf("\nwrote lat.conf.0042 to the host disk: %.1f MB in %.1f ms "
+                "over the nodes' Ethernet (%.0f MB/s aggregate)\n",
+                io.bytes / 1e6, io.seconds * 1e3, io.mb_per_s);
+    lattice::GaugeField back(rig.comm.get(), rig.geom.get());
+    back.set_unit();
+    const auto load = store.load(&back, "lat.conf.0042");
+    std::printf("reloaded and header-verified: %s (plaquette %.6f)\n",
+                load.ok ? "ok" : "FAILED", back.average_plaquette());
+  }
+  return 0;
+}

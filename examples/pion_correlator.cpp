@@ -1,0 +1,97 @@
+// The canonical lattice-QCD measurement: a pion correlator.
+//
+// This is what the 12,288-node machines were built to compute.  A point
+// source at the origin is inverted through the Wilson-Dirac operator (with
+// the even-odd preconditioned solver production codes used); the zero-
+// momentum pion correlator
+//
+//   C(t) = sum_x |S(x, t)|^2
+//
+// then decays as cosh(m_pi (t - T/2)) on a periodic lattice, and the
+// effective mass  m_eff(t) = ln C(t)/C(t+1)  plateaus at the pion mass.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "lattice/cg.h"
+#include "lattice/eo_cg.h"
+#include "lattice/rig.h"
+#include "lattice/wilson.h"
+#include "perf/report.h"
+
+using namespace qcdoc;
+using namespace qcdoc::lattice;
+
+int main() {
+  // 4 nodes; a 4^3 x 8 lattice (2x4x4x4 per node... 2x2 machine dims).
+  SolverRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 4, 8});
+  const int t_extent = rig.geom->global_extent()[3];
+
+  // A quenched background at beta = 5.7.
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(5700);
+  gauge.randomize(rng);
+  for (int sweep = 0; sweep < 10; ++sweep) gauge.heatbath_sweep(5.7, rng);
+  std::printf("background: beta 5.7 quenched, plaquette %.4f\n",
+              gauge.average_plaquette());
+
+  WilsonDirac dirac(rig.ops.get(), rig.geom.get(), &gauge,
+                    WilsonParams{.kappa = 0.14});
+  DistField source = dirac.make_field("source");
+  DistField prop = dirac.make_field("prop");
+  source.zero();
+  prop.zero();
+
+  // Point source at the origin, spin 0 color 0, real part.
+  const auto [src_rank, src_site] = rig.geom->owner({0, 0, 0, 0});
+  source.site(src_rank, src_site)[0] = 1.0;
+
+  CgParams params;
+  params.tolerance = 1e-8;
+  params.max_iterations = 500;
+  const CgResult solve = wilson_eo_solve(dirac, prop, source, params);
+  std::printf("propagator: even-odd CG, %d iterations, |r|/|b| = %.1e, "
+              "%.1f ms machine time at %.1f%% of peak\n\n",
+              solve.iterations, solve.relative_residual,
+              rig.m->seconds(solve.cycles) * 1e3,
+              100 * perf::cg_efficiency(*rig.m, solve));
+
+  // Timeslice sums: C(t) = sum_x |S(x,t)|^2.
+  std::vector<double> corr(static_cast<std::size_t>(t_extent), 0.0);
+  for (int r = 0; r < rig.geom->ranks(); ++r) {
+    for (int s = 0; s < rig.geom->local().volume(); ++s) {
+      const Coord4 g = rig.geom->global_coords(r, s);
+      const double* p = prop.site(r, s);
+      double norm = 0;
+      for (int k = 0; k < 24; ++k) norm += p[k] * p[k];
+      corr[static_cast<std::size_t>(g[3])] += norm;
+    }
+  }
+
+  std::printf("%4s %14s %12s\n", "t", "C(t)", "m_eff(t)");
+  for (int t = 0; t < t_extent; ++t) {
+    const double c = corr[static_cast<std::size_t>(t)];
+    if (t + 1 < t_extent && corr[static_cast<std::size_t>(t + 1)] > 0 &&
+        t + 1 <= t_extent / 2) {
+      std::printf("%4d %14.6e %12.4f\n", t, c,
+                  std::log(c / corr[static_cast<std::size_t>(t + 1)]));
+    } else {
+      std::printf("%4d %14.6e %12s\n", t, c, "-");
+    }
+  }
+
+  // Periodicity check: C(t) and C(T-t) agree up to gauge noise.
+  double asym = 0;
+  for (int t = 1; t < t_extent / 2; ++t) {
+    const double a = corr[static_cast<std::size_t>(t)];
+    const double b = corr[static_cast<std::size_t>(t_extent - t)];
+    asym = std::max(asym, std::abs(a - b) / (a + b));
+  }
+  std::printf("\ntime-reflection asymmetry: %.1f%% (statistical, one "
+              "configuration, one source spin-color)\n",
+              100 * asym);
+  std::printf("the correlator falls steeply from the source and turns over "
+              "at T/2 -- the\ncosh shape a pion propagating around the "
+              "periodic lattice must show.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Minimal leveled logging.  The simulator is library code, so logging is off
+// by default and routed through a single sink that tests can capture.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace qcdoc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log configuration.  Not thread-safe by design: the simulator is
+/// single-threaded (determinism is a correctness requirement, Section 4).
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static void set_sink(Sink sink);  ///< nullptr restores the stderr sink
+  static void write(LogLevel level, const std::string& msg);
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, out_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+#define QCDOC_LOG(level)                        \
+  if (!::qcdoc::Log::enabled(level)) {          \
+  } else                                        \
+    ::qcdoc::detail::LogLine(level)
+
+#define QCDOC_DEBUG QCDOC_LOG(::qcdoc::LogLevel::kDebug)
+#define QCDOC_INFO QCDOC_LOG(::qcdoc::LogLevel::kInfo)
+#define QCDOC_WARN QCDOC_LOG(::qcdoc::LogLevel::kWarn)
+#define QCDOC_ERROR QCDOC_LOG(::qcdoc::LogLevel::kError)
+
+}  // namespace qcdoc

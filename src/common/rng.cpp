@@ -1,0 +1,85 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace qcdoc {
+namespace {
+
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+Rng::Rng(u64 seed, NodeId node) {
+  // Mix the node id into the seed with a full splitmix pass so adjacent node
+  // ids produce uncorrelated streams.
+  u64 x = seed;
+  u64 base = splitmix64(x);
+  u64 y = base ^ (0x5851f42d4c957f2dull * (static_cast<u64>(node.value) + 1));
+  for (auto& s : s_) s = splitmix64(y);
+}
+
+u64 Rng::next_u64() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+u64 Rng::next_below(u64 bound) {
+  // Lemire's nearly-divisionless method is overkill here; simple rejection
+  // keeps the stream layout obvious and still unbiased.
+  if (bound == 0) return 0;
+  const u64 threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    u64 r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_gaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 1e-300);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = r * std::sin(theta);
+  have_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+Rng Rng::split() {
+  Rng child(next_u64() ^ 0xa02bdbf7bb3c0a7ull);
+  return child;
+}
+
+}  // namespace qcdoc

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation.
+//
+// The paper's verification methodology (Section 4) depends on bit-identical
+// re-runs of multi-day evolutions, so every stochastic element of the model
+// (gauge configurations, injected link errors, workloads) draws from an
+// explicitly seeded, splittable generator: xoshiro256** seeded via splitmix64,
+// with an independent stream per node derived from (seed, node id).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace qcdoc {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded with splitmix64.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull);
+  /// Derive an independent per-node stream from a base seed.
+  Rng(u64 seed, NodeId node);
+
+  u64 next_u64();
+  /// Uniform double in [0, 1).
+  double next_double();
+  /// Uniform integer in [0, bound).
+  u64 next_below(u64 bound);
+  /// Standard normal via Box-Muller (uses two uniforms per pair).
+  double next_gaussian();
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p);
+
+  /// Create a child generator whose stream is independent of the parent's
+  /// continued output (used for per-link error-injection streams).
+  Rng split();
+
+ private:
+  u64 s_[4];
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace qcdoc

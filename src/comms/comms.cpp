@@ -1,0 +1,116 @@
+#include "comms/comms.h"
+
+#include <cassert>
+
+#include "comms/global_sum.h"
+
+namespace qcdoc::comms {
+
+using torus::Dir;
+using torus::LinkIndex;
+
+Communicator::Communicator(machine::Machine* m, const torus::Partition* p)
+    : machine_(m), partition_(p), nodes_(p->nodes()) {
+  stored_send_mask_.assign(nodes_.size(), 0);
+  stored_recv_mask_.assign(nodes_.size(), 0);
+}
+
+void Communicator::post_shift(int ldim, Dir dir,
+                              std::span<const scu::DmaDescriptor> send_descs,
+                              std::span<const scu::DmaDescriptor> recv_descs) {
+  assert(send_descs.size() == nodes_.size());
+  assert(recv_descs.size() == nodes_.size());
+  const int n = num_nodes();
+  for (int r = 0; r < n; ++r) {
+    const torus::Coord lc = partition_->logical_coord(r);
+    const auto step = partition_->step(lc, ldim, dir);
+    assert(step.single_hop && "shift requires a nearest-neighbour embedding");
+    if (step.to == step.from) {
+      // Logical extent 1: the shift is a local copy; the data loops back
+      // through this node's own wire pair (the torus self-link).
+    }
+    // Receiver rank: the logical coordinate one step along.
+    torus::Coord to_lc = lc;
+    const int e = partition_->logical_shape().extent[ldim];
+    to_lc.c[ldim] = (to_lc.c[ldim] + static_cast<int>(dir) + e) % e;
+    const int to_rank = partition_->rank(to_lc);
+
+    auto& sender_scu = machine_->scu(step.from);
+    auto& receiver_scu = machine_->scu(step.to);
+    receiver_scu.recv_dma(torus::facing_link(step.link))
+        .start(recv_descs[static_cast<std::size_t>(to_rank)]);
+    sender_scu.send_dma(step.link).start(
+        send_descs[static_cast<std::size_t>(r)]);
+  }
+}
+
+void Communicator::post_shift_uniform(int ldim, Dir dir,
+                                      const scu::DmaDescriptor& send,
+                                      const scu::DmaDescriptor& recv) {
+  std::vector<scu::DmaDescriptor> sends(nodes_.size(), send);
+  std::vector<scu::DmaDescriptor> recvs(nodes_.size(), recv);
+  post_shift(ldim, dir, sends, recvs);
+}
+
+void Communicator::store_shift(int ldim, Dir dir,
+                               const scu::DmaDescriptor& send,
+                               const scu::DmaDescriptor& recv) {
+  const int n = num_nodes();
+  for (int r = 0; r < n; ++r) {
+    const torus::Coord lc = partition_->logical_coord(r);
+    const auto step = partition_->step(lc, ldim, dir);
+    assert(step.single_hop);
+    machine_->scu(step.from).store_send_descriptor(step.link, send);
+    machine_->scu(step.to).store_recv_descriptor(torus::facing_link(step.link),
+                                                 recv);
+    stored_send_mask_[static_cast<std::size_t>(r)] |= 1u << step.link.value;
+    const int to_rank = partition_->rank([&] {
+      torus::Coord c = lc;
+      const int e = partition_->logical_shape().extent[ldim];
+      c.c[ldim] = (c.c[ldim] + static_cast<int>(dir) + e) % e;
+      return c;
+    }());
+    stored_recv_mask_[static_cast<std::size_t>(to_rank)] |=
+        1u << torus::facing_link(step.link).value;
+  }
+}
+
+void Communicator::start_stored() {
+  const int n = num_nodes();
+  for (int r = 0; r < n; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    machine_->scu(nodes_[idx]).start_stored(stored_send_mask_[idx],
+                                            stored_recv_mask_[idx]);
+  }
+}
+
+scu::GlobalOpTiming Communicator::global_timing() const {
+  scu::GlobalOpTiming t;
+  t.frame_bits = machine_->hw().scu_data_bits + machine_->hw().scu_packet_header_bits;
+  t.passthrough_bits = machine_->hw().scu_global_passthrough_bits;
+  return t;
+}
+
+Communicator::GlobalSumResult Communicator::global_sum(
+    std::span<const double> per_rank, bool doubled, bool cut_through) const {
+  scu::GlobalOpTiming t = global_timing();
+  t.cut_through = cut_through;
+  GlobalSumResult result;
+  result.value = partition_global_sum(*partition_, per_rank);
+  result.cycles = partition_global_sum_cycles(*partition_, t, doubled);
+  return result;
+}
+
+Cycle Communicator::broadcast_cycles(bool doubled, bool cut_through) const {
+  scu::GlobalOpTiming t = global_timing();
+  t.cut_through = cut_through;
+  Cycle total = 0;
+  for (int l = 0; l < partition_->logical_dims(); ++l) {
+    const int e = partition_->logical_shape().extent[l];
+    if (e <= 1) continue;
+    total += scu::ring_broadcast(t, e, doubled).completion_cycles;
+  }
+  return total;
+}
+
+}  // namespace qcdoc::comms

@@ -1,0 +1,32 @@
+// Dimension-wise global sum over a partition (paper Section 2.2).
+//
+// "To perform a four-dimensional global sum ... consider the x direction
+// first ... This pattern would then be repeated for the y, z and t
+// directions."  Rings along different rows of the same dimension are
+// disjoint node sets, so they run concurrently: the time per dimension is
+// one ring all-reduce.  Functional values are combined ring-by-ring in
+// canonical position order, so every node holds the bit-identical result.
+#pragma once
+
+#include <span>
+
+#include "scu/global_ops.h"
+#include "torus/partition.h"
+
+namespace qcdoc::comms {
+
+/// Sum one double per rank; every node would end with the returned value.
+double partition_global_sum(const torus::Partition& p,
+                            std::span<const double> per_rank);
+
+/// Cycles for the dimension-wise sum of one word per node.
+Cycle partition_global_sum_cycles(const torus::Partition& p,
+                                  const scu::GlobalOpTiming& t, bool doubled);
+
+/// Cycles when `words` doubles are summed per node (pipelined through the
+/// same ring passes).
+Cycle partition_global_sum_cycles(const torus::Partition& p,
+                                  const scu::GlobalOpTiming& t, bool doubled,
+                                  int words);
+
+}  // namespace qcdoc::comms

@@ -1,0 +1,32 @@
+#include "cpu/profile.h"
+
+#include <algorithm>
+
+namespace qcdoc::cpu {
+
+KernelProfile& KernelProfile::operator+=(const KernelProfile& o) {
+  if (name.empty()) name = o.name;
+  fmadd_flops += o.fmadd_flops;
+  other_flops += o.other_flops;
+  load_bytes += o.load_bytes;
+  store_bytes += o.store_bytes;
+  edram_bytes += o.edram_bytes;
+  ddr_bytes += o.ddr_bytes;
+  streams = std::max(streams, o.streams);
+  overhead_cycles += o.overhead_cycles;
+  return *this;
+}
+
+KernelProfile KernelProfile::scaled(double factor) const {
+  KernelProfile p = *this;
+  p.fmadd_flops *= factor;
+  p.other_flops *= factor;
+  p.load_bytes *= factor;
+  p.store_bytes *= factor;
+  p.edram_bytes *= factor;
+  p.ddr_bytes *= factor;
+  p.overhead_cycles *= factor;
+  return p;
+}
+
+}  // namespace qcdoc::cpu

@@ -1,0 +1,43 @@
+// Kernel operation profiles.
+//
+// The lattice kernels execute real arithmetic on host doubles; for timing,
+// each kernel reports exactly what it did -- fused-multiply-add flops,
+// isolated flops, load/store traffic, and which memory region the traffic
+// hits -- and the CPU model (cpu/timing.h) converts that into PPC-440
+// cycles.  Profiles add and scale, so a CG iteration's profile is composed
+// from its constituent kernels.
+#pragma once
+
+#include <string>
+
+namespace qcdoc::cpu {
+
+struct KernelProfile {
+  std::string name;
+  double fmadd_flops = 0;  ///< flops issued as fused multiply-adds (2/cycle)
+  double other_flops = 0;  ///< isolated adds/muls (1/cycle)
+  double load_bytes = 0;   ///< bytes loaded by the inner loop
+  double store_bytes = 0;  ///< bytes stored
+  double edram_bytes = 0;  ///< traffic reaching the EDRAM controller
+  double ddr_bytes = 0;    ///< traffic reaching external DDR
+  int streams = 2;         ///< concurrent contiguous access streams
+  double overhead_cycles = 0;  ///< loop control / address bookkeeping
+  /// Per-kernel FPU issue efficiency of the hand-tuned assembly (0 = use
+  /// the machine-wide calibrated default).  Kernels differ structurally:
+  /// dense 6x6 clover blocks and Ls-pipelined domain-wall loops keep the
+  /// 5-cycle FPU pipe fuller than gather-heavy single-vector staggered
+  /// code.  See cpu/timing.h for the calibration policy.
+  double issue_efficiency = 0.0;
+
+  double flops() const { return fmadd_flops + other_flops; }
+
+  KernelProfile& operator+=(const KernelProfile& o);
+  KernelProfile scaled(double factor) const;
+
+  friend KernelProfile operator+(KernelProfile a, const KernelProfile& b) {
+    a += b;
+    return a;
+  }
+};
+
+}  // namespace qcdoc::cpu

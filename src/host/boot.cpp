@@ -1,0 +1,118 @@
+#include "host/boot.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace qcdoc::host {
+
+const char* to_string(NodeBootState s) {
+  switch (s) {
+    case NodeBootState::kPoweredOff: return "powered-off";
+    case NodeBootState::kLoadingBootKernel: return "loading-boot-kernel";
+    case NodeBootState::kHardwareTest: return "hardware-test";
+    case NodeBootState::kHardwareFailed: return "hardware-failed";
+    case NodeBootState::kLoadingRunKernel: return "loading-run-kernel";
+    case NodeBootState::kScuInit: return "scu-init";
+    case NodeBootState::kReady: return "ready";
+  }
+  return "?";
+}
+
+BootSequencer::BootSequencer(machine::Machine* m, net::EthernetTree* eth,
+                             BootParams params)
+    : machine_(m), eth_(eth), params_(params) {
+  states_.assign(static_cast<std::size_t>(m->num_nodes()),
+                 NodeBootState::kPoweredOff);
+  packets_pending_.assign(states_.size(), 0);
+}
+
+void BootSequencer::load_boot_kernel(NodeId n) {
+  states_[n.value] = NodeBootState::kLoadingBootKernel;
+  packets_pending_[n.value] = params_.boot_kernel_packets;
+  for (int i = 0; i < params_.boot_kernel_packets; ++i) {
+    eth_->host_to_node(n, params_.packet_payload_bytes, net::EthKind::kJtag,
+                       [this, n] {
+                         if (--packets_pending_[n.value] > 0) return;
+                         // Boot kernel now in the instruction cache: run the
+                         // basic hardware tests, then fetch the run kernel.
+                         states_[n.value] = NodeBootState::kHardwareTest;
+                         machine_->engine().schedule(
+                             params_.hw_test_cycles, [this, n] {
+                               for (const auto bad : params_.failing_nodes) {
+                                 if (bad == n) {
+                                   states_[n.value] =
+                                       NodeBootState::kHardwareFailed;
+                                   ++nodes_failed_;
+                                   return;
+                                 }
+                               }
+                               load_run_kernel(n);
+                             });
+                       });
+  }
+}
+
+void BootSequencer::load_run_kernel(NodeId n) {
+  states_[n.value] = NodeBootState::kLoadingRunKernel;
+  packets_pending_[n.value] = params_.run_kernel_packets;
+  for (int i = 0; i < params_.run_kernel_packets; ++i) {
+    eth_->host_to_node(n, params_.packet_payload_bytes, net::EthKind::kUdp,
+                       [this, n] {
+                         if (--packets_pending_[n.value] > 0) return;
+                         states_[n.value] = NodeBootState::kScuInit;
+                         machine_->engine().schedule(
+                             params_.scu_init_cycles, [this, n] {
+                               states_[n.value] = NodeBootState::kReady;
+                               ++nodes_ready_;
+                             });
+                       });
+  }
+}
+
+BootReport BootSequencer::boot() {
+  BootReport report;
+  const Cycle start = machine_->engine().now();
+
+  // Power on the mesh: the HSSLs begin their training sequences while the
+  // host streams boot kernels.
+  machine_->mesh().power_on();
+  for (int i = 0; i < machine_->num_nodes(); ++i) {
+    load_boot_kernel(NodeId{static_cast<u32>(i)});
+  }
+  // Drain: boot packet deliveries, hardware tests, SCU init and training.
+  while (nodes_ready_ + nodes_failed_ < machine_->num_nodes() ||
+         !machine_->mesh().all_trained()) {
+    const bool progressed = machine_->engine().step();
+    assert(progressed && "boot stalled");
+    if (!progressed) break;
+  }
+
+  // Run kernels check the partition interrupts: node 0 raises a line and
+  // every healthy node must see it at the next sampling point.
+  int nodes_seen = 0;
+  machine_->mesh().pirq().set_interrupt_handler(
+      [&nodes_seen](NodeId, u8) { ++nodes_seen; });
+  machine_->mesh().pirq().raise(NodeId{0}, 0x1);
+  while (nodes_seen < machine_->num_nodes() && machine_->engine().step()) {
+  }
+  machine_->mesh().pirq().set_interrupt_handler(nullptr);
+  report.partition_interrupt_ok = nodes_seen == machine_->num_nodes();
+  for (int i = 0; i < machine_->num_nodes(); ++i) {
+    if (states_[static_cast<std::size_t>(i)] ==
+        NodeBootState::kHardwareFailed) {
+      report.failed_nodes.push_back(NodeId{static_cast<u32>(i)});
+    }
+  }
+
+  report.total_cycles = machine_->engine().now() - start;
+  report.jtag_packets = eth_->jtag_packets();
+  report.udp_packets = eth_->packets_delivered() - eth_->jtag_packets();
+  report.detected_shape = machine_->topology().shape();
+  report.nodes_ready = nodes_ready_;
+  QCDOC_INFO << "boot complete: " << report.nodes_ready << " nodes in "
+             << machine_->seconds(report.total_cycles) << " s";
+  return report;
+}
+
+}  // namespace qcdoc::host

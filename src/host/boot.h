@@ -1,0 +1,83 @@
+// Booting QCDOC (paper Sections 2.3 and 3.1).
+//
+// There are no PROMs on QCDOC.  The Ethernet/JTAG controller decodes UDP
+// packets in pure hardware from power-on, so the host can write a boot
+// kernel directly into each PPC 440's instruction cache (~100 UDP packets
+// per node).  The boot kernel runs basic hardware tests of the ASIC and
+// DRAM and initializes the standard 100 Mbit Ethernet controller; the run
+// kernel is then loaded over it (another ~100 packets), initializes the SCU
+// controllers and mesh, checks the partition interrupts, and determines the
+// six-dimensional machine size.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+#include "net/ethernet.h"
+
+namespace qcdoc::host {
+
+struct BootParams {
+  int boot_kernel_packets = 100;   ///< via Ethernet/JTAG, from power-on
+  int run_kernel_packets = 100;    ///< via the standard Ethernet controller
+  std::size_t packet_payload_bytes = 1024;
+  Cycle hw_test_cycles = 50000;    ///< ASIC + DRAM tests by the boot kernel
+  Cycle scu_init_cycles = 20000;   ///< run kernel programs the SCUs
+  /// Nodes whose boot-kernel hardware test fails (fault injection).  The
+  /// qdaemon records them -- "keeping track of the status of the nodes
+  /// (including hardware problems)" -- and never allocates them.
+  std::vector<NodeId> failing_nodes;
+};
+
+enum class NodeBootState {
+  kPoweredOff,
+  kLoadingBootKernel,
+  kHardwareTest,
+  kHardwareFailed,
+  kLoadingRunKernel,
+  kScuInit,
+  kReady,
+};
+
+const char* to_string(NodeBootState s);
+
+struct BootReport {
+  Cycle total_cycles = 0;
+  Cycle link_training_cycles = 0;
+  u64 jtag_packets = 0;
+  u64 udp_packets = 0;
+  bool partition_interrupt_ok = false;
+  torus::Shape detected_shape;  ///< the run kernels' six-dimensional size
+  int nodes_ready = 0;
+  std::vector<NodeId> failed_nodes;  ///< hardware-test failures
+};
+
+/// Drives the full boot of a machine over the Ethernet tree and the mesh.
+class BootSequencer {
+ public:
+  BootSequencer(machine::Machine* m, net::EthernetTree* eth,
+                BootParams params = BootParams{});
+
+  /// Run the boot to completion (executes the event engine).
+  BootReport boot();
+
+  NodeBootState state(NodeId n) const {
+    return states_[n.value];
+  }
+
+ private:
+  void load_boot_kernel(NodeId n);
+  void load_run_kernel(NodeId n);
+
+  machine::Machine* machine_;
+  net::EthernetTree* eth_;
+  BootParams params_;
+  std::vector<NodeBootState> states_;
+  std::vector<int> packets_pending_;
+  int nodes_ready_ = 0;
+  int nodes_failed_ = 0;
+};
+
+}  // namespace qcdoc::host

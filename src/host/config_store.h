@@ -1,0 +1,67 @@
+// Gauge-configuration I/O over the Ethernet network (paper Section 3.2).
+//
+// "The kernel also includes support for NFS mounting of remote disks, which
+// is already being used by application programs to write directly to the
+// host disk system."  QCD's I/O is modest -- a configuration every few
+// hours -- but it must be correct: configurations carry a NERSC-style
+// header (dimensions, plaquette, checksum) that is verified on load.
+//
+// The model stores configurations on the simulated host disk; every byte
+// travels over each node's 100 Mbit Ethernet through the hub tree, so save
+// and load have real (simulated) I/O times.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lattice/gauge.h"
+#include "machine/machine.h"
+#include "net/ethernet.h"
+
+namespace qcdoc::host {
+
+struct IoReport {
+  bool ok = false;
+  u64 bytes = 0;
+  Cycle cycles = 0;
+  double seconds = 0;
+  double mb_per_s = 0;
+};
+
+class ConfigStore {
+ public:
+  ConfigStore(machine::Machine* m, net::EthernetTree* eth)
+      : machine_(m), eth_(eth) {}
+
+  /// Write a configuration to the host disk: every node streams its local
+  /// links over its own Ethernet link (NFS-style), the host assembles them
+  /// in global site order and records the verification header.
+  IoReport save(const lattice::GaugeField& gauge, const std::string& name);
+
+  /// Read a configuration back into (possibly differently distributed)
+  /// node memories; fails if the header does not match the target geometry
+  /// or the checksum disagrees with the payload.
+  IoReport load(lattice::GaugeField* gauge, const std::string& name);
+
+  bool exists(const std::string& name) const { return disk_.count(name) != 0; }
+  std::vector<std::string> list() const;
+  /// Header plaquette of a stored configuration.
+  double stored_plaquette(const std::string& name) const;
+
+ private:
+  struct Stored {
+    lattice::Coord4 dims{};
+    double plaquette = 0;
+    u64 checksum = 0;
+    std::vector<double> data;  // global site order, 4 links x 18 doubles
+  };
+
+  static u64 payload_checksum(const std::vector<double>& data);
+
+  machine::Machine* machine_;
+  net::EthernetTree* eth_;
+  std::map<std::string, Stored> disk_;
+};
+
+}  // namespace qcdoc::host

@@ -1,0 +1,51 @@
+#include "host/diagnostics.h"
+
+namespace qcdoc::host {
+
+ChecksumReport Diagnostics::verify_checksums() const {
+  ChecksumReport report;
+  report.links_checked =
+      machine_->num_nodes() * torus::kLinksPerNode;
+  report.all_match =
+      machine_->mesh().verify_link_checksums(&report.mismatches);
+  return report;
+}
+
+LinkErrorScan Diagnostics::scan_link_errors() const {
+  LinkErrorScan scan;
+  for (int i = 0; i < machine_->num_nodes(); ++i) {
+    const NodeId n{static_cast<u32>(i)};
+    const auto& stats = machine_->mesh().stats(n);
+    const u64 detected = stats.get("scu.detected_errors");
+    const u64 undetected = stats.get("scu.undetected_errors");
+    const u64 resends =
+        stats.get("scu.nack_resends") + stats.get("scu.timeout_resends");
+    scan.detected_errors += detected;
+    scan.undetected_errors += undetected;
+    scan.resends += resends;
+    if (detected + undetected + resends > 0) scan.suspect_nodes.push_back(n);
+  }
+  return scan;
+}
+
+void Diagnostics::jtag_round_trip(NodeId n) {
+  // One command packet down, one response packet up; run to delivery.
+  bool done = false;
+  eth_->host_to_node(n, 64, net::EthKind::kJtag, [this, n, &done] {
+    eth_->node_to_host(n, 64, [&done] { done = true; });
+  });
+  while (!done && machine_->engine().step()) {
+  }
+}
+
+u64 Diagnostics::jtag_peek(NodeId n, u64 word_addr) {
+  jtag_round_trip(n);
+  return machine_->memory(n).read_word(word_addr);
+}
+
+void Diagnostics::jtag_poke(NodeId n, u64 word_addr, u64 value) {
+  jtag_round_trip(n);
+  machine_->memory(n).write_word(word_addr, value);
+}
+
+}  // namespace qcdoc::host

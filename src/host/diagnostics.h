@@ -1,0 +1,55 @@
+// Hardware and software diagnostics (paper Sections 2.3 and 4).
+//
+// The Ethernet/JTAG controller "gives us a powerful tool for hardware and
+// software debugging ... an I/O path to monitor and probe a failing node":
+// the host can peek and poke any node's memory without software running on
+// it.  At the end of a calculation the per-link checksums are compared --
+// the final confirmation that no erroneous data was exchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+#include "net/ethernet.h"
+
+namespace qcdoc::host {
+
+struct ChecksumReport {
+  bool all_match = true;
+  int links_checked = 0;
+  std::vector<std::string> mismatches;
+};
+
+struct LinkErrorScan {
+  u64 detected_errors = 0;   ///< parity/type failures that forced resends
+  u64 undetected_errors = 0; ///< corruption that slipped past parity
+  u64 resends = 0;
+  std::vector<NodeId> suspect_nodes;  ///< nodes with any error activity
+};
+
+class Diagnostics {
+ public:
+  Diagnostics(machine::Machine* m, net::EthernetTree* eth)
+      : machine_(m), eth_(eth) {}
+
+  /// Compare send/receive checksums on every directed link.
+  ChecksumReport verify_checksums() const;
+
+  /// Collect link-level error counters machine-wide and flag nodes whose
+  /// SCUs saw errors.
+  LinkErrorScan scan_link_errors() const;
+
+  /// RISCWatch-style memory access over Ethernet/JTAG.  Advances the event
+  /// engine by the packet round trip, like the real probe would.
+  u64 jtag_peek(NodeId n, u64 word_addr);
+  void jtag_poke(NodeId n, u64 word_addr, u64 value);
+
+ private:
+  void jtag_round_trip(NodeId n);
+
+  machine::Machine* machine_;
+  net::EthernetTree* eth_;
+};
+
+}  // namespace qcdoc::host

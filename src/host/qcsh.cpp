@@ -1,0 +1,177 @@
+#include "host/qcsh.h"
+
+#include <sstream>
+
+namespace qcdoc::host {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;  // comment to end of line
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+/// Parse "4x4x2x2x1x1" into a Shape; false on malformed input.
+bool parse_shape(const std::string& text, torus::Shape* shape) {
+  std::istringstream in(text);
+  for (int d = 0; d < torus::kMaxDims; ++d) {
+    int e = 0;
+    if (!(in >> e) || e < 1) return false;
+    shape->extent[d] = e;
+    if (d + 1 < torus::kMaxDims) {
+      char x = 0;
+      if (!(in >> x) || (x != 'x' && x != 'X')) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Qcsh::Qcsh(Qdaemon* daemon) : daemon_(daemon) {}
+
+void Qcsh::register_application(const std::string& name, Application app) {
+  applications_[name] = std::move(app);
+}
+
+std::vector<std::string> Qcsh::execute(const std::string& line) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return {};
+  const std::string& cmd = tokens[0];
+  const std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+  if (cmd == "boot") return cmd_boot();
+  if (cmd == "status") return cmd_status();
+  if (cmd == "alloc") return cmd_alloc(args);
+  if (cmd == "run") return cmd_run(args);
+  if (cmd == "release") return cmd_release(args);
+  if (cmd == "partitions") return cmd_partitions();
+  exit_code_ = 1;
+  return {"qcsh: unknown command '" + cmd + "'"};
+}
+
+std::vector<std::string> Qcsh::run_script(const std::string& script) {
+  std::vector<std::string> stream;
+  std::istringstream in(script);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto out = execute(line);
+    stream.insert(stream.end(), out.begin(), out.end());
+  }
+  return stream;
+}
+
+std::vector<std::string> Qcsh::cmd_boot() {
+  const auto& report = daemon_->boot();
+  std::ostringstream out;
+  out << "booted " << report.nodes_ready << " nodes ("
+      << report.jtag_packets << " jtag + " << report.udp_packets
+      << " udp packets); partition interrupts "
+      << (report.partition_interrupt_ok ? "ok" : "FAILED");
+  return {out.str()};
+}
+
+std::vector<std::string> Qcsh::cmd_status() {
+  if (!daemon_->booted()) {
+    exit_code_ = 1;
+    return {"qcsh: machine not booted"};
+  }
+  std::map<std::string, int> counts;
+  const int n = daemon_->machine_nodes();
+  for (int i = 0; i < n; ++i) {
+    counts[to_string(daemon_->node_state(NodeId{static_cast<u32>(i)}))]++;
+  }
+  std::vector<std::string> out;
+  for (const auto& [state, count] : counts) {
+    out.push_back(state + ": " + std::to_string(count));
+  }
+  out.push_back("free: " + std::to_string(daemon_->free_nodes()));
+  const auto failed = daemon_->failed_nodes();
+  if (!failed.empty()) {
+    std::string line = "failed nodes:";
+    for (const auto nd : failed) line += " " + std::to_string(nd.value);
+    out.push_back(line);
+  }
+  return out;
+}
+
+std::vector<std::string> Qcsh::cmd_alloc(const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    exit_code_ = 1;
+    return {"usage: alloc <name> <e0>x<e1>x<e2>x<e3>x<e4>x<e5> <dims>"};
+  }
+  torus::Shape box;
+  if (!parse_shape(args[1], &box)) {
+    exit_code_ = 1;
+    return {"qcsh: bad shape '" + args[1] + "'"};
+  }
+  const int dims = std::atoi(args[2].c_str());
+  if (dims < 1 || dims > torus::kMaxDims) {
+    exit_code_ = 1;
+    return {"qcsh: dimensionality must be 1..6"};
+  }
+  const auto handle = daemon_->allocate_partition(args[0], box, dims);
+  if (!handle) {
+    exit_code_ = 1;
+    return {"qcsh: no free " + args[1] + " box"};
+  }
+  partitions_[args[0]] = *handle;
+  return {"partition '" + args[0] + "': " +
+          handle->partition->logical_shape().to_string() + " (" +
+          std::to_string(handle->partition->num_nodes()) + " nodes)"};
+}
+
+std::vector<std::string> Qcsh::cmd_run(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    exit_code_ = 1;
+    return {"usage: run <partition> <application> [args...]"};
+  }
+  auto pit = partitions_.find(args[0]);
+  if (pit == partitions_.end()) {
+    exit_code_ = 1;
+    return {"qcsh: no partition '" + args[0] + "'"};
+  }
+  auto ait = applications_.find(args[1]);
+  if (ait == applications_.end()) {
+    exit_code_ = 1;
+    return {"qcsh: no application '" + args[1] + "'"};
+  }
+  const std::vector<std::string> app_args(args.begin() + 2, args.end());
+  const auto result = daemon_->run_job(
+      pit->second,
+      [&](comms::Communicator& comm, std::vector<std::string>& out) {
+        ait->second(comm, app_args, out);
+      });
+  if (!result.ok) {
+    exit_code_ = 1;
+    return {"qcsh: job failed"};
+  }
+  return result.output;
+}
+
+std::vector<std::string> Qcsh::cmd_release(
+    const std::vector<std::string>& args) {
+  if (args.size() != 1 || partitions_.find(args[0]) == partitions_.end()) {
+    exit_code_ = 1;
+    return {"qcsh: no partition to release"};
+  }
+  daemon_->release_partition(partitions_[args[0]]);
+  partitions_.erase(args[0]);
+  return {"released '" + args[0] + "'"};
+}
+
+std::vector<std::string> Qcsh::cmd_partitions() {
+  std::vector<std::string> out;
+  for (const auto& [name, handle] : partitions_) {
+    out.push_back(name + ": " +
+                  handle.partition->logical_shape().to_string());
+  }
+  if (out.empty()) out.push_back("(none)");
+  return out;
+}
+
+}  // namespace qcdoc::host

@@ -1,0 +1,66 @@
+// The qcsh: QCDOC's command-line interface (paper Section 3.1).
+//
+// "The command line interface to QCDOC is a modified UNIX tcsh, which we
+// call the qcsh.  The qcsh runs with the UID of the application programmer,
+// gathers commands to send to the qdaemon and manages the returning data
+// stream."
+//
+// The model is a small command interpreter over the qdaemon: scripts (or
+// interactive lines) allocate partitions, run registered applications,
+// query node status and release resources, with every command's output
+// returned as the data stream the real qcsh would print.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "host/qdaemon.h"
+
+namespace qcdoc::host {
+
+class Qcsh {
+ public:
+  /// An application the shell can `run`: receives the communicator of the
+  /// partition it was launched on plus the command's arguments.
+  using Application =
+      std::function<void(comms::Communicator&, const std::vector<std::string>&,
+                         std::vector<std::string>& out)>;
+
+  explicit Qcsh(Qdaemon* daemon);
+
+  /// Make an application launchable by name.
+  void register_application(const std::string& name, Application app);
+
+  /// Execute one command line; returns the output lines.  Commands:
+  ///   boot
+  ///   status
+  ///   alloc <name> <e0>x<e1>x<e2>x<e3>x<e4>x<e5> <dims>
+  ///   run <partition> <application> [args...]
+  ///   release <partition>
+  ///   partitions
+  /// Unknown commands report an error line (exit_code() becomes nonzero).
+  std::vector<std::string> execute(const std::string& line);
+
+  /// Run a whole script (one command per line, '#' comments allowed);
+  /// returns the concatenated data stream.
+  std::vector<std::string> run_script(const std::string& script);
+
+  int exit_code() const { return exit_code_; }
+
+ private:
+  std::vector<std::string> cmd_boot();
+  std::vector<std::string> cmd_status();
+  std::vector<std::string> cmd_alloc(const std::vector<std::string>& args);
+  std::vector<std::string> cmd_run(const std::vector<std::string>& args);
+  std::vector<std::string> cmd_release(const std::vector<std::string>& args);
+  std::vector<std::string> cmd_partitions();
+
+  Qdaemon* daemon_;
+  std::map<std::string, Application> applications_;
+  std::map<std::string, PartitionHandle> partitions_;
+  int exit_code_ = 0;
+};
+
+}  // namespace qcdoc::host

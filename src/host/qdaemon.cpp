@@ -1,0 +1,160 @@
+#include "host/qdaemon.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace qcdoc::host {
+
+Qdaemon::Qdaemon(machine::Machine* m, net::EthernetConfig eth_cfg,
+                 BootParams boot_params)
+    : machine_(m), boot_params_(boot_params) {
+  eth_cfg.cpu_clock_hz = m->hw().cpu_clock_hz;
+  eth_ = std::make_unique<net::EthernetTree>(&m->engine(), eth_cfg,
+                                             m->num_nodes());
+  sequencer_ = std::make_unique<BootSequencer>(machine_, eth_.get(), boot_params_);
+  node_used_.assign(static_cast<std::size_t>(m->num_nodes()), false);
+}
+
+const BootReport& Qdaemon::boot() {
+  if (!boot_report_) {
+    boot_report_ = sequencer_->boot();
+    // Hardware problems found during boot: quarantine those nodes so no
+    // partition is ever placed over them.
+    for (const auto bad : boot_report_->failed_nodes) {
+      node_used_[bad.value] = true;
+    }
+  }
+  return *boot_report_;
+}
+
+int Qdaemon::machine_nodes() const { return machine_->num_nodes(); }
+
+std::vector<NodeId> Qdaemon::failed_nodes() const {
+  return boot_report_ ? boot_report_->failed_nodes : std::vector<NodeId>{};
+}
+
+NodeBootState Qdaemon::node_state(NodeId n) const {
+  return sequencer_->state(n);
+}
+
+bool Qdaemon::box_free(const torus::Coord& origin,
+                       const torus::Shape& box) const {
+  const auto& topo = machine_->topology();
+  torus::Coord c;
+  // Iterate the box (extents are small; at most the machine).
+  const int vol = box.volume();
+  for (int i = 0; i < vol; ++i) {
+    int rest = i;
+    for (int d = 0; d < torus::kMaxDims; ++d) {
+      c.c[d] = origin.c[d] + rest % box.extent[d];
+      rest /= box.extent[d];
+    }
+    if (node_used_[topo.id(c).value]) return false;
+  }
+  return true;
+}
+
+void Qdaemon::mark_box(const torus::Coord& origin, const torus::Shape& box,
+                       bool used) {
+  const auto& topo = machine_->topology();
+  torus::Coord c;
+  const int vol = box.volume();
+  for (int i = 0; i < vol; ++i) {
+    int rest = i;
+    for (int d = 0; d < torus::kMaxDims; ++d) {
+      c.c[d] = origin.c[d] + rest % box.extent[d];
+      rest /= box.extent[d];
+    }
+    node_used_[topo.id(c).value] = used;
+  }
+}
+
+std::optional<PartitionHandle> Qdaemon::allocate_partition(
+    const std::string& name, const torus::Shape& box, int logical_dims) {
+  assert(logical_dims >= 1 && logical_dims <= torus::kMaxDims);
+  // Default remap: identity on the first logical_dims-1 box dims, trailing
+  // box dims folded into the last logical dim.
+  torus::FoldSpec fold;
+  fold.groups.resize(static_cast<std::size_t>(logical_dims));
+  for (int d = 0; d < logical_dims - 1; ++d) {
+    fold.groups[static_cast<std::size_t>(d)] = {d};
+  }
+  for (int d = logical_dims - 1; d < torus::kMaxDims; ++d) {
+    if (box.extent[d] > 1 || d == logical_dims - 1) {
+      fold.groups[static_cast<std::size_t>(logical_dims - 1)].push_back(d);
+    }
+  }
+  return allocate_partition(name, box, std::move(fold));
+}
+
+std::optional<PartitionHandle> Qdaemon::allocate_partition(
+    const std::string& name, const torus::Shape& box, torus::FoldSpec fold) {
+  assert(booted() && "allocate_partition before boot");
+  const auto& shape = machine_->topology().shape();
+  for (int d = 0; d < torus::kMaxDims; ++d) {
+    if (box.extent[d] > shape.extent[d] || shape.extent[d] % box.extent[d] != 0) {
+      return std::nullopt;  // box must tile the machine dimension
+    }
+  }
+  // First fit over box-aligned origins.
+  torus::Coord origin;
+  const auto try_origins = [&](auto&& self, int dim) -> bool {
+    if (dim == torus::kMaxDims) {
+      return box_free(origin, box);
+    }
+    for (int x = 0; x < shape.extent[dim]; x += box.extent[dim]) {
+      origin.c[dim] = x;
+      if (self(self, dim + 1)) return true;
+    }
+    origin.c[dim] = 0;
+    return false;
+  };
+  if (!try_origins(try_origins, 0)) return std::nullopt;
+
+  mark_box(origin, box, true);
+  Allocation alloc;
+  alloc.name = name;
+  alloc.origin = origin;
+  alloc.box = box;
+  alloc.partition = std::make_unique<torus::Partition>(
+      &machine_->topology(), std::move(fold), origin, box);
+  const int id = next_partition_id_++;
+  auto [it, inserted] = partitions_.emplace(id, std::move(alloc));
+  assert(inserted);
+  QCDOC_INFO << "partition '" << name << "' allocated: box " << box.to_string()
+             << " at " << origin.to_string();
+  return PartitionHandle{id, name, it->second.partition.get()};
+}
+
+void Qdaemon::release_partition(const PartitionHandle& h) {
+  auto it = partitions_.find(h.id);
+  if (it == partitions_.end()) return;
+  mark_box(it->second.origin, it->second.box, false);
+  partitions_.erase(it);
+}
+
+int Qdaemon::free_nodes() const {
+  int n = 0;
+  for (bool used : node_used_) {
+    if (!used) ++n;
+  }
+  return n;
+}
+
+JobResult Qdaemon::run_job(
+    const PartitionHandle& h,
+    const std::function<void(comms::Communicator&, std::vector<std::string>&)>&
+        app) {
+  JobResult result;
+  auto it = partitions_.find(h.id);
+  if (it == partitions_.end() || !app) return result;
+  comms::Communicator comm(machine_, it->second.partition.get());
+  const Cycle start = machine_->engine().now();
+  app(comm, result.output);
+  result.cycles = machine_->engine().now() - start;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace qcdoc::host

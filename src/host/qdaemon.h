@@ -1,0 +1,102 @@
+// The qdaemon: host-side management software (paper Section 3.1).
+//
+// "Our primary host software is called the qdaemon.  This software is
+// responsible for booting QCDOC, coordinating the initialization of the
+// various networks, keeping track of the status of the nodes, allocating
+// user partitions of QCDOC, loading and starting execution of applications,
+// and returning application output to the user."
+//
+// The model provides exactly that surface: boot, node-status tracking,
+// partition allocation (carving lower-dimensional sub-meshes out of the
+// native six-dimensional machine, with the user choosing a dimensionality
+// between one and six), and job execution against the communications API.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comms/comms.h"
+#include "host/boot.h"
+#include "machine/machine.h"
+#include "net/ethernet.h"
+#include "torus/partition.h"
+
+namespace qcdoc::host {
+
+struct PartitionHandle {
+  int id = -1;
+  std::string name;
+  const torus::Partition* partition = nullptr;
+};
+
+struct JobResult {
+  bool ok = false;
+  Cycle cycles = 0;
+  std::vector<std::string> output;  ///< lines returned to the user's qcsh
+};
+
+class Qdaemon {
+ public:
+  explicit Qdaemon(machine::Machine* m,
+                   net::EthernetConfig eth_cfg = net::EthernetConfig{},
+                   BootParams boot_params = BootParams{});
+
+  /// Boot the machine (idempotent).  Nodes become allocatable afterwards.
+  const BootReport& boot();
+  bool booted() const { return boot_report_.has_value(); }
+
+  NodeBootState node_state(NodeId n) const;
+  int machine_nodes() const;
+  /// Nodes the boot hardware test flagged; never allocated to partitions.
+  std::vector<NodeId> failed_nodes() const;
+
+  /// Allocate a partition: a box of the machine with extents `box` (unused
+  /// dims extent 1), remapped to `logical_dims` dimensions by folding
+  /// trailing box dims together.  Returns nullopt when no aligned free box
+  /// exists.  The user "requests that the qdaemon remap their partition to
+  /// a dimensionality between one and six".
+  std::optional<PartitionHandle> allocate_partition(const std::string& name,
+                                                    const torus::Shape& box,
+                                                    int logical_dims);
+  /// Allocate with an explicit fold.
+  std::optional<PartitionHandle> allocate_partition(const std::string& name,
+                                                    const torus::Shape& box,
+                                                    torus::FoldSpec fold);
+  void release_partition(const PartitionHandle& h);
+  int active_partitions() const { return static_cast<int>(partitions_.size()); }
+  int free_nodes() const;
+
+  /// Run an application (SPMD, expressed against the communications API) on
+  /// a partition; output lines are returned as the qcsh data stream.
+  JobResult run_job(const PartitionHandle& h,
+                    const std::function<void(comms::Communicator&,
+                                             std::vector<std::string>&)>& app);
+
+  net::EthernetTree& ethernet() { return *eth_; }
+
+ private:
+  struct Allocation {
+    std::string name;
+    torus::Coord origin;
+    torus::Shape box;
+    std::unique_ptr<torus::Partition> partition;
+  };
+
+  bool box_free(const torus::Coord& origin, const torus::Shape& box) const;
+  void mark_box(const torus::Coord& origin, const torus::Shape& box, bool used);
+
+  machine::Machine* machine_;
+  std::unique_ptr<net::EthernetTree> eth_;
+  BootParams boot_params_;
+  std::optional<BootReport> boot_report_;
+  std::unique_ptr<BootSequencer> sequencer_;
+  std::vector<bool> node_used_;
+  std::map<int, Allocation> partitions_;
+  int next_partition_id_ = 0;
+};
+
+}  // namespace qcdoc::host

@@ -1,0 +1,71 @@
+#include "hssl/hssl.h"
+
+#include <cassert>
+
+namespace qcdoc::hssl {
+
+Hssl::Hssl(sim::Engine* engine, HsslConfig cfg, Rng error_stream,
+           sim::StatSet* stats)
+    : engine_(engine), cfg_(cfg), errors_(error_stream), stats_(stats) {}
+
+void Hssl::power_on() {
+  if (powered_) return;
+  powered_ = true;
+  engine_->schedule(cfg_.training_cycles, [this] {
+    trained_ = true;
+    trained_at_ = engine_->now();
+    if (stats_) stats_->add("hssl.trained");
+    start_next();
+    if (!busy_ && on_ready_) on_ready_();
+  });
+}
+
+u64 Hssl::transmit(int bits, DeliveryFn on_delivered) {
+  assert(powered_ && "transmit before power_on");
+  assert(bits > 0);
+  const u64 id = next_frame_id_++;
+  queue_.push_back(Frame{id, bits, std::move(on_delivered)});
+  if (trained_ && !busy_) start_next();
+  return id;
+}
+
+void Hssl::start_next() {
+  if (!trained_ || busy_ || queue_.empty()) return;
+  busy_ = true;
+  Frame frame = std::move(queue_.front());
+  queue_.pop_front();
+
+  int flipped = 0;
+  if (cfg_.bit_error_rate > 0.0) {
+    for (int b = 0; b < frame.bits; ++b) {
+      if (errors_.next_bool(cfg_.bit_error_rate)) ++flipped;
+    }
+  }
+  busy_cycles_ += static_cast<Cycle>(frame.bits);
+  if (stats_) {
+    stats_->add("hssl.frames");
+    stats_->add("hssl.bits", static_cast<u64>(frame.bits));
+    if (flipped > 0) stats_->add("hssl.bits_flipped", static_cast<u64>(flipped));
+  }
+
+  // The sender's serializer frees up after the last bit leaves; delivery at
+  // the far end happens one wire delay later.
+  const Cycle serialize = static_cast<Cycle>(frame.bits);
+  engine_->schedule(serialize, [this] {
+    busy_ = false;
+    start_next();
+    if (!busy_ && on_ready_) on_ready_();
+  });
+  engine_->schedule(serialize + cfg_.wire_delay_cycles,
+                    [frame = std::move(frame), flipped] {
+                      if (frame.on_delivered) frame.on_delivered(frame.id, flipped);
+                    });
+}
+
+Cycle Hssl::idle_cycles() const {
+  if (!trained_) return 0;
+  const Cycle since_trained = engine_->now() - trained_at_;
+  return since_trained > busy_cycles_ ? since_trained - busy_cycles_ : 0;
+}
+
+}  // namespace qcdoc::hssl

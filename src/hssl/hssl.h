@@ -1,0 +1,86 @@
+// High Speed Serial Link model (paper Section 2.2).
+//
+// The fundamental physical link of the mesh is a unidirectional bit-serial
+// connection running at the processor clock: one bit per CPU cycle.  On
+// power-up the HSSL macros train by exchanging a known byte sequence to find
+// the sampling point and byte boundaries; once trained they exchange idle
+// bytes whenever no payload is queued.  The model serializes frames at
+// 1 bit/cycle, adds a wire time-of-flight, and injects bit errors from a
+// deterministic per-link stream so the SCU's parity/resend machinery is
+// exercised for real.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/engine.h"
+#include "sim/stats.h"
+
+namespace qcdoc::hssl {
+
+struct HsslConfig {
+  Cycle training_cycles = 2048;  ///< byte-sequence exchange after reset
+  Cycle wire_delay_cycles = 2;   ///< time-of-flight through board + cable
+  double bit_error_rate = 0.0;   ///< probability a transmitted bit flips
+};
+
+/// One unidirectional serial link.  Frames are opaque bit counts to the HSSL;
+/// framing (headers, parity) belongs to the SCU layer above.
+class Hssl {
+ public:
+  /// `on_delivered(frame_id, flipped_bits)` fires when the last bit of a
+  /// frame (plus wire delay) reaches the receiver.
+  using DeliveryFn = std::function<void(u64 frame_id, int flipped_bits)>;
+
+  Hssl(sim::Engine* engine, HsslConfig cfg, Rng error_stream,
+       sim::StatSet* stats);
+
+  /// Begin the training sequence; the link carries data only once trained.
+  void power_on();
+  bool trained() const { return trained_; }
+  Cycle trained_at() const { return trained_at_; }
+
+  /// Queue a frame of `bits` for transmission.  Returns its frame id.
+  /// Frames serialize strictly in order at 1 bit/cycle.
+  u64 transmit(int bits, DeliveryFn on_delivered);
+
+  /// Called whenever the serializer becomes free (including right after
+  /// training completes), so the SCU layer can make a fresh priority
+  /// decision per frame instead of queueing ahead.
+  void set_ready_callback(std::function<void()> fn) { on_ready_ = std::move(fn); }
+
+  bool busy() const { return busy_; }
+  /// Cycles this link spent sending idle bytes (trained but no payload).
+  Cycle idle_cycles() const;
+
+  /// Change the error rate at runtime (fault injection for diagnostics).
+  void set_bit_error_rate(double rate) { cfg_.bit_error_rate = rate; }
+  double bit_error_rate() const { return cfg_.bit_error_rate; }
+
+ private:
+  void start_next();
+
+  sim::Engine* engine_;
+  HsslConfig cfg_;
+  Rng errors_;
+  sim::StatSet* stats_;
+
+  bool powered_ = false;
+  bool trained_ = false;
+  Cycle trained_at_ = 0;
+  bool busy_ = false;
+  u64 next_frame_id_ = 0;
+  Cycle busy_cycles_ = 0;
+
+  struct Frame {
+    u64 id;
+    int bits;
+    DeliveryFn on_delivered;
+  };
+  std::deque<Frame> queue_;
+  std::function<void()> on_ready_;
+};
+
+}  // namespace qcdoc::hssl

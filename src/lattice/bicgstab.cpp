@@ -1,0 +1,99 @@
+#include "lattice/bicgstab.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace qcdoc::lattice {
+
+CgResult bicgstab_solve(DiracOperator& op, DistField& x, DistField& b,
+                        const CgParams& params) {
+  FieldOps& ops = op.ops();
+  auto& bsp = ops.bsp();
+
+  const Cycle start_cycle = bsp.now();
+  const double start_flops = ops.flops();
+  const double start_compute = bsp.compute_cycles();
+  const double start_comm = bsp.comm_cycles();
+  const double start_global = bsp.global_cycles();
+
+  DistField r = op.make_field("bicg.r");
+  DistField rhat = op.make_field("bicg.rhat");
+  DistField p = op.make_field("bicg.p");
+  DistField v = op.make_field("bicg.v");
+  DistField s = op.make_field("bicg.s");
+  DistField t = op.make_field("bicg.t");
+
+  // r = b - M x (x = 0 start), rhat = r.
+  op.apply(r, x);
+  ops.scale_copy(-1.0, r, r);
+  ops.axpy(1.0, b, r);
+  ops.copy(r, rhat);
+  p.zero();
+  v.zero();
+
+  const double b_norm2 = ops.norm2(b);
+  const double target =
+      params.tolerance * params.tolerance * (b_norm2 > 0 ? b_norm2 : 1.0);
+
+  Complex rho(1.0, 0.0), alpha(1.0, 0.0), omega(1.0, 0.0);
+
+  CgResult result;
+  const int iters = params.fixed_iterations > 0 ? params.fixed_iterations
+                                                : params.max_iterations;
+  for (int it = 0; it < iters; ++it) {
+    const Complex rho_new = ops.cdot(rhat, r);
+    if (std::abs(rho_new) == 0.0) break;
+    const Complex beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    // p = r + beta (p - omega v)
+    ops.caxpy(-omega, v, p);
+    ops.cxpay(r, beta, p);
+
+    op.apply(v, p);
+    const Complex rhat_v = ops.cdot(rhat, v);
+    if (std::abs(rhat_v) == 0.0) break;
+    alpha = rho / rhat_v;
+
+    // s = r - alpha v
+    ops.copy(r, s);
+    ops.caxpy(-alpha, v, s);
+
+    op.apply(t, s);
+    const Complex t_s = ops.cdot(t, s);
+    const double t_t = ops.norm2(t);
+    if (t_t == 0.0) break;
+    omega = t_s / t_t;
+
+    // x += alpha p + omega s;  r = s - omega t
+    ops.caxpy(alpha, p, x);
+    ops.caxpy(omega, s, x);
+    ops.copy(s, r);
+    ops.caxpy(-omega, t, r);
+
+    const double rsq = ops.norm2(r);
+    result.iterations = it + 1;
+    if (params.fixed_iterations == 0 && rsq < target) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  const double final_r = ops.norm2(r);
+  result.relative_residual =
+      b_norm2 > 0 ? std::sqrt(final_r / b_norm2) : std::sqrt(final_r);
+  if (params.fixed_iterations > 0) {
+    result.converged = result.relative_residual <= params.tolerance;
+  }
+
+  result.cycles = bsp.now() - start_cycle;
+  result.flops = ops.flops() - start_flops;
+  result.compute_cycles = bsp.compute_cycles() - start_compute;
+  result.comm_cycles = bsp.comm_cycles() - start_comm;
+  result.global_cycles = bsp.global_cycles() - start_global;
+  QCDOC_INFO << "bicgstab[" << op.name() << "]: " << result.iterations
+             << " iterations, |r|/|b| = " << result.relative_residual;
+  return result;
+}
+
+}  // namespace qcdoc::lattice

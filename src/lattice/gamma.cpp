@@ -1,0 +1,199 @@
+#include "lattice/gamma.h"
+
+#include <cassert>
+
+namespace qcdoc::lattice {
+
+Spinor& Spinor::operator+=(const Spinor& o) {
+  for (int i = 0; i < kSpins; ++i) (*this)[i] += o[i];
+  return *this;
+}
+
+Spinor& Spinor::operator-=(const Spinor& o) {
+  for (int i = 0; i < kSpins; ++i) (*this)[i] -= o[i];
+  return *this;
+}
+
+Spinor& Spinor::operator*=(const Complex& z) {
+  for (int i = 0; i < kSpins; ++i) (*this)[i] *= z;
+  return *this;
+}
+
+Complex dot(const Spinor& a, const Spinor& b) {
+  Complex s = 0;
+  for (int i = 0; i < kSpins; ++i) s += dot(a[i], b[i]);
+  return s;
+}
+
+double norm2(const Spinor& a) { return dot(a, a).real(); }
+
+Spinor operator*(const SpinMatrix& g, const Spinor& psi) {
+  Spinor r;
+  for (int i = 0; i < kSpins; ++i) {
+    for (int j = 0; j < kSpins; ++j) {
+      const Complex& z = g.at(i, j);
+      if (z == Complex(0.0)) continue;
+      for (int c = 0; c < 3; ++c) r[i][c] += z * psi[j][c];
+    }
+  }
+  return r;
+}
+
+SpinMatrix operator*(const SpinMatrix& a, const SpinMatrix& b) {
+  SpinMatrix r;
+  for (int i = 0; i < kSpins; ++i)
+    for (int j = 0; j < kSpins; ++j) {
+      Complex s = 0;
+      for (int k = 0; k < kSpins; ++k) s += a.at(i, k) * b.at(k, j);
+      r.at(i, j) = s;
+    }
+  return r;
+}
+
+SpinMatrix operator+(const SpinMatrix& a, const SpinMatrix& b) {
+  SpinMatrix r;
+  for (std::size_t k = 0; k < 16; ++k) r.m[k] = a.m[k] + b.m[k];
+  return r;
+}
+
+SpinMatrix operator-(const SpinMatrix& a, const SpinMatrix& b) {
+  SpinMatrix r;
+  for (std::size_t k = 0; k < 16; ++k) r.m[k] = a.m[k] - b.m[k];
+  return r;
+}
+
+namespace {
+
+constexpr Complex I{0.0, 1.0};
+
+SpinMatrix make_gamma(int mu) {
+  SpinMatrix g;
+  switch (mu) {
+    case 0:  // gamma_x
+      g.at(0, 3) = I;
+      g.at(1, 2) = I;
+      g.at(2, 1) = -I;
+      g.at(3, 0) = -I;
+      break;
+    case 1:  // gamma_y
+      g.at(0, 3) = -1.0;
+      g.at(1, 2) = 1.0;
+      g.at(2, 1) = 1.0;
+      g.at(3, 0) = -1.0;
+      break;
+    case 2:  // gamma_z
+      g.at(0, 2) = I;
+      g.at(1, 3) = -I;
+      g.at(2, 0) = -I;
+      g.at(3, 1) = I;
+      break;
+    case 3:  // gamma_t
+      g.at(0, 2) = 1.0;
+      g.at(1, 3) = 1.0;
+      g.at(2, 0) = 1.0;
+      g.at(3, 1) = 1.0;
+      break;
+    default:
+      assert(false);
+  }
+  return g;
+}
+
+SpinMatrix make_gamma5() {
+  SpinMatrix g;
+  g.at(0, 0) = 1.0;
+  g.at(1, 1) = 1.0;
+  g.at(2, 2) = -1.0;
+  g.at(3, 3) = -1.0;
+  return g;
+}
+
+}  // namespace
+
+const SpinMatrix& gamma(int mu) {
+  static const SpinMatrix g[4] = {make_gamma(0), make_gamma(1), make_gamma(2),
+                                  make_gamma(3)};
+  assert(mu >= 0 && mu < 4);
+  return g[mu];
+}
+
+const SpinMatrix& gamma5() {
+  static const SpinMatrix g5 = make_gamma5();
+  return g5;
+}
+
+SpinMatrix sigma(int mu, int nu) {
+  const SpinMatrix gm_gn = gamma(mu) * gamma(nu);
+  const SpinMatrix gn_gm = gamma(nu) * gamma(mu);
+  SpinMatrix r;
+  const Complex half_i{0.0, 0.5};
+  for (std::size_t k = 0; k < 16; ++k) r.m[k] = half_i * (gm_gn.m[k] - gn_gm.m[k]);
+  return r;
+}
+
+// Hardcoded projection tables for (1 - sign*gamma_mu), DeGrand-Rossi basis.
+//
+//   h0 = psi_0 + c0 * psi_{j0},   h1 = psi_1 + c1 * psi_{j1}
+//   psi_2 = r2 * h_{k2},          psi_3 = r3 * h_{k3}
+//
+// Derived directly from the matrices above; tests check project/reconstruct
+// against the generic (1 -+ gamma) application.
+namespace {
+
+struct ProjEntry {
+  int j0;
+  Complex c0;
+  int j1;
+  Complex c1;
+  int k2;
+  Complex r2;
+  int k3;
+  Complex r3;
+};
+
+// Index [mu][s] with s = 0 for sign=+1 in (1 - gamma), s = 1 for (1 + gamma).
+const ProjEntry kProj[4][2] = {
+    // mu = 0
+    {{3, -I, 2, -I, 1, I, 0, I},     // 1 - gamma_0
+     {3, I, 2, I, 1, -I, 0, -I}},    // 1 + gamma_0
+    // mu = 1
+    {{3, 1.0, 2, -1.0, 1, -1.0, 0, 1.0},   // 1 - gamma_1
+     {3, -1.0, 2, 1.0, 1, 1.0, 0, -1.0}},  // 1 + gamma_1
+    // mu = 2
+    {{2, -I, 3, I, 0, I, 1, -I},    // 1 - gamma_2
+     {2, I, 3, -I, 0, -I, 1, I}},   // 1 + gamma_2
+    // mu = 3
+    {{2, -1.0, 3, -1.0, 0, -1.0, 1, -1.0},  // 1 - gamma_3
+     {2, 1.0, 3, 1.0, 0, 1.0, 1, 1.0}},     // 1 + gamma_3
+};
+
+const ProjEntry& entry(int mu, int sign) {
+  assert(mu >= 0 && mu < 4 && (sign == 1 || sign == -1));
+  return kProj[mu][sign > 0 ? 0 : 1];
+}
+
+}  // namespace
+
+HalfSpinor project(int mu, int sign, const Spinor& psi) {
+  const ProjEntry& e = entry(mu, sign);
+  HalfSpinor h;
+  for (int c = 0; c < 3; ++c) {
+    h[0][c] = psi[0][c] + e.c0 * psi[e.j0][c];
+    h[1][c] = psi[1][c] + e.c1 * psi[e.j1][c];
+  }
+  return h;
+}
+
+Spinor reconstruct(int mu, int sign, const HalfSpinor& h) {
+  const ProjEntry& e = entry(mu, sign);
+  Spinor psi;
+  for (int c = 0; c < 3; ++c) {
+    psi[0][c] = h[0][c];
+    psi[1][c] = h[1][c];
+    psi[2][c] = e.r2 * h[e.k2][c];
+    psi[3][c] = e.r3 * h[e.k3][c];
+  }
+  return psi;
+}
+
+}  // namespace qcdoc::lattice

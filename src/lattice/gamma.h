@@ -1,0 +1,81 @@
+// Dirac gamma-matrix algebra in the DeGrand-Rossi basis, plus the hardcoded
+// spin projection/reconstruction tables the half-spinor ("two-spinor")
+// communication trick uses.
+//
+// The Wilson hopping term applies (1 -+ gamma_mu), whose image is a rank-2
+// ("half") spinor: QCDOC's hand-tuned kernels communicate 12 instead of 24
+// doubles per face site and reconstruct the full spinor after the SU(3)
+// multiply.  The generic 4x4 matrices here serve as the reference
+// implementation that the optimized tables are tested against.
+#pragma once
+
+#include <array>
+
+#include "lattice/su3.h"
+
+namespace qcdoc::lattice {
+
+inline constexpr int kSpins = 4;
+
+/// A spin-4 vector of color vectors: one lattice fermion degree of freedom.
+struct Spinor {
+  std::array<ColorVector, kSpins> s{};
+
+  ColorVector& operator[](int i) { return s[static_cast<std::size_t>(i)]; }
+  const ColorVector& operator[](int i) const {
+    return s[static_cast<std::size_t>(i)];
+  }
+
+  Spinor& operator+=(const Spinor& o);
+  Spinor& operator-=(const Spinor& o);
+  Spinor& operator*=(const Complex& z);
+  friend Spinor operator+(Spinor a, const Spinor& b) { return a += b; }
+  friend Spinor operator-(Spinor a, const Spinor& b) { return a -= b; }
+  friend Spinor operator*(const Complex& z, Spinor a) { return a *= z; }
+};
+
+Complex dot(const Spinor& a, const Spinor& b);
+double norm2(const Spinor& a);
+
+/// A 4x4 spin matrix (entries multiply color vectors as scalars).
+struct SpinMatrix {
+  std::array<Complex, 16> m{};
+  Complex& at(int r, int c) { return m[static_cast<std::size_t>(4 * r + c)]; }
+  const Complex& at(int r, int c) const {
+    return m[static_cast<std::size_t>(4 * r + c)];
+  }
+};
+
+Spinor operator*(const SpinMatrix& g, const Spinor& psi);
+SpinMatrix operator*(const SpinMatrix& a, const SpinMatrix& b);
+SpinMatrix operator+(const SpinMatrix& a, const SpinMatrix& b);
+SpinMatrix operator-(const SpinMatrix& a, const SpinMatrix& b);
+
+/// gamma_mu, mu = 0..3 (x,y,z,t) in the DeGrand-Rossi basis.
+const SpinMatrix& gamma(int mu);
+/// gamma_5 = gamma_0 gamma_1 gamma_2 gamma_3 (diagonal +1,+1,-1,-1).
+const SpinMatrix& gamma5();
+/// sigma_munu = (i/2) [gamma_mu, gamma_nu].
+SpinMatrix sigma(int mu, int nu);
+
+/// A projected 2-spinor: the independent half of (1 -+ gamma_mu) psi.
+struct HalfSpinor {
+  std::array<ColorVector, 2> h{};
+  ColorVector& operator[](int i) { return h[static_cast<std::size_t>(i)]; }
+  const ColorVector& operator[](int i) const {
+    return h[static_cast<std::size_t>(i)];
+  }
+};
+
+/// h = independent components of (1 - sign*gamma_mu) psi, sign = +-1.
+HalfSpinor project(int mu, int sign, const Spinor& psi);
+/// Inverse of project up to the dependent components: rebuild the full
+/// (1 - sign*gamma_mu)-projected spinor from h (after the SU(3) multiply).
+Spinor reconstruct(int mu, int sign, const HalfSpinor& h);
+
+inline constexpr int kDoublesPerSpinor = 24;      // 4 spins x 3 colors x 2
+inline constexpr int kDoublesPerHalfSpinor = 12;  // 2 spins x 3 colors x 2
+inline constexpr int kDoublesPerColorVector = 6;
+inline constexpr int kDoublesPerSu3 = 18;
+
+}  // namespace qcdoc::lattice

@@ -1,0 +1,231 @@
+#include "lattice/gauge.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "lattice/su2_internal.h"
+
+namespace qcdoc::lattice {
+
+GaugeField::GaugeField(comms::Communicator* comm, const GlobalGeometry* geom)
+    : comm_(comm),
+      geom_(geom),
+      field_(comm, geom, kNd * kDoublesPerSu3, "gauge") {}
+
+Su3Matrix GaugeField::link(int rank, int site_idx, int mu) const {
+  return load_su3(field_.site(rank, site_idx) + mu * kDoublesPerSu3);
+}
+
+void GaugeField::set_link(int rank, int site_idx, int mu, const Su3Matrix& u) {
+  store_su3(field_.site(rank, site_idx) + mu * kDoublesPerSu3, u);
+}
+
+Su3Matrix GaugeField::link_at(const Coord4& global, int mu) const {
+  const auto [rank, idx] = geom_->owner(global);
+  return link(rank, idx, mu);
+}
+
+void GaugeField::set_link_at(const Coord4& global, int mu,
+                             const Su3Matrix& u) {
+  const auto [rank, idx] = geom_->owner(global);
+  set_link(rank, idx, mu, u);
+}
+
+void GaugeField::set_unit() {
+  const Su3Matrix one = Su3Matrix::identity();
+  for (int r = 0; r < field_.ranks(); ++r) {
+    for (int s = 0; s < geom_->local().volume(); ++s) {
+      for (int mu = 0; mu < kNd; ++mu) set_link(r, s, mu, one);
+    }
+  }
+}
+
+void GaugeField::randomize(Rng& rng) {
+  // Iterate global coordinates (not rank-major) so the configuration drawn
+  // from a given generator state is independent of how the lattice is
+  // distributed over nodes -- the same property the heatbath has.
+  const auto& ge = geom_->global_extent();
+  Coord4 x;
+  for (x[3] = 0; x[3] < ge[3]; ++x[3]) {
+    for (x[2] = 0; x[2] < ge[2]; ++x[2]) {
+      for (x[1] = 0; x[1] < ge[1]; ++x[1]) {
+        for (x[0] = 0; x[0] < ge[0]; ++x[0]) {
+          for (int mu = 0; mu < kNd; ++mu) {
+            set_link_at(x, mu, random_su3(rng));
+          }
+        }
+      }
+    }
+  }
+}
+
+void GaugeField::randomize_near_unit(Rng& rng, double epsilon) {
+  const auto& ge = geom_->global_extent();
+  Coord4 x;
+  for (x[3] = 0; x[3] < ge[3]; ++x[3]) {
+    for (x[2] = 0; x[2] < ge[2]; ++x[2]) {
+      for (x[1] = 0; x[1] < ge[1]; ++x[1]) {
+        for (x[0] = 0; x[0] < ge[0]; ++x[0]) {
+          for (int mu = 0; mu < kNd; ++mu) {
+            set_link_at(x, mu, random_su3_near_identity(rng, epsilon));
+          }
+        }
+      }
+    }
+  }
+}
+
+double GaugeField::average_plaquette() const {
+  double sum = 0;
+  long count = 0;
+  for (int r = 0; r < field_.ranks(); ++r) {
+    for (int s = 0; s < geom_->local().volume(); ++s) {
+      const Coord4 x = geom_->global_coords(r, s);
+      for (int mu = 0; mu < kNd; ++mu) {
+        for (int nu = mu + 1; nu < kNd; ++nu) {
+          Coord4 xmu = x;
+          xmu[static_cast<std::size_t>(mu)] += 1;
+          Coord4 xnu = x;
+          xnu[static_cast<std::size_t>(nu)] += 1;
+          const Su3Matrix p = link_at(x, mu) * link_at(xmu, nu) *
+                              link_at(xnu, mu).adjoint() *
+                              link_at(x, nu).adjoint();
+          sum += p.trace().real() / 3.0;
+          ++count;
+        }
+      }
+    }
+  }
+  return sum / static_cast<double>(count);
+}
+
+Su3Matrix GaugeField::staple(const Coord4& x, int mu) const {
+  Su3Matrix s = Su3Matrix::zero();
+  Coord4 xmu = x;
+  xmu[static_cast<std::size_t>(mu)] += 1;
+  for (int nu = 0; nu < kNd; ++nu) {
+    if (nu == mu) continue;
+    const auto n = static_cast<std::size_t>(nu);
+    // Upper staple: U_nu(x+mu) U_mu(x+nu)^+ U_nu(x)^+
+    Coord4 xnu = x;
+    xnu[n] += 1;
+    s += link_at(xmu, nu) * link_at(xnu, mu).adjoint() *
+         link_at(x, nu).adjoint();
+    // Lower staple: U_nu(x+mu-nu)^+ U_mu(x-nu)^+ U_nu(x-nu)
+    Coord4 xmnu = x;
+    xmnu[n] -= 1;
+    Coord4 xmu_mnu = xmu;
+    xmu_mnu[n] -= 1;
+    s += link_at(xmu_mnu, nu).adjoint() * link_at(xmnu, mu).adjoint() *
+         link_at(xmnu, nu);
+  }
+  return s;
+}
+
+namespace {
+
+using su2::Quat;
+
+/// Sample a0 from the semicircle law P(a0) ~ sqrt(1-a0^2): the Haar measure
+/// marginal, which is also the b0 -> 0 limit of the heatbath distribution.
+double semicircle_a0(Rng& rng) {
+  for (;;) {
+    const double a0 = 2.0 * rng.next_double() - 1.0;
+    if (rng.next_double() <= std::sqrt(std::max(0.0, 1.0 - a0 * a0))) {
+      return a0;
+    }
+  }
+}
+
+/// Kennedy-Pendleton: sample a0 with P(a0) ~ sqrt(1-a0^2) exp(b0 * a0).
+double kp_sample_a0(double b0, Rng& rng) {
+  if (b0 < 1e-3) return semicircle_a0(rng);  // heatbath -> Haar limit
+  for (;;) {
+    double r1 = rng.next_double();
+    double r2 = rng.next_double();
+    double r3 = rng.next_double();
+    if (r1 <= 1e-300) r1 = 1e-300;
+    if (r3 <= 1e-300) r3 = 1e-300;
+    const double c = std::cos(2.0 * M_PI * r2);
+    const double lambda2 =
+        -(std::log(r1) + c * c * std::log(r3)) / (2.0 * b0);
+    if (lambda2 > 1.0) continue;
+    const double r4 = rng.next_double();
+    if (r4 * r4 <= 1.0 - lambda2) return 1.0 - 2.0 * lambda2;
+  }
+}
+
+/// Random point on the 2-sphere scaled to radius `r`.
+void random_direction(double r, Rng& rng, double* v1, double* v2, double* v3) {
+  const double cos_theta = 2.0 * rng.next_double() - 1.0;
+  const double sin_theta = std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+  const double phi = 2.0 * M_PI * rng.next_double();
+  *v1 = r * sin_theta * std::cos(phi);
+  *v2 = r * sin_theta * std::sin(phi);
+  *v3 = r * cos_theta;
+}
+
+Quat random_su2(Rng& rng) {
+  // Haar measure on SU(2): semicircle-distributed a0, uniform direction.
+  Quat q;
+  q.a0 = semicircle_a0(rng);
+  random_direction(std::sqrt(std::max(0.0, 1.0 - q.a0 * q.a0)), rng, &q.a1,
+                   &q.a2, &q.a3);
+  return q;
+}
+
+}  // namespace
+
+void GaugeField::heatbath_sweep(double beta, Rng& rng) {
+  static constexpr int kSubgroups[3][2] = {{0, 1}, {0, 2}, {1, 2}};
+  const auto& ge = geom_->global_extent();
+  Coord4 x;
+  for (x[3] = 0; x[3] < ge[3]; ++x[3]) {
+    for (x[2] = 0; x[2] < ge[2]; ++x[2]) {
+      for (x[1] = 0; x[1] < ge[1]; ++x[1]) {
+        for (x[0] = 0; x[0] < ge[0]; ++x[0]) {
+          for (int mu = 0; mu < kNd; ++mu) {
+            Su3Matrix u = link_at(x, mu);
+            const Su3Matrix s = staple(x, mu);
+            for (const auto& sub : kSubgroups) {
+              const int i = sub[0];
+              const int j = sub[1];
+              const Su3Matrix w = u * s;
+              const Quat v = su2::extract(w, i, j);
+              const double k = v.norm();
+              Quat a;  // the SU(2) update in this subgroup
+              // Weight exp((beta/3) Re Tr(a w)) with Re Tr(a w) = 2 k h0.
+              const double b0 = 2.0 * beta / 3.0 * k;
+              if (k < 1e-12 || b0 < 1e-10) {
+                a = random_su2(rng);
+              } else {
+                Quat vn{v.a0 / k, v.a1 / k, v.a2 / k, v.a3 / k};
+                Quat h;  // sampled ~ exp(b0 * Re tr(h))
+                h.a0 = kp_sample_a0(b0, rng);
+                random_direction(std::sqrt(std::max(0.0, 1.0 - h.a0 * h.a0)),
+                                 rng, &h.a1, &h.a2, &h.a3);
+                a = su2::mul(h, su2::conj(vn));
+              }
+              u = su2::embed(a, i, j) * u;
+            }
+            set_link_at(x, mu, reunitarize(u));
+          }
+        }
+      }
+    }
+  }
+}
+
+double GaugeField::max_unitarity_violation() const {
+  double worst = 0;
+  for (int r = 0; r < field_.ranks(); ++r) {
+    for (int s = 0; s < geom_->local().volume(); ++s) {
+      for (int mu = 0; mu < kNd; ++mu) {
+        worst = std::max(worst, unitarity_violation(link(r, s, mu)));
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace qcdoc::lattice

@@ -1,0 +1,59 @@
+// The SU(3) gauge field and quenched configuration machinery.
+//
+// Links U_mu(x) are stored per node (4 links x 18 doubles per site) in the
+// node's simulated memory.  Configuration generation and measurement --
+// random/hot starts, the Cabibbo-Marinari heatbath the paper's "evolution
+// through the phase space of the Feynman path integral" refers to, and the
+// plaquette -- are host-orchestrated setup/measurement steps and use global
+// access across ranks; the *timed* kernels (Dirac operators, CG) touch only
+// local data plus halos.
+#pragma once
+
+#include "lattice/field.h"
+
+namespace qcdoc::lattice {
+
+class GaugeField {
+ public:
+  GaugeField(comms::Communicator* comm, const GlobalGeometry* geom);
+
+  const GlobalGeometry& geometry() const { return *geom_; }
+  DistField& field() { return field_; }
+  const DistField& field() const { return field_; }
+
+  Su3Matrix link(int rank, int site_idx, int mu) const;
+  void set_link(int rank, int site_idx, int mu, const Su3Matrix& u);
+  /// Link at a global coordinate (periodic); global-access helper.
+  Su3Matrix link_at(const Coord4& global, int mu) const;
+  void set_link_at(const Coord4& global, int mu, const Su3Matrix& u);
+
+  /// Free field: every link the identity (plaquette exactly 1).
+  void set_unit();
+  /// Hot start: independent Haar-random links.
+  void randomize(Rng& rng);
+  /// Weak field: links within `epsilon` of the identity.
+  void randomize_near_unit(Rng& rng, double epsilon);
+
+  /// Average plaquette: Re Tr P / 3, averaged over all sites and the six
+  /// planes.  1 for a free field, ~0 for a disordered one.
+  double average_plaquette() const;
+
+  /// Sum of the six staples around U_mu(x) (the heatbath's environment).
+  Su3Matrix staple(const Coord4& global, int mu) const;
+
+  /// One Cabibbo-Marinari pseudo-heatbath sweep over all links at coupling
+  /// beta, using Kennedy-Pendleton SU(2) subgroup sampling.  Deterministic
+  /// given the generator state: re-running an evolution reproduces the
+  /// configuration bit for bit (the paper's Section 4 verification).
+  void heatbath_sweep(double beta, Rng& rng);
+
+  /// Largest unitarity violation over all links (consistency check).
+  double max_unitarity_violation() const;
+
+ private:
+  comms::Communicator* comm_;
+  const GlobalGeometry* geom_;
+  DistField field_;
+};
+
+}  // namespace qcdoc::lattice

@@ -1,0 +1,72 @@
+// Distributed linear algebra over DistFields.
+//
+// The Krylov solvers are dominated by the Dirac operator, but their axpy /
+// norm / inner-product "glue" is bandwidth-bound on the EDRAM and their
+// inner products need machine-wide sums -- both of which the paper's
+// architecture specifically provides for (prefetching EDRAM controller,
+// SCU global mode).  Every operation here executes functionally on the
+// simulated node memories AND advances the machine clock via the CPU timing
+// model / global-operation model.
+#pragma once
+
+#include "comms/comms.h"
+#include "cpu/timing.h"
+#include "lattice/field.h"
+#include "machine/bsp.h"
+
+namespace qcdoc::lattice {
+
+class FieldOps {
+ public:
+  FieldOps(machine::BspRunner* bsp, const cpu::CpuModel* cpu,
+           comms::Communicator* comm)
+      : bsp_(bsp), cpu_(cpu), comm_(comm) {}
+
+  /// y += a x
+  void axpy(double a, const DistField& x, DistField& y);
+  /// y = x + a y
+  void xpay(const DistField& x, double a, DistField& y);
+  /// y = a x
+  void scale_copy(double a, const DistField& x, DistField& y);
+  void copy(const DistField& x, DistField& y);
+  void zero(DistField& y);
+
+  /// ||x||^2 over the whole machine (local reduction + SCU global sum).
+  double norm2(const DistField& x);
+  /// Re <x, y> over the whole machine.
+  double dot_re(const DistField& x, const DistField& y);
+
+  // Complex-scalar operations (fields are arrays of re/im pairs).  These
+  // serve the non-Hermitian Krylov solvers (BiCGStab), which need complex
+  // inner products -- two words through the SCU global-sum rings, pipelined.
+  /// <x, y> = sum conj(x) y.
+  Complex cdot(const DistField& x, const DistField& y);
+  /// y += a x with complex a.
+  void caxpy(const Complex& a, const DistField& x, DistField& y);
+  /// y = x + a y with complex a.
+  void cxpay(const DistField& x, const Complex& a, DistField& y);
+
+  /// Total flops this FieldOps has accounted (for efficiency reports).
+  double flops() const { return flops_; }
+  void add_external_flops(double f) { flops_ += f; }
+  void reset_flops() { flops_ = 0; }
+
+  machine::BspRunner& bsp() { return *bsp_; }
+  const cpu::CpuModel& cpu() const { return *cpu_; }
+  comms::Communicator& comm() { return *comm_; }
+
+ private:
+  /// Profile of a streaming vector op over `n_fields_read` + one written
+  /// field of `doubles_per_node` doubles with `flops_per_double` flops.
+  cpu::KernelProfile stream_profile(const DistField& ref, int n_read,
+                                    bool writes, double fmadd_per_double,
+                                    double other_per_double) const;
+  double global_sum(double local_partial_flops_hint, std::vector<double> partials);
+
+  machine::BspRunner* bsp_;
+  const cpu::CpuModel* cpu_;
+  comms::Communicator* comm_;
+  double flops_ = 0;
+};
+
+}  // namespace qcdoc::lattice

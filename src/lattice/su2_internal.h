@@ -1,0 +1,61 @@
+// SU(2)-subgroup machinery shared by the heatbath and overrelaxation
+// updates (internal header).
+//
+// A 2x2 complex block w is represented as a quaternion w = a0 + i a.sigma;
+// the Cabibbo-Marinari updates extract the quaternion of (U*staple) in each
+// of the three SU(2) subgroups, act on it, and embed the result back into
+// SU(3).
+#pragma once
+
+#include <cmath>
+
+#include "lattice/su3.h"
+
+namespace qcdoc::lattice::su2 {
+
+inline constexpr int kSubgroups[3][2] = {{0, 1}, {0, 2}, {1, 2}};
+
+struct Quat {
+  double a0, a1, a2, a3;
+  double norm() const {
+    return std::sqrt(a0 * a0 + a1 * a1 + a2 * a2 + a3 * a3);
+  }
+};
+
+inline Quat extract(const Su3Matrix& w, int i, int j) {
+  return Quat{
+      0.5 * (w.at(i, i).real() + w.at(j, j).real()),
+      0.5 * (w.at(i, j).imag() + w.at(j, i).imag()),
+      0.5 * (w.at(i, j).real() - w.at(j, i).real()),
+      0.5 * (w.at(i, i).imag() - w.at(j, j).imag()),
+  };
+}
+
+/// Embed the SU(2) element (a0 + i a.sigma) into rows/cols (i, j) of an
+/// identity 3x3 matrix.
+inline Su3Matrix embed(const Quat& q, int i, int j) {
+  Su3Matrix m = Su3Matrix::identity();
+  m.at(i, i) = Complex(q.a0, q.a3);
+  m.at(i, j) = Complex(q.a2, q.a1);
+  m.at(j, i) = Complex(-q.a2, q.a1);
+  m.at(j, j) = Complex(q.a0, -q.a3);
+  return m;
+}
+
+inline Quat mul(const Quat& q, const Quat& p) {
+  return Quat{
+      q.a0 * p.a0 - q.a1 * p.a1 - q.a2 * p.a2 - q.a3 * p.a3,
+      q.a0 * p.a1 + q.a1 * p.a0 - q.a2 * p.a3 + q.a3 * p.a2,
+      q.a0 * p.a2 + q.a2 * p.a0 - q.a3 * p.a1 + q.a1 * p.a3,
+      q.a0 * p.a3 + q.a3 * p.a0 - q.a1 * p.a2 + q.a2 * p.a1,
+  };
+}
+
+inline Quat conj(const Quat& q) { return Quat{q.a0, -q.a1, -q.a2, -q.a3}; }
+
+inline Quat normalized(const Quat& q) {
+  const double k = q.norm();
+  return Quat{q.a0 / k, q.a1 / k, q.a2 / k, q.a3 / k};
+}
+
+}  // namespace qcdoc::lattice::su2

@@ -1,0 +1,80 @@
+// SU(3) color algebra: complex 3-vectors, 3x3 matrices, random group
+// elements and reunitarization.
+//
+// These are the scalar building blocks of every lattice kernel.  Functional
+// code uses them directly (reference-style clarity); the cycle costs of the
+// hand-tuned assembly the paper benchmarks are accounted separately through
+// cpu::KernelProfile.
+#pragma once
+
+#include <array>
+#include <complex>
+
+#include "common/rng.h"
+
+namespace qcdoc::lattice {
+
+using Complex = std::complex<double>;
+
+/// A color 3-vector.
+struct ColorVector {
+  std::array<Complex, 3> c{};
+
+  Complex& operator[](int i) { return c[static_cast<std::size_t>(i)]; }
+  const Complex& operator[](int i) const { return c[static_cast<std::size_t>(i)]; }
+
+  ColorVector& operator+=(const ColorVector& o);
+  ColorVector& operator-=(const ColorVector& o);
+  ColorVector& operator*=(const Complex& z);
+  friend ColorVector operator+(ColorVector a, const ColorVector& b) { return a += b; }
+  friend ColorVector operator-(ColorVector a, const ColorVector& b) { return a -= b; }
+  friend ColorVector operator*(const Complex& z, ColorVector v) { return v *= z; }
+};
+
+Complex dot(const ColorVector& a, const ColorVector& b);  ///< conj(a) . b
+double norm2(const ColorVector& v);
+
+/// A 3x3 complex matrix (not necessarily in the group).
+struct Su3Matrix {
+  // Row-major storage m[row][col].
+  std::array<Complex, 9> m{};
+
+  Complex& at(int r, int c) { return m[static_cast<std::size_t>(3 * r + c)]; }
+  const Complex& at(int r, int c) const {
+    return m[static_cast<std::size_t>(3 * r + c)];
+  }
+
+  static Su3Matrix identity();
+  static Su3Matrix zero();
+
+  Su3Matrix adjoint() const;  ///< Hermitian conjugate
+  Complex trace() const;
+  Complex det() const;
+
+  Su3Matrix& operator+=(const Su3Matrix& o);
+  Su3Matrix& operator-=(const Su3Matrix& o);
+  Su3Matrix& operator*=(const Complex& z);
+  friend Su3Matrix operator+(Su3Matrix a, const Su3Matrix& b) { return a += b; }
+  friend Su3Matrix operator-(Su3Matrix a, const Su3Matrix& b) { return a -= b; }
+  friend Su3Matrix operator*(const Complex& z, Su3Matrix a) { return a *= z; }
+};
+
+Su3Matrix operator*(const Su3Matrix& a, const Su3Matrix& b);
+ColorVector operator*(const Su3Matrix& a, const ColorVector& v);
+/// a^dagger * v without forming the adjoint.
+ColorVector adj_mul(const Su3Matrix& a, const ColorVector& v);
+
+/// Frobenius distance from the group: ||U U^dagger - 1|| + |det U - 1|.
+double unitarity_violation(const Su3Matrix& u);
+
+/// Gram-Schmidt reunitarization with determinant fixed to 1.
+Su3Matrix reunitarize(const Su3Matrix& u);
+
+/// Haar-like random group element: Gaussian entries, then reunitarized.
+Su3Matrix random_su3(Rng& rng);
+
+/// Random element near the identity: exp of a small random antihermitian
+/// traceless matrix (used by the heatbath-adjacent update and smearing).
+Su3Matrix random_su3_near_identity(Rng& rng, double epsilon);
+
+}  // namespace qcdoc::lattice

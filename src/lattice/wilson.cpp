@@ -1,0 +1,268 @@
+#include "lattice/wilson.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace qcdoc::lattice {
+namespace {
+
+/// Halo words per face site: half spinors travel as 12 doubles, or 12
+/// floats packed two per 64-bit word in single precision.
+int halo_words(bool single) { return single ? 6 : 12; }
+
+void pack_half(double* dst, const HalfSpinor& h, bool single) {
+  if (!single) {
+    store_half_spinor(dst, h);
+    return;
+  }
+  float tmp[12];
+  for (int sp = 0; sp < 2; ++sp) {
+    for (int c = 0; c < 3; ++c) {
+      tmp[2 * (3 * sp + c)] = static_cast<float>(h[sp][c].real());
+      tmp[2 * (3 * sp + c) + 1] = static_cast<float>(h[sp][c].imag());
+    }
+  }
+  std::memcpy(dst, tmp, sizeof(tmp));
+}
+
+HalfSpinor unpack_half(const double* src, bool single) {
+  if (!single) return load_half_spinor(src);
+  float tmp[12];
+  std::memcpy(tmp, src, sizeof(tmp));
+  HalfSpinor h;
+  for (int sp = 0; sp < 2; ++sp) {
+    for (int c = 0; c < 3; ++c) {
+      h[sp][c] = Complex(tmp[2 * (3 * sp + c)], tmp[2 * (3 * sp + c) + 1]);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+WilsonDirac::WilsonDirac(FieldOps* ops, const GlobalGeometry* geom,
+                         GaugeField* gauge, WilsonParams params)
+    : DiracOperator(ops, geom),
+      gauge_(gauge),
+      params_(params),
+      halos_(&ops->comm(), geom, halo_doubles(), 1, 1, "wilson.halo") {}
+
+void WilsonDirac::pack_faces(const DistField& in) {
+  const auto& local = geom_->local();
+  const bool sp = params_.single_precision;
+  const int hw = halo_words(sp);
+  for (int r = 0; r < in.ranks(); ++r) {
+    for (int mu = 0; mu < kNd; ++mu) {
+      // Low face -> the -mu neighbour's +mu halo: plain projection; the
+      // receiver applies its own U_mu(x).
+      const auto low = local.face_layer_sites(mu, +1, 0);
+      auto send_low = halos_.send_buf(r, mu, +1);
+      for (std::size_t t = 0; t < low.size(); ++t) {
+        const Spinor psi = load_spinor(in.site(r, low[t]));
+        pack_half(send_low.data() + t * static_cast<std::size_t>(hw),
+                  project(mu, +1, psi), sp);
+      }
+      // High face -> the +mu neighbour's -mu halo: U^+ applied at the
+      // sender, so the receiver needs no gauge halo.
+      const auto high = local.face_layer_sites(mu, -1, 0);
+      auto send_high = halos_.send_buf(r, mu, -1);
+      for (std::size_t t = 0; t < high.size(); ++t) {
+        const Spinor psi = load_spinor(in.site(r, high[t]));
+        HalfSpinor h = project(mu, -1, psi);
+        const Su3Matrix u = gauge_->link(r, high[t], mu);
+        h[0] = adj_mul(u, h[0]);
+        h[1] = adj_mul(u, h[1]);
+        pack_half(send_high.data() + t * static_cast<std::size_t>(hw), h, sp);
+      }
+    }
+  }
+}
+
+void WilsonDirac::compute_sites(DistField& out, const DistField& in,
+                                int parity) {
+  const auto& local = geom_->local();
+  const bool sp = params_.single_precision;
+  const int hw = halo_words(sp);
+  for (int r = 0; r < in.ranks(); ++r) {
+    for (int s = 0; s < local.volume(); ++s) {
+      if (parity >= 0 && geom_->parity(r, s) != parity) continue;
+      Spinor acc;
+      for (int mu = 0; mu < kNd; ++mu) {
+        // Forward hop: U_mu(x) (1 - gamma_mu) psi(x+mu).
+        const auto fwd = local.neighbor(s, mu, +1);
+        HalfSpinor h;
+        if (fwd.local) {
+          h = project(mu, +1, load_spinor(in.site(r, fwd.index)));
+        } else {
+          h = unpack_half(halos_.recv_buf(r, mu, +1).data() +
+                              static_cast<std::size_t>(fwd.index) *
+                                  static_cast<std::size_t>(hw),
+                          sp);
+        }
+        const Su3Matrix u = gauge_->link(r, s, mu);
+        HalfSpinor uh;
+        uh[0] = u * h[0];
+        uh[1] = u * h[1];
+        acc += reconstruct(mu, +1, uh);
+
+        // Backward hop: U_mu^+(x-mu) (1 + gamma_mu) psi(x-mu).
+        const auto bwd = local.neighbor(s, mu, -1);
+        HalfSpinor g;
+        if (bwd.local) {
+          g = project(mu, -1, load_spinor(in.site(r, bwd.index)));
+          const Su3Matrix ub = gauge_->link(r, bwd.index, mu);
+          g[0] = adj_mul(ub, g[0]);
+          g[1] = adj_mul(ub, g[1]);
+        } else {
+          // Pre-multiplied by U^+ at the sender.
+          g = unpack_half(halos_.recv_buf(r, mu, -1).data() +
+                              static_cast<std::size_t>(bwd.index) *
+                                  static_cast<std::size_t>(hw),
+                          sp);
+        }
+        acc += reconstruct(mu, -1, g);
+      }
+      store_spinor(out.site(r, s), acc);
+    }
+  }
+}
+
+cpu::KernelProfile WilsonDirac::pack_profile() const {
+  const auto& local = geom_->local();
+  const double bf = params_.single_precision ? 0.5 : 1.0;
+  cpu::KernelProfile p;
+  p.name = "wilson.pack";
+  for (int mu = 0; mu < kNd; ++mu) {
+    const double f = local.face_volume(mu);
+    // Low face: projection (12 adds); high face: projection + 2 U^+ matvecs.
+    p.other_flops += f * (12 + 12);
+    p.fmadd_flops += f * 120;
+    p.other_flops += f * 12;
+    p.load_bytes += f * (2 * 192 + 144) * bf;
+    p.store_bytes += f * 2 * 96 * bf;
+  }
+  p.edram_bytes = p.load_bytes + p.store_bytes;  // faces stream from EDRAM
+  p.streams = 2;
+  p.overhead_cycles = 200;
+  return p;
+}
+
+cpu::KernelProfile WilsonDirac::site_profile(
+    memsys::Region fermion_region) const {
+  const auto& local = geom_->local();
+  const double v = local.volume();
+  const double bf = params_.single_precision ? 0.5 : 1.0;
+  cpu::KernelProfile p;
+  p.name = "wilson.site";
+  // Per site: 16 SU(3) half-spinor matvecs (960 fmadd-flops), projections
+  // and accumulations (360 isolated flops) -- the canonical 1320 flops.
+  p.fmadd_flops = v * 960;
+  p.other_flops = v * 360;
+  double gauge_loads = 0;
+  double spinor_bytes = 0;
+  for (int mu = 0; mu < kNd; ++mu) {
+    const double f = local.face_volume(mu);
+    // Forward: U at x (always local) + neighbour spinor (full if local,
+    // half from the halo).  Backward: U and spinor at x-mu when local, a
+    // pre-multiplied half spinor otherwise.
+    gauge_loads += v * 144 + (v - f) * 144;
+    spinor_bytes += (v - f) * 192 + f * 96;  // forward
+    spinor_bytes += (v - f) * 192 + f * 96;  // backward
+  }
+  spinor_bytes += v * 192;  // result store
+  p.load_bytes = (gauge_loads + spinor_bytes - v * 192) * bf;
+  p.store_bytes = v * 192 * bf;
+  // Traffic splits by where the fields actually live: spinor scratch
+  // vectors are the first to spill out of EDRAM.
+  const bool gauge_ddr =
+      gauge_->field().body_region() == memsys::Region::kDdr;
+  if (gauge_ddr) {
+    p.ddr_bytes += gauge_loads * bf;
+  } else {
+    p.edram_bytes += gauge_loads * bf;
+  }
+  if (fermion_region == memsys::Region::kDdr) {
+    p.ddr_bytes += spinor_bytes * bf;
+  } else {
+    p.edram_bytes += spinor_bytes * bf;
+  }
+  p.streams = 4;
+  p.overhead_cycles = v * 12;  // loop control and address generation
+  return p;
+}
+
+void WilsonDirac::exchange_and_compute(DistField& out, DistField& in,
+                                       int parity) {
+  auto& bsp = ops_->bsp();
+  const auto& cpu = ops_->cpu();
+
+  pack_faces(in);  // functional
+  const auto pack = pack_profile();
+  bsp.compute(cpu.kernel_cycles(pack));
+
+  auto site = site_profile(in.body_region());
+  if (parity >= 0) site = site.scaled(0.5);
+  const double site_cycles = cpu.kernel_cycles(site);
+  if (params_.overlap_comm && parity < 0) {
+    // Interior sites do not touch halos: their compute hides the exchange.
+    const auto& ext = geom_->local().extent();
+    double interior = 1;
+    for (int mu = 0; mu < kNd; ++mu) {
+      const int e = ext[static_cast<std::size_t>(mu)];
+      interior *= std::max(e - 2, 0);
+    }
+    const double frac = interior / geom_->local().volume();
+    bsp.overlap(site_cycles * frac, [&] { halos_.post_all_shifts(); });
+    compute_sites(out, in, parity);
+    bsp.compute(site_cycles * (1.0 - frac));
+  } else {
+    halos_.post_all_shifts();
+    bsp.communicate();
+    compute_sites(out, in, parity);
+    bsp.compute(site_cycles);
+  }
+  ops_->add_external_flops((pack.flops() + site.flops()) * geom_->ranks());
+}
+
+void WilsonDirac::dslash(DistField& out, DistField& in) {
+  exchange_and_compute(out, in, -1);
+}
+
+void WilsonDirac::dslash_parity(DistField& out, DistField& in, int parity) {
+  exchange_and_compute(out, in, parity);
+}
+
+void WilsonDirac::apply(DistField& out, DistField& in) {
+  dslash(out, in);
+  // out = in - kappa * out
+  ops_->xpay(in, -params_.kappa, out);
+}
+
+void WilsonDirac::apply_gamma5(DistField& f) {
+  // gamma_5 = diag(+,+,-,-): negate spin components 2 and 3.
+  const int n = f.geometry().local().volume();
+  for (int r = 0; r < f.ranks(); ++r) {
+    for (int s = 0; s < n; ++s) {
+      double* p = f.site(r, s);
+      for (int k = 12; k < 24; ++k) p[k] = -p[k];
+    }
+  }
+}
+
+void WilsonDirac::apply_dag(DistField& out, DistField& in) {
+  // M^dagger = gamma_5 M gamma_5 (and gamma_5 costs only sign flips, which
+  // the assembly folds into the kernels -- no extra machine time).
+  apply_gamma5(in);
+  apply(out, in);
+  apply_gamma5(in);  // restore the caller's field
+  apply_gamma5(out);
+}
+
+double WilsonDirac::flops_per_apply() const {
+  const double xpay =
+      2.0 * geom_->local().volume() * kDoublesPerSpinor;
+  return pack_profile().flops() + site_profile().flops() + xpay;
+}
+
+}  // namespace qcdoc::lattice

@@ -1,0 +1,26 @@
+#include "machine/cost.h"
+
+namespace qcdoc::machine {
+
+double CostModel::parts_cost(const PackagingPlan& plan) const {
+  double discount = 1.0;
+  if (plan.nodes >= 12288) discount = 1.0 - volume_discount_at_12288;
+  return discount * (plan.daughterboards * daughterboard_usd +
+                     plan.motherboards * motherboard_usd +
+                     plan.racks * rack_usd + plan.cables * cable_usd) +
+         host_system_usd + final_accounting_usd;
+}
+
+double CostModel::total_cost(const PackagingPlan& plan) const {
+  return parts_cost(plan) + plan.nodes * rnd_usd_per_node;
+}
+
+double CostModel::usd_per_sustained_mflops(const PackagingPlan& plan,
+                                           double clock_hz,
+                                           double efficiency) const {
+  const double sustained_mflops =
+      plan.nodes * (clock_hz * 2.0) * efficiency / 1e6;
+  return total_cost(plan) / sustained_mflops;
+}
+
+}  // namespace qcdoc::machine

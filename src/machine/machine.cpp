@@ -1,0 +1,37 @@
+#include "machine/machine.h"
+
+namespace qcdoc::machine {
+
+Machine::Machine(const MachineConfig& cfg) : cfg_(cfg) {
+  hw_.cpu_clock_hz = cfg.clock_hz;
+  // Fixed-frequency external parts get slower in CPU cycles as the core
+  // clock rises; on-chip paths (EDRAM, links) scale with the clock.
+  mem_timing_.ddr_bytes_per_cycle = hw_.ddr_bandwidth_Bps / cfg.clock_hz;
+
+  engine_ = std::make_unique<sim::Engine>();
+
+  net::MeshConfig mesh_cfg;
+  mesh_cfg.shape = cfg.shape;
+  mesh_cfg.hssl.bit_error_rate = cfg.bit_error_rate;
+  mesh_cfg.scu.link.ack_window = hw_.scu_ack_window;
+  mesh_cfg.scu.dma.send_setup_cycles = hw_.scu_dma_setup_cycles;
+  mesh_cfg.scu.dma.recv_landing_cycles = hw_.scu_dma_landing_cycles;
+  mesh_cfg.mem = cfg.mem;
+  mesh_cfg.seed = cfg.seed;
+  mesh_ = std::make_unique<net::MeshNet>(engine_.get(), mesh_cfg);
+  package_map_ = std::make_unique<PackageMap>(mesh_->topology());
+}
+
+PackagingPlan Machine::packaging() const {
+  return plan_for_nodes(mesh_->num_nodes(), hw_.peak_flops_per_node());
+}
+
+Cycle Machine::power_on() {
+  const Cycle start = engine_->now();
+  mesh_->power_on();
+  while (!mesh_->all_trained() && engine_->step()) {
+  }
+  return engine_->now() - start;
+}
+
+}  // namespace qcdoc::machine

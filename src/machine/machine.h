@@ -1,0 +1,66 @@
+// The assembled QCDOC machine: event engine, mesh network, packaging and
+// hardware parameters in one object.  This is the main entry point of the
+// library.
+//
+//   qcdoc::machine::MachineConfig cfg;
+//   cfg.shape.extent = {4, 4, 4, 2, 2, 2};       // 512 nodes
+//   qcdoc::machine::Machine m(cfg);
+//   m.power_on();                                // trains all 12288 links
+//
+#pragma once
+
+#include <memory>
+
+#include "common/types.h"
+#include "machine/cost.h"
+#include "machine/packaging.h"
+#include "net/mesh_net.h"
+#include "sim/engine.h"
+
+namespace qcdoc::machine {
+
+struct MachineConfig {
+  torus::Shape shape;          ///< 6-D mesh extents
+  double clock_hz = 500e6;     ///< node clock (paper runs 360/420/450/500)
+  double bit_error_rate = 0.0; ///< injected serial-link error rate
+  memsys::MemConfig mem;       ///< per-node EDRAM/DDR sizes
+  u64 seed = 0x9c0dull;        ///< master seed for all stochastic elements
+
+  MachineConfig() { shape.extent = {2, 2, 2, 2, 2, 2}; }
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg);
+
+  sim::Engine& engine() { return *engine_; }
+  net::MeshNet& mesh() { return *mesh_; }
+  const HwParams& hw() const { return hw_; }
+  const memsys::MemTiming& mem_timing() const { return mem_timing_; }
+  const MachineConfig& config() const { return cfg_; }
+  const torus::Torus& topology() const { return mesh_->topology(); }
+
+  int num_nodes() const { return mesh_->num_nodes(); }
+  PackagingPlan packaging() const;
+  const PackageMap& package_map() const { return *package_map_; }
+
+  /// Power on all serial links and run the engine until every HSSL has
+  /// trained.  Returns the training time in cycles.
+  Cycle power_on();
+
+  double seconds(Cycle c) const { return hw_.seconds(c); }
+  double microseconds(Cycle c) const { return hw_.seconds(c) * 1e6; }
+
+  scu::Scu& scu(NodeId n) { return mesh_->scu(n); }
+  memsys::NodeMemory& memory(NodeId n) { return mesh_->memory(n); }
+
+ private:
+  MachineConfig cfg_;
+  HwParams hw_;
+  memsys::MemTiming mem_timing_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<net::MeshNet> mesh_;
+  std::unique_ptr<PackageMap> package_map_;
+};
+
+}  // namespace qcdoc::machine

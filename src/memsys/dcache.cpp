@@ -1,0 +1,14 @@
+#include "memsys/dcache.h"
+
+namespace qcdoc::memsys {
+
+double cache_hit_fraction(const DCacheConfig& c, std::size_t set_bytes,
+                          int reuse) {
+  if (reuse <= 1) return 0.0;
+  if (set_bytes <= c.bytes) {
+    return static_cast<double>(reuse - 1) / static_cast<double>(reuse);
+  }
+  return 0.0;
+}
+
+}  // namespace qcdoc::memsys

@@ -1,0 +1,24 @@
+// 32 kB data-cache working-set model.
+//
+// The PPC 440 data cache is small compared to lattice working sets; the model
+// answers one question for the kernel timing: what fraction of a kernel's
+// nominal traffic is served from cache because the working set of the inner
+// loop fits.
+#pragma once
+
+#include <cstddef>
+
+namespace qcdoc::memsys {
+
+struct DCacheConfig {
+  std::size_t bytes = 32 * 1024;
+  std::size_t line_bytes = 32;
+};
+
+/// Fraction of accesses to a data set of `set_bytes`, touched `reuse` times
+/// per sweep, that hit in cache.  First touch always misses; subsequent
+/// touches hit iff the set fits in cache.
+double cache_hit_fraction(const DCacheConfig& c, std::size_t set_bytes,
+                          int reuse);
+
+}  // namespace qcdoc::memsys

@@ -1,0 +1,21 @@
+#include "memsys/ddr.h"
+
+#include <algorithm>
+
+namespace qcdoc::memsys {
+
+double ddr_stream_cycles(const MemTiming& t, double bytes, int streams) {
+  double cycles = bytes / t.ddr_bytes_per_cycle;
+  // DDR has no prefetch engine in front of it: concurrent streams thrash the
+  // open page.  One stream streams at full bandwidth; each additional stream
+  // pays a page miss per page of its share of the traffic.
+  if (streams > 1) {
+    const double thrash_fraction =
+        static_cast<double>(streams - 1) / static_cast<double>(streams);
+    const double pages = bytes * thrash_fraction / t.ddr_page_bytes;
+    cycles += pages * t.ddr_page_miss_cycles * streams;
+  }
+  return cycles;
+}
+
+}  // namespace qcdoc::memsys

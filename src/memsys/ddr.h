@@ -1,0 +1,11 @@
+// External DDR SDRAM controller timing (paper Section 2.1): 2.6 GB/s on the
+// PLB, with page-miss penalties for non-streaming access.
+#pragma once
+
+#include "memsys/memsys.h"
+
+namespace qcdoc::memsys {
+
+double ddr_stream_cycles(const MemTiming& t, double bytes, int streams);
+
+}  // namespace qcdoc::memsys

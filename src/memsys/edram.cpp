@@ -1,0 +1,22 @@
+#include "memsys/edram.h"
+
+#include <algorithm>
+
+namespace qcdoc::memsys {
+
+double edram_stream_cycles(const MemTiming& t, double bytes, int streams) {
+  double cycles = bytes / t.edram_bytes_per_cycle;
+  if (streams > t.prefetch_streams) {
+    // Streams beyond the prefetch capacity interleave row activations: the
+    // controller pays one page-miss latency per row fetched for the excess
+    // fraction of the traffic.
+    const double excess_fraction =
+        static_cast<double>(streams - t.prefetch_streams) /
+        static_cast<double>(std::max(streams, 1));
+    const double rows = bytes * excess_fraction / t.edram_row_bytes;
+    cycles += rows * t.edram_page_miss_cycles;
+  }
+  return cycles;
+}
+
+}  // namespace qcdoc::memsys

@@ -1,0 +1,14 @@
+// Prefetching EDRAM controller timing (paper Section 2.1).
+#pragma once
+
+#include "memsys/memsys.h"
+
+namespace qcdoc::memsys {
+
+/// Cycles for an EDRAM access pattern of `bytes` total across `streams`
+/// concurrent contiguous streams.  With at most `prefetch_streams` streams
+/// the two prefetch engines hide all page misses; beyond that every row
+/// crossing of the surplus streams stalls.
+double edram_stream_cycles(const MemTiming& t, double bytes, int streams);
+
+}  // namespace qcdoc::memsys

@@ -1,0 +1,92 @@
+#include "memsys/memsys.h"
+
+#include "common/log.h"
+#include "memsys/ddr.h"
+#include "memsys/edram.h"
+
+namespace qcdoc::memsys {
+
+NodeMemory::NodeMemory(MemConfig cfg)
+    : cfg_(cfg), ddr_next_(cfg.edram_words) {}
+
+Block NodeMemory::alloc(u64 words, const std::string& label) {
+  if (edram_next_ + words <= cfg_.edram_words) {
+    return alloc_in(Region::kEdram, words, label);
+  }
+  QCDOC_DEBUG << "allocation '" << label << "' (" << words * 8
+              << " B) spills to DDR";
+  return alloc_in(Region::kDdr, words, label);
+}
+
+Block NodeMemory::alloc_in(Region region, u64 words, const std::string& label) {
+  (void)label;
+  Block b;
+  if (region == Region::kEdram) {
+    assert(edram_next_ + words <= cfg_.edram_words && "EDRAM exhausted");
+    b = Block{edram_next_, words, Region::kEdram};
+    edram_next_ += words;
+  } else {
+    assert(ddr_next_ + words <= cfg_.edram_words + cfg_.ddr_words &&
+           "DDR exhausted");
+    b = Block{ddr_next_, words, Region::kDdr};
+    ddr_next_ += words;
+  }
+  chunks_.emplace(b.word_addr, std::vector<u64>(words, 0));
+  return b;
+}
+
+std::vector<u64>* NodeMemory::chunk_of(u64 word_addr, u64* offset) {
+  auto it = chunks_.upper_bound(word_addr);
+  if (it == chunks_.begin()) return nullptr;
+  --it;
+  if (word_addr >= it->first + it->second.size()) return nullptr;
+  *offset = word_addr - it->first;
+  return &it->second;
+}
+
+const std::vector<u64>* NodeMemory::chunk_of(u64 word_addr, u64* offset) const {
+  return const_cast<NodeMemory*>(this)->chunk_of(word_addr, offset);
+}
+
+u64 NodeMemory::read_word(u64 word_addr) const {
+  u64 offset = 0;
+  const auto* chunk = chunk_of(word_addr, &offset);
+  assert(chunk && "read from unallocated memory");
+  return (*chunk)[offset];
+}
+
+void NodeMemory::write_word(u64 word_addr, u64 value) {
+  u64 offset = 0;
+  auto* chunk = chunk_of(word_addr, &offset);
+  assert(chunk && "write to unallocated memory");
+  (*chunk)[offset] = value;
+}
+
+std::span<double> NodeMemory::doubles(const Block& b) {
+  u64 offset = 0;
+  auto* chunk = chunk_of(b.word_addr, &offset);
+  assert(chunk && offset + b.words <= chunk->size());
+  return {reinterpret_cast<double*>(chunk->data() + offset), b.words};
+}
+
+std::span<const double> NodeMemory::doubles(const Block& b) const {
+  u64 offset = 0;
+  const auto* chunk = chunk_of(b.word_addr, &offset);
+  assert(chunk && offset + b.words <= chunk->size());
+  return {reinterpret_cast<const double*>(chunk->data() + offset), b.words};
+}
+
+std::span<u64> NodeMemory::words(const Block& b) {
+  u64 offset = 0;
+  auto* chunk = chunk_of(b.word_addr, &offset);
+  assert(chunk && offset + b.words <= chunk->size());
+  return {chunk->data() + offset, b.words};
+}
+
+double MemTiming::stream_cycles(Region region, double bytes,
+                                int streams) const {
+  return region == Region::kEdram ? edram_stream_cycles(*this, bytes, streams)
+                                  : ddr_stream_cycles(*this, bytes, streams);
+}
+
+}  // namespace qcdoc::memsys

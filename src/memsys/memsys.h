@@ -1,0 +1,109 @@
+// Per-node memory: functional storage plus the timing models of the paper's
+// memory hierarchy (Section 2.1).
+//
+// Each QCDOC node owns 4 MB of on-chip EDRAM behind a prefetching controller
+// (two concurrent streams, 1024-bit internal rows, a 128-bit connection to
+// the data cache at full processor speed -> 8 GB/s at 500 MHz) and external
+// DDR SDRAM behind the PLB (2.6 GB/s).  The model keeps one flat 64-bit-word
+// address space per node: word addresses below the EDRAM size live on-chip,
+// the rest in DDR.  Fields allocated by applications really live here; the
+// SCU DMA engines move these words, so data integrity through the simulated
+// network is testable.
+//
+// Storage is per-allocation (host memory proportional to what a node
+// actually uses), which keeps thousand-node machines simulable on a laptop.
+#pragma once
+
+#include <cassert>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qcdoc::memsys {
+
+/// Which level of the hierarchy a word address resides in.
+enum class Region { kEdram, kDdr };
+
+/// A contiguous allocation in node memory, in 64-bit words.
+struct Block {
+  u64 word_addr = 0;
+  u64 words = 0;
+  Region region = Region::kEdram;
+
+  u64 bytes() const { return words * 8; }
+};
+
+struct MemConfig {
+  u64 edram_words = 4ull * 1024 * 1024 / 8;
+  u64 ddr_words = 128ull * 1024 * 1024 / 8;
+};
+
+/// Functional per-node memory with a bump allocator.
+///
+/// Allocation policy mirrors how the collaboration laid out fields: hot data
+/// goes to EDRAM until it is full, then spills to DDR (paper Section 4: "for
+/// still larger volumes, when we must put part of the problem in external
+/// DDR DRAM, the performance figures fall").
+class NodeMemory {
+ public:
+  explicit NodeMemory(MemConfig cfg = MemConfig{});
+
+  /// Allocate `words` 64-bit words, preferring EDRAM.
+  Block alloc(u64 words, const std::string& label = "");
+  /// Allocate explicitly in one region (asserts on exhaustion).
+  Block alloc_in(Region region, u64 words, const std::string& label = "");
+
+  u64 edram_words_used() const { return edram_next_; }
+  u64 ddr_words_used() const { return ddr_next_ - cfg_.edram_words; }
+  u64 edram_words_free() const { return cfg_.edram_words - edram_next_; }
+  const MemConfig& config() const { return cfg_; }
+
+  Region region_of(u64 word_addr) const {
+    return word_addr < cfg_.edram_words ? Region::kEdram : Region::kDdr;
+  }
+
+  u64 read_word(u64 word_addr) const;
+  void write_word(u64 word_addr, u64 value);
+
+  /// Typed views for application code (compute runs natively on this data).
+  /// Spans remain valid for the lifetime of the NodeMemory: each allocation
+  /// owns its storage.
+  std::span<double> doubles(const Block& b);
+  std::span<const double> doubles(const Block& b) const;
+  std::span<u64> words(const Block& b);
+
+ private:
+  std::vector<u64>* chunk_of(u64 word_addr, u64* offset);
+  const std::vector<u64>* chunk_of(u64 word_addr, u64* offset) const;
+
+  MemConfig cfg_;
+  // start word address -> storage of the allocation beginning there
+  std::map<u64, std::vector<u64>> chunks_;
+  u64 edram_next_ = 0;
+  u64 ddr_next_;
+};
+
+/// Cycle costs of bulk memory traffic, used by the DMA engines and the CPU
+/// timing model.  All figures in CPU cycles at the node clock.
+struct MemTiming {
+  // EDRAM: 128-bit words to the data cache at full processor speed.
+  double edram_bytes_per_cycle = 16.0;
+  // Prefetching hides page misses for up to `prefetch_streams` contiguous
+  // streams; each extra stream pays a page-miss penalty per row crossed.
+  int prefetch_streams = 2;
+  double edram_row_bytes = 128.0;  // 1024-bit internal read/write width
+  double edram_page_miss_cycles = 11.0;
+  // DDR SDRAM at 2.6 GB/s behind the PLB (5.2 bytes/cycle at 500 MHz).
+  double ddr_bytes_per_cycle = 5.2;
+  double ddr_page_bytes = 2048.0;
+  double ddr_page_miss_cycles = 25.0;
+
+  /// Cycles to stream `bytes` from a region with `streams` concurrent
+  /// access streams (a(x) and b(x) in the paper's example are 2 streams).
+  double stream_cycles(Region region, double bytes, int streams) const;
+};
+
+}  // namespace qcdoc::memsys

@@ -1,0 +1,47 @@
+// Commodity-cluster network comparator (paper Sections 1 and 2.2).
+//
+// The paper's motivating argument is that commodity networks cannot deliver
+// the latency QCD's hard scaling requires: "our 600 ns memory-to-memory
+// latency is to be compared to times of 5-10 us just to begin a transfer
+// when using standard networks like Ethernet."  This analytic model gives a
+// cluster with the same per-node compute the paper's commodity network
+// characteristics, for the hard-scaling crossover benches.
+#pragma once
+
+#include "common/types.h"
+
+namespace qcdoc::net {
+
+struct ClusterNetConfig {
+  double cpu_clock_hz = 500e6;     ///< for cycle conversion
+  double start_latency_s = 7.5e-6; ///< "5-10 us just to begin a transfer"
+  double bandwidth_Bps = 125e6;    ///< GigE-class payload bandwidth
+  int concurrent_messages = 1;     ///< NICs serialize message injection
+};
+
+class ClusterNet {
+ public:
+  explicit ClusterNet(ClusterNetConfig cfg) : cfg_(cfg) {}
+
+  const ClusterNetConfig& config() const { return cfg_; }
+
+  /// Cycles for one point-to-point message.
+  Cycle message_cycles(std::size_t bytes) const;
+
+  /// Cycles for a halo exchange of `messages` messages of `bytes_each` from
+  /// one node (message startups serialize on the NIC; payload streams at
+  /// link bandwidth).
+  Cycle halo_exchange_cycles(int messages, std::size_t bytes_each) const;
+
+  /// Cycles for a tree all-reduce of `words` doubles over `nodes` nodes:
+  /// 2*ceil(log2(nodes)) latency-bound hops.
+  Cycle allreduce_cycles(int nodes, std::size_t words) const;
+
+ private:
+  Cycle cycles(double seconds) const {
+    return static_cast<Cycle>(seconds * cfg_.cpu_clock_hz + 0.5);
+  }
+  ClusterNetConfig cfg_;
+};
+
+}  // namespace qcdoc::net

@@ -1,0 +1,75 @@
+// The Ethernet booting/diagnostics/I-O network (paper Section 2.3, Figure 2,
+// green network).
+//
+// Every ASIC has two Ethernet connections: a standard 100 Mbit controller
+// (needs the run kernel's UDP stack) and an Ethernet/JTAG controller that
+// decodes UDP packets carrying JTAG commands entirely in hardware -- usable
+// from power-on, before any code is loaded.  Nodes hang off 5-port hubs on
+// the daughterboards and motherboards; the host connects through multiple
+// Gigabit links.
+//
+// The model is a store-and-forward tree: host link (shared, Gigabit class),
+// two hub hops, then the node's 100 Mbit link.  Delivery times come out of
+// the event engine, so boot-time measurements (bench E11) are simulated,
+// not computed.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/engine.h"
+#include "sim/stats.h"
+
+namespace qcdoc::net {
+
+struct EthernetConfig {
+  double cpu_clock_hz = 500e6;   ///< converts seconds to engine cycles
+  double host_link_bps = 1e9;    ///< per Gigabit host link
+  int host_links = 1;            ///< "multiple Gigabit Ethernet links"
+  double node_link_bps = 100e6;  ///< per-node 100 Mbit connection
+  double hub_latency_s = 2e-6;   ///< per hub store-and-forward hop
+  int hub_hops = 2;              ///< daughterboard + motherboard hubs
+  std::size_t udp_overhead_bytes = 46;  ///< Ethernet + IP + UDP headers
+};
+
+/// Kind of traffic, for statistics and for the zero-software JTAG path.
+enum class EthKind { kJtag, kUdp };
+
+class EthernetTree {
+ public:
+  EthernetTree(sim::Engine* engine, EthernetConfig cfg, int num_nodes);
+
+  /// Send one UDP packet of `payload_bytes` from the host to `node`;
+  /// `on_delivered` fires when the last byte reaches the node.  Nodes are
+  /// spread round-robin over the host links, which serialize independently.
+  void host_to_node(NodeId node, std::size_t payload_bytes, EthKind kind,
+                    std::function<void()> on_delivered);
+
+  /// Node-to-host packet (RPC replies, NFS writes...).
+  void node_to_host(NodeId node, std::size_t payload_bytes,
+                    std::function<void()> on_delivered);
+
+  u64 packets_delivered() const { return packets_delivered_; }
+  u64 jtag_packets() const { return jtag_packets_; }
+  const sim::StatSet& stats() const { return stats_; }
+
+ private:
+  Cycle cycles(double seconds) const {
+    return static_cast<Cycle>(seconds * cfg_.cpu_clock_hz + 0.5);
+  }
+  Cycle serialize(double bps, std::size_t bytes) const {
+    return cycles(static_cast<double>(bytes) * 8.0 / bps);
+  }
+
+  sim::Engine* engine_;
+  EthernetConfig cfg_;
+  // Earliest free time per shared resource.
+  std::vector<Cycle> host_link_free_;
+  std::vector<Cycle> node_link_free_;
+  u64 packets_delivered_ = 0;
+  u64 jtag_packets_ = 0;
+  sim::StatSet stats_;
+};
+
+}  // namespace qcdoc::net

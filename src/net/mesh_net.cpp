@@ -1,0 +1,115 @@
+#include "net/mesh_net.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace qcdoc::net {
+
+using torus::LinkIndex;
+
+MeshNet::MeshNet(sim::Engine* engine, MeshConfig cfg)
+    : engine_(engine), cfg_(cfg), topology_(cfg.shape) {
+  const int n = topology_.num_nodes();
+  Rng machine_rng(cfg_.seed);
+
+  memories_.reserve(static_cast<std::size_t>(n));
+  stats_.reserve(static_cast<std::size_t>(n));
+  scus_.reserve(static_cast<std::size_t>(n));
+  wires_.resize(static_cast<std::size_t>(n) * torus::kLinksPerNode);
+
+  cfg_.scu.active_transfers = &active_transfers_;
+  for (int i = 0; i < n; ++i) {
+    memories_.push_back(std::make_unique<memsys::NodeMemory>(cfg_.mem));
+    stats_.push_back(std::make_unique<sim::StatSet>());
+    scus_.push_back(std::make_unique<scu::Scu>(
+        engine_, memories_.back().get(), cfg_.scu,
+        Rng(cfg_.seed, NodeId{static_cast<u32>(i)}), stats_.back().get()));
+  }
+  // Create the outgoing wires and attach them, then connect the endpoints.
+  for (int i = 0; i < n; ++i) {
+    for (int l = 0; l < torus::kLinksPerNode; ++l) {
+      auto wire = std::make_unique<hssl::Hssl>(
+          engine_, cfg_.hssl, machine_rng.split(), stats_[static_cast<std::size_t>(i)].get());
+      scus_[static_cast<std::size_t>(i)]->attach_outgoing_wire(LinkIndex{l},
+                                                               wire.get());
+      wires_[static_cast<std::size_t>(i) * torus::kLinksPerNode +
+             static_cast<std::size_t>(l)] = std::move(wire);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const NodeId node{static_cast<u32>(i)};
+    for (int l = 0; l < torus::kLinksPerNode; ++l) {
+      const LinkIndex link{l};
+      const NodeId to = topology_.neighbor(node, link);
+      scus_[static_cast<std::size_t>(i)]->connect_to(link, *scus_[to.value]);
+    }
+  }
+  // Machine-wide interrupt domain flooding over every mesh link.
+  pirq_ = std::make_unique<scu::PirqDomain>(engine_, cfg_.pirq_window_cycles);
+  std::vector<LinkIndex> all_links;
+  for (int l = 0; l < torus::kLinksPerNode; ++l) all_links.push_back(LinkIndex{l});
+  for (int i = 0; i < n; ++i) {
+    pirq_->add_node(NodeId{static_cast<u32>(i)},
+                    scus_[static_cast<std::size_t>(i)].get(), all_links);
+  }
+}
+
+hssl::Hssl& MeshNet::wire(NodeId from, LinkIndex l) {
+  return *wires_[static_cast<std::size_t>(from.value) * torus::kLinksPerNode +
+                 static_cast<std::size_t>(l.value)];
+}
+
+void MeshNet::power_on() {
+  if (powered_) return;
+  powered_ = true;
+  for (auto& w : wires_) w->power_on();
+}
+
+bool MeshNet::all_trained() const {
+  for (const auto& w : wires_) {
+    if (!w->trained()) return false;
+  }
+  return true;
+}
+
+bool MeshNet::verify_link_checksums(std::vector<std::string>* mismatches) const {
+  bool ok = true;
+  for (const auto& edge : topology_.edges()) {
+    const u64 sent = scus_[edge.from.value]->send_checksum(edge.link);
+    const u64 received =
+        scus_[edge.to.value]->recv_checksum(torus::facing_link(edge.link));
+    if (sent != received) {
+      ok = false;
+      if (mismatches) {
+        std::ostringstream msg;
+        msg << "link " << edge.from.value << " -> " << edge.to.value
+            << " (link index " << edge.link.value << "): send checksum 0x"
+            << std::hex << sent << " != recv checksum 0x" << received;
+        mismatches->push_back(msg.str());
+      }
+    }
+  }
+  return ok;
+}
+
+u64 MeshNet::total_stat(const std::string& name) const {
+  u64 sum = 0;
+  for (const auto& s : stats_) sum += s->get(name);
+  return sum;
+}
+
+bool MeshNet::quiescent_slow() const {
+  for (const auto& s : scus_) {
+    if (!s->quiescent()) return false;
+  }
+  return true;
+}
+
+bool MeshNet::drain() {
+  while (!quiescent()) {
+    if (!engine_->step()) return false;  // stalled: no events but not done
+  }
+  return true;
+}
+
+}  // namespace qcdoc::net

@@ -1,0 +1,84 @@
+// The assembled mesh: every node's SCU wired to its 12 neighbours through
+// bit-serial HSSL links over the 6-D torus (paper Figure 2, red network).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "hssl/hssl.h"
+#include "memsys/memsys.h"
+#include "scu/partition_interrupt.h"
+#include "scu/scu.h"
+#include "sim/engine.h"
+#include "torus/coords.h"
+
+namespace qcdoc::net {
+
+struct MeshConfig {
+  torus::Shape shape;
+  hssl::HsslConfig hssl;
+  scu::ScuConfig scu;
+  memsys::MemConfig mem;
+  u64 seed = 0x9c0dull;
+  /// Partition-interrupt transmit window (a multiple of the ~40 MHz global
+  /// clock period, long enough for a flood to cross the machine).
+  Cycle pirq_window_cycles = 1 << 14;
+};
+
+class MeshNet {
+ public:
+  MeshNet(sim::Engine* engine, MeshConfig cfg);
+
+  const torus::Torus& topology() const { return topology_; }
+  int num_nodes() const { return topology_.num_nodes(); }
+  sim::Engine& engine() { return *engine_; }
+  const MeshConfig& config() const { return cfg_; }
+
+  scu::Scu& scu(NodeId n) { return *scus_[n.value]; }
+  memsys::NodeMemory& memory(NodeId n) { return *memories_[n.value]; }
+  sim::StatSet& stats(NodeId n) { return *stats_[n.value]; }
+  hssl::Hssl& wire(NodeId from, torus::LinkIndex l);
+
+  /// Power on every HSSL; links train and then exchange idle bytes.
+  void power_on();
+  bool all_trained() const;
+
+  /// Machine-wide partition-interrupt domain (flooding over all mesh links).
+  scu::PirqDomain& pirq() { return *pirq_; }
+
+  /// Compare the send/receive checksums of every directed link; the paper's
+  /// end-of-calculation confirmation that no erroneous data was exchanged.
+  bool verify_link_checksums(std::vector<std::string>* mismatches = nullptr) const;
+
+  /// Sum a named statistic across all nodes.
+  u64 total_stat(const std::string& name) const;
+
+  /// True when no data transfer is in progress anywhere in the machine
+  /// (O(1): the DMA engines maintain a shared in-flight counter).
+  bool quiescent() const { return active_transfers_ == 0; }
+  /// Exhaustive per-link check (used by tests to validate the counter).
+  bool quiescent_slow() const;
+
+  /// Run the event engine until the mesh is quiescent.  Returns false (and
+  /// stops) if the event queue empties while transfers are still pending --
+  /// the signature of a stalled link, which on the real machine blocks the
+  /// whole self-synchronizing calculation.
+  bool drain();
+
+ private:
+  sim::Engine* engine_;
+  MeshConfig cfg_;
+  torus::Torus topology_;
+  std::vector<std::unique_ptr<memsys::NodeMemory>> memories_;
+  std::vector<std::unique_ptr<sim::StatSet>> stats_;
+  std::vector<std::unique_ptr<scu::Scu>> scus_;
+  // wires_[node * kLinksPerNode + link]: the outgoing serial wire.
+  std::vector<std::unique_ptr<hssl::Hssl>> wires_;
+  std::unique_ptr<scu::PirqDomain> pirq_;
+  scu::ActiveCounter active_transfers_ = 0;
+  bool powered_ = false;
+};
+
+}  // namespace qcdoc::net

@@ -1,0 +1,51 @@
+#include "perf/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace qcdoc::perf {
+
+std::string format_table(const std::vector<Row>& rows) {
+  std::ostringstream out;
+  std::size_t w_exp = 10, w_qty = 8;
+  for (const auto& r : rows) {
+    w_exp = std::max(w_exp, r.experiment.size());
+    w_qty = std::max(w_qty, r.quantity.size());
+  }
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-*s  %-*s  %12s  %12s  %-10s\n",
+                static_cast<int>(w_exp), "experiment", static_cast<int>(w_qty),
+                "quantity", "paper", "measured", "unit");
+  out << line;
+  for (const auto& r : rows) {
+    std::snprintf(line, sizeof(line), "%-*s  %-*s  %12.4g  %12.4g  %-10s\n",
+                  static_cast<int>(w_exp), r.experiment.c_str(),
+                  static_cast<int>(w_qty), r.quantity.c_str(), r.paper_value,
+                  r.measured_value, r.unit.c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+double machine_peak_flops_per_cycle(const machine::Machine& m) {
+  return static_cast<double>(m.num_nodes()) * 2.0;
+}
+
+double cg_efficiency(const machine::Machine& m, const lattice::CgResult& r) {
+  return r.efficiency(machine_peak_flops_per_cycle(m));
+}
+
+double cg_sustained_mflops(const machine::Machine& m,
+                           const lattice::CgResult& r) {
+  const double seconds = m.seconds(r.cycles);
+  return seconds > 0 ? r.flops / seconds / 1e6 : 0.0;
+}
+
+double price_per_mflops(const machine::Machine& m, double efficiency,
+                        const machine::CostModel& cost) {
+  return cost.usd_per_sustained_mflops(m.packaging(), m.hw().cpu_clock_hz,
+                                       efficiency);
+}
+
+}  // namespace qcdoc::perf

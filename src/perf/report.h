@@ -1,0 +1,41 @@
+// Performance reporting: sustained efficiency, price/performance, and
+// paper-versus-measured comparison rows shared by the benches and
+// EXPERIMENTS.md generation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lattice/cg.h"
+#include "machine/cost.h"
+#include "machine/machine.h"
+
+namespace qcdoc::perf {
+
+/// One paper-vs-measured comparison line.
+struct Row {
+  std::string experiment;
+  std::string quantity;
+  double paper_value = 0;
+  double measured_value = 0;
+  std::string unit;
+};
+
+/// Render rows as an aligned text table.
+std::string format_table(const std::vector<Row>& rows);
+
+/// Machine peak in flops per cycle (nodes x 2).
+double machine_peak_flops_per_cycle(const machine::Machine& m);
+
+/// Efficiency of a CG run on a machine.
+double cg_efficiency(const machine::Machine& m, const lattice::CgResult& r);
+
+/// Sustained Mflops of a CG run (whole machine).
+double cg_sustained_mflops(const machine::Machine& m,
+                           const lattice::CgResult& r);
+
+/// Dollars per sustained Mflops of a machine running at `efficiency`.
+double price_per_mflops(const machine::Machine& m, double efficiency,
+                        const machine::CostModel& cost = machine::CostModel{});
+
+}  // namespace qcdoc::perf

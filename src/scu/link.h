@@ -1,0 +1,195 @@
+// Link-level protocol of one unidirectional SCU connection (paper Sec. 2.2).
+//
+// The sender multiplexes four packet classes onto one serial wire, priority
+// high to low: link-control (ACK/NACK/SupAck, generated on behalf of the
+// *reverse* direction), partition interrupts, supervisor packets, normal
+// data.  Supervisor packets "take priority over normal data transfers".
+//
+// Normal data uses the paper's "three in the air" protocol: up to
+// `ack_window` 64-bit words may be outstanding before an acknowledgement is
+// required, which amortizes the round-trip handshake and sustains full link
+// bandwidth.  A detected error (parity/type-code failure) triggers an
+// automatic go-back-N resend in hardware; a timeout backstops lost or
+// corrupted acknowledgements.  If the receiver has not been programmed with
+// a destination ("idle receive"), it holds up to three words in SCU
+// registers without acknowledging, which blocks the sender -- the mechanism
+// that makes QCDOC self-synchronizing at the link level.
+//
+// Each side keeps a running checksum of the payload words handed to it /
+// delivered by it; comparing the two at the end of a run is the paper's
+// final confirmation that no erroneous data was exchanged.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "hssl/hssl.h"
+#include "scu/packet.h"
+#include "sim/engine.h"
+#include "sim/stats.h"
+
+namespace qcdoc::scu {
+
+struct LinkParams {
+  int ack_window = 3;                  ///< "three in the air"
+  Cycle resend_timeout_cycles = 4096;  ///< backstop for lost/corrupted ACKs
+  int idle_hold_words = 3;             ///< SCU registers for idle receive
+};
+
+class RecvSide;
+
+/// Transmit half of a directed link, owned by the sending node's SCU.
+class SendSide {
+ public:
+  SendSide(sim::Engine* engine, hssl::Hssl* wire, LinkParams params,
+           sim::StatSet* stats);
+
+  /// The RecvSide on the *remote* node that this wire feeds.
+  void set_remote(RecvSide* remote) { remote_ = remote; }
+
+  /// Queue normal-transfer data words (from a send-DMA engine).
+  void enqueue_data(u64 word);
+  /// Queue a supervisor packet (one outstanding at a time; resent until
+  /// acknowledged).
+  void enqueue_supervisor(u64 word);
+  /// Queue a partition-interrupt packet (unacknowledged; the flood protocol
+  /// re-sends every global-clock window, so loss is tolerated).
+  void enqueue_partition_irq(u8 mask);
+  /// Queue a link-control packet acknowledging the reverse direction.
+  void enqueue_control(PacketType type, u8 seq);
+
+  /// Notifications from the remote receiver (via its reverse channel).
+  /// ACK/NACK carry the receiver's next-expected sequence (cumulative), so
+  /// a lost acknowledgement is recovered by any later one.
+  void on_ack(u8 expected);
+  void on_nack(u8 expected);
+  void on_sup_ack(u8 seq);
+
+  /// All data handed in so far has been sent and acknowledged.
+  bool data_drained() const { return data_queue_.empty() && unacked_.empty(); }
+  bool supervisor_drained() const {
+    return !sup_outstanding_ && sup_queue_.empty();
+  }
+
+  /// Called whenever data_drained() becomes true.
+  void set_on_data_drained(std::function<void()> fn) {
+    on_data_drained_ = std::move(fn);
+  }
+
+  u64 checksum() const { return checksum_; }
+  u64 words_accepted() const { return words_accepted_; }
+  u64 resends() const { return resends_; }
+
+ private:
+  void pump();
+  void transmit(const Packet& p);
+  void arm_timeout();
+  void on_timeout();
+  std::size_t pop_acked_below(u8 expected);
+
+  sim::Engine* engine_;
+  hssl::Hssl* wire_;
+  LinkParams params_;
+  sim::StatSet* stats_;
+  RecvSide* remote_ = nullptr;
+
+  // Normal data stream (go-back-N with a 2-bit sequence, window 3).
+  struct Pending {
+    u64 word;
+    u8 seq;
+  };
+  std::deque<u64> data_queue_;     // not yet transmitted
+  std::deque<Pending> unacked_;    // transmitted, awaiting ACK (<= window)
+  std::size_t send_cursor_ = 0;    // next unacked_ index to (re)transmit
+  u8 next_seq_ = 0;
+  u64 checksum_ = 0;
+  u64 words_accepted_ = 0;
+  u64 resends_ = 0;
+  Cycle oldest_unacked_since_ = 0;
+  bool timeout_armed_ = false;
+
+  // Supervisor stream (one outstanding, own 2-bit sequence).
+  std::deque<u64> sup_queue_;
+  bool sup_outstanding_ = false;
+  bool sup_needs_send_ = false;
+  u64 sup_word_ = 0;
+  u8 sup_seq_ = 0;
+  u8 sup_next_seq_ = 0;
+  Cycle sup_sent_at_ = 0;
+
+  // Control + partition-interrupt queues.
+  std::deque<Packet> control_queue_;
+  std::deque<u8> pirq_queue_;
+
+  bool frame_in_flight_ = false;
+  std::function<void()> on_data_drained_;
+};
+
+/// Receive half of a directed link, owned by the receiving node's SCU.
+class RecvSide {
+ public:
+  RecvSide(sim::Engine* engine, LinkParams params, sim::StatSet* stats,
+           Rng corruption_stream);
+
+  /// `reverse` is the SendSide on *this* node facing the sender; it carries
+  /// our acknowledgements and receives control notifications for its own
+  /// outbound traffic.
+  void set_reverse(SendSide* reverse) { reverse_ = reverse; }
+
+  /// Entry point from the wire: `sent` is the packet the sender emitted,
+  /// `frame` its wire image, `flipped` the number of bits the link
+  /// corrupted (applied to the image here, at the sampling point).
+  void on_frame(WireFrame frame, int flipped, const Packet& sent);
+
+  /// Consumer interface (the receive-DMA engine).  `sink(word)` is called
+  /// for every accepted data word in order; when no sink is installed the
+  /// link is in idle receive.
+  void set_data_sink(std::function<void(u64)> sink);
+  void clear_data_sink();
+  bool in_idle_receive() const { return !data_sink_; }
+
+  /// Supervisor packets raise an interrupt at the receiving CPU.
+  void set_supervisor_handler(std::function<void(u64)> fn) {
+    supervisor_handler_ = std::move(fn);
+  }
+  /// Partition-interrupt packets go to the flood controller.
+  void set_pirq_handler(std::function<void(u8)> fn) {
+    pirq_handler_ = std::move(fn);
+  }
+
+  u64 checksum() const { return checksum_; }
+  u64 words_received() const { return words_received_; }
+  int held_words() const { return static_cast<int>(held_.size()); }
+  u64 detected_errors() const { return detected_errors_; }
+  u64 undetected_errors() const { return undetected_errors_; }
+
+ private:
+  void accept_data(u64 word, u8 seq);
+
+  sim::Engine* engine_;
+  LinkParams params_;
+  sim::StatSet* stats_;
+  Rng corrupt_rng_;
+
+  SendSide* reverse_ = nullptr;
+
+  u8 expected_seq_ = 0;
+  u8 sup_expected_seq_ = 0;
+  u64 checksum_ = 0;
+  u64 words_received_ = 0;
+  u64 detected_errors_ = 0;
+  u64 undetected_errors_ = 0;
+
+  struct Held {
+    u64 word;
+    u8 seq;
+  };
+  std::deque<Held> held_;  // idle-receive hold registers
+  std::function<void(u64)> data_sink_;
+  std::function<void(u64)> supervisor_handler_;
+  std::function<void(u8)> pirq_handler_;
+};
+
+}  // namespace qcdoc::scu

@@ -1,0 +1,97 @@
+// The per-node Serial Communications Unit (paper Section 2.2).
+//
+// One SCU manages 24 independent unidirectional connections: a send side and
+// a receive side for each of the 12 nearest neighbours in the 6-D mesh.  It
+// owns the DMA engines, the stored-descriptor registers ("for repetitive
+// transfers over the same link, the SCUs can store DMA instructions
+// internally, so that only a single write is needed to start up to 24
+// communications"), the supervisor-packet registers, and the per-link
+// checksums.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/rng.h"
+#include "memsys/memsys.h"
+#include "scu/dma.h"
+#include "scu/link.h"
+#include "torus/coords.h"
+
+namespace qcdoc::scu {
+
+struct ScuConfig {
+  LinkParams link;
+  DmaTiming dma;
+  /// Machine-wide in-flight transfer counter (owned by the network).
+  ActiveCounter* active_transfers = nullptr;
+};
+
+class Scu {
+ public:
+  Scu(sim::Engine* engine, memsys::NodeMemory* memory, ScuConfig cfg,
+      Rng rng, sim::StatSet* stats);
+
+  /// Attach the outgoing serial wire for link `l`; creates the send side and
+  /// its DMA engine.  Called once per link by the network builder.
+  void attach_outgoing_wire(torus::LinkIndex l, hssl::Hssl* wire);
+
+  /// Wire our outgoing link `l` to `neighbor`'s facing receive side, and
+  /// route that side's acknowledgements back over the neighbour's facing
+  /// send side.  Both SCUs must already have their wires attached.
+  void connect_to(torus::LinkIndex l, Scu& neighbor);
+
+  SendSide& send_side(torus::LinkIndex l);
+  RecvSide& recv_side(torus::LinkIndex l);
+  SendDma& send_dma(torus::LinkIndex l);
+  RecvDma& recv_dma(torus::LinkIndex l);
+  bool has_link(torus::LinkIndex l) const {
+    return send_[static_cast<std::size_t>(l.value)] != nullptr;
+  }
+
+  // --- Stored DMA descriptors -------------------------------------------
+  void store_send_descriptor(torus::LinkIndex l, const DmaDescriptor& d);
+  void store_recv_descriptor(torus::LinkIndex l, const DmaDescriptor& d);
+  /// Start stored transfers: bit i of each mask corresponds to link i.
+  /// This is the single-write start of up to 24 communications.
+  void start_stored(u32 send_mask, u32 recv_mask);
+
+  // --- Supervisor packets -------------------------------------------------
+  /// Send a 64-bit supervisor word to the neighbour on `l`; its arrival
+  /// raises an interrupt at the remote CPU.
+  void send_supervisor(torus::LinkIndex l, u64 word);
+  /// Handler invoked (with the arrival link and word) when a supervisor
+  /// packet lands here.
+  void set_supervisor_handler(std::function<void(torus::LinkIndex, u64)> fn);
+
+  // --- Checksums (end-of-run data-integrity confirmation) -----------------
+  u64 send_checksum(torus::LinkIndex l);
+  u64 recv_checksum(torus::LinkIndex l);
+
+  /// True when no transfer is in progress on any link.
+  bool quiescent() const;
+
+  memsys::NodeMemory& memory() { return *memory_; }
+  sim::StatSet& stats() { return *stats_; }
+  sim::Engine& engine() { return *engine_; }
+  const ScuConfig& config() const { return cfg_; }
+
+ private:
+  sim::Engine* engine_;
+  memsys::NodeMemory* memory_;
+  ScuConfig cfg_;
+  Rng rng_;
+  sim::StatSet* stats_;
+
+  std::array<std::unique_ptr<SendSide>, torus::kLinksPerNode> send_;
+  std::array<std::unique_ptr<RecvSide>, torus::kLinksPerNode> recv_;
+  std::array<std::unique_ptr<SendDma>, torus::kLinksPerNode> send_dma_;
+  std::array<std::unique_ptr<RecvDma>, torus::kLinksPerNode> recv_dma_;
+  std::array<std::optional<DmaDescriptor>, torus::kLinksPerNode> stored_send_;
+  std::array<std::optional<DmaDescriptor>, torus::kLinksPerNode> stored_recv_;
+  std::function<void(torus::LinkIndex, u64)> supervisor_handler_;
+};
+
+}  // namespace qcdoc::scu

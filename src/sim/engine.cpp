@@ -1,0 +1,41 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace qcdoc::sim {
+
+void Engine::schedule_at(Cycle t, Action fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // Moving out of a priority_queue requires const_cast; the element is popped
+  // immediately afterwards so the broken ordering invariant is never observed.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+Cycle Engine::run_until_idle() {
+  while (step()) {
+  }
+  return now_;
+}
+
+void Engine::run_until(Cycle t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (t > now_) now_ = t;
+}
+
+void Engine::advance_to(Cycle t) {
+  assert(queue_.empty() || queue_.top().time >= t);
+  if (t > now_) now_ = t;
+}
+
+}  // namespace qcdoc::sim

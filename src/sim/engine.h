@@ -1,0 +1,65 @@
+// Discrete-event simulation engine.
+//
+// All timed behaviour in the machine model (serial-link bit timing, DMA
+// engines, memory controllers, the 40 MHz global clock) is expressed as
+// events on a single engine.  Events at equal timestamps fire in scheduling
+// order, which makes every simulation bit-reproducible -- mirroring the
+// paper's requirement that repeated runs of a physics evolution be identical
+// in all bits (Section 4).
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qcdoc::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time in CPU cycles.
+  Cycle now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` cycles from now.
+  void schedule(Cycle delay, Action fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  void schedule_at(Cycle t, Action fn);
+
+  /// Run the earliest pending event.  Returns false when no events remain.
+  bool step();
+
+  /// Run events until the queue drains.  Returns the final time.
+  Cycle run_until_idle();
+
+  /// Run events with timestamp <= t, then set now() = t.
+  void run_until(Cycle t);
+
+  /// Advance the clock with no event processing (used by the BSP runtime to
+  /// account for pure-compute phases).  `t` must be >= now().
+  void advance_to(Cycle t);
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Cycle time;
+    u64 seq;  // tie-breaker: schedule order
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Cycle now_ = 0;
+  u64 next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace qcdoc::sim

@@ -1,0 +1,39 @@
+// Named statistics registry.
+//
+// Every hardware model publishes counters (packets sent, resends, page
+// misses, stall cycles...) into a StatSet owned by its machine, so benches
+// and diagnostics read one uniform interface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qcdoc::sim {
+
+class StatSet {
+ public:
+  /// Add `delta` to counter `name`, creating it at zero if absent.
+  void add(const std::string& name, u64 delta = 1);
+  /// Overwrite counter `name`.
+  void set(const std::string& name, u64 value);
+  /// Value of `name`, or 0 if never touched.
+  u64 get(const std::string& name) const;
+  bool has(const std::string& name) const;
+  void clear();
+
+  /// Stable-ordered snapshot for reports.
+  std::vector<std::pair<std::string, u64>> snapshot() const;
+
+  /// Sum counters of this name across a set of stat sets.
+  static u64 total(const std::vector<const StatSet*>& sets,
+                   const std::string& name);
+
+ private:
+  std::map<std::string, u64> counters_;
+};
+
+}  // namespace qcdoc::sim

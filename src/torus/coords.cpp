@@ -1,0 +1,120 @@
+#include "torus/coords.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+namespace qcdoc::torus {
+
+int Shape::volume() const {
+  int v = 1;
+  for (int e : extent) v *= e;
+  return v;
+}
+
+int Shape::dims_used() const {
+  int n = 0;
+  for (int e : extent)
+    if (e > 1) ++n;
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  for (int d = 0; d < kMaxDims; ++d) {
+    if (d) out << "x";
+    out << extent[d];
+  }
+  return out.str();
+}
+
+std::string Coord::to_string() const {
+  std::ostringstream out;
+  out << "(";
+  for (int d = 0; d < kMaxDims; ++d) {
+    if (d) out << ",";
+    out << c[d];
+  }
+  out << ")";
+  return out.str();
+}
+
+LinkIndex link_index(int dim, Dir dir) {
+  assert(dim >= 0 && dim < kMaxDims);
+  return LinkIndex{2 * dim + (dir == Dir::kPlus ? 0 : 1)};
+}
+
+int link_dim(LinkIndex l) { return l.value / 2; }
+
+Dir link_dir(LinkIndex l) { return (l.value % 2) == 0 ? Dir::kPlus : Dir::kMinus; }
+
+LinkIndex facing_link(LinkIndex l) {
+  return link_index(link_dim(l), opposite(link_dir(l)));
+}
+
+Torus::Torus(Shape shape) : shape_(shape), volume_(shape.volume()) {
+  assert(volume_ > 0);
+  int s = 1;
+  for (int d = 0; d < kMaxDims; ++d) {
+    stride_[d] = s;
+    s *= shape_.extent[d];
+  }
+}
+
+NodeId Torus::id(const Coord& c) const {
+  u32 v = 0;
+  for (int d = 0; d < kMaxDims; ++d) {
+    assert(c.c[d] >= 0 && c.c[d] < shape_.extent[d]);
+    v += static_cast<u32>(c.c[d] * stride_[d]);
+  }
+  return NodeId{v};
+}
+
+Coord Torus::coord(NodeId n) const {
+  assert(n.value < static_cast<u32>(volume_));
+  Coord c;
+  u32 rest = n.value;
+  for (int d = 0; d < kMaxDims; ++d) {
+    c.c[d] = static_cast<int>(rest % static_cast<u32>(shape_.extent[d]));
+    rest /= static_cast<u32>(shape_.extent[d]);
+  }
+  return c;
+}
+
+NodeId Torus::neighbor(NodeId n, int dim, Dir dir) const {
+  Coord c = coord(n);
+  const int e = shape_.extent[dim];
+  c.c[dim] = (c.c[dim] + static_cast<int>(dir) + e) % e;
+  return id(c);
+}
+
+NodeId Torus::neighbor(NodeId n, LinkIndex l) const {
+  return neighbor(n, link_dim(l), link_dir(l));
+}
+
+int Torus::distance(NodeId a, NodeId b) const {
+  const Coord ca = coord(a);
+  const Coord cb = coord(b);
+  int dist = 0;
+  for (int d = 0; d < kMaxDims; ++d) {
+    const int e = shape_.extent[d];
+    int delta = std::abs(ca.c[d] - cb.c[d]);
+    dist += std::min(delta, e - delta);
+  }
+  return dist;
+}
+
+std::vector<Torus::Edge> Torus::edges() const {
+  std::vector<Edge> result;
+  result.reserve(static_cast<std::size_t>(volume_) * kLinksPerNode);
+  for (int n = 0; n < volume_; ++n) {
+    const NodeId from{static_cast<u32>(n)};
+    for (int l = 0; l < kLinksPerNode; ++l) {
+      const LinkIndex link{l};
+      result.push_back(Edge{from, link, neighbor(from, link)});
+    }
+  }
+  return result;
+}
+
+}  // namespace qcdoc::torus

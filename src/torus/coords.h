@@ -1,0 +1,87 @@
+// Six-dimensional torus topology: coordinates, node ids, links.
+//
+// QCDOC's mesh is a 6-D torus; each node has 12 nearest neighbours and the
+// SCU drives 24 independent unidirectional connections (one send and one
+// receive per neighbour).  Links are indexed 0..11 as (dim, direction):
+//   link = 2*dim + (direction == +1 ? 0 : 1).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qcdoc::torus {
+
+inline constexpr int kMaxDims = 6;
+inline constexpr int kLinksPerNode = 2 * kMaxDims;
+
+/// Extents of the 6-D machine mesh.  Unused dimensions have extent 1.
+struct Shape {
+  std::array<int, kMaxDims> extent{1, 1, 1, 1, 1, 1};
+
+  int volume() const;
+  int dims_used() const;  ///< number of dimensions with extent > 1
+  std::string to_string() const;
+  friend bool operator==(const Shape&, const Shape&) = default;
+};
+
+struct Coord {
+  std::array<int, kMaxDims> c{0, 0, 0, 0, 0, 0};
+  friend bool operator==(const Coord&, const Coord&) = default;
+  std::string to_string() const;
+};
+
+/// Direction along a dimension: +1 or -1.
+enum class Dir : int { kPlus = +1, kMinus = -1 };
+
+inline Dir opposite(Dir d) { return d == Dir::kPlus ? Dir::kMinus : Dir::kPlus; }
+
+/// Link index within a node, 0..11.
+struct LinkIndex {
+  int value = 0;
+  friend bool operator==(LinkIndex, LinkIndex) = default;
+  friend auto operator<=>(LinkIndex, LinkIndex) = default;
+};
+
+LinkIndex link_index(int dim, Dir dir);
+int link_dim(LinkIndex l);
+Dir link_dir(LinkIndex l);
+/// The link on the *receiving* node that faces a sender's `l`.
+LinkIndex facing_link(LinkIndex l);
+
+/// The machine mesh: bijective node-id <-> coordinate mapping and neighbour
+/// arithmetic with periodic wraparound.
+class Torus {
+ public:
+  explicit Torus(Shape shape);
+
+  const Shape& shape() const { return shape_; }
+  int num_nodes() const { return volume_; }
+
+  NodeId id(const Coord& c) const;
+  Coord coord(NodeId n) const;
+
+  /// Nearest neighbour of `n` one step along `dim` in direction `dir`.
+  NodeId neighbor(NodeId n, int dim, Dir dir) const;
+  NodeId neighbor(NodeId n, LinkIndex l) const;
+
+  /// Minimal hop distance between two nodes on the torus.
+  int distance(NodeId a, NodeId b) const;
+
+  /// All (node, link) pairs; every unidirectional physical connection once.
+  struct Edge {
+    NodeId from;
+    LinkIndex link;
+    NodeId to;
+  };
+  std::vector<Edge> edges() const;
+
+ private:
+  Shape shape_;
+  int volume_;
+  std::array<int, kMaxDims> stride_;
+};
+
+}  // namespace qcdoc::torus

@@ -1,0 +1,187 @@
+#include "torus/partition.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace qcdoc::torus {
+
+FoldSpec FoldSpec::identity(int dims) {
+  FoldSpec spec;
+  spec.groups.resize(static_cast<std::size_t>(dims));
+  for (int d = 0; d < dims; ++d) spec.groups[static_cast<std::size_t>(d)] = {d};
+  return spec;
+}
+
+Partition::Partition(const Torus* machine, FoldSpec spec, Coord origin, Shape box)
+    : machine_(machine), spec_(std::move(spec)), origin_(origin), box_(box) {
+  assert(!spec_.groups.empty() &&
+         static_cast<int>(spec_.groups.size()) <= kMaxDims);
+  // Every machine dim appears in at most one group; box extents of unfolded
+  // dims must be 1; the box must fit inside the machine.
+  std::array<bool, kMaxDims> used{};
+  for (const auto& g : spec_.groups) {
+    assert(!g.empty());
+    for (int m : g) {
+      assert(m >= 0 && m < kMaxDims && !used[static_cast<std::size_t>(m)]);
+      used[static_cast<std::size_t>(m)] = true;
+    }
+  }
+  for (int m = 0; m < kMaxDims; ++m) {
+    assert(box_.extent[m] >= 1);
+    assert(origin_.c[m] + box_.extent[m] <= machine_->shape().extent[m]);
+    if (!used[static_cast<std::size_t>(m)]) assert(box_.extent[m] == 1);
+  }
+  for (std::size_t l = 0; l < spec_.groups.size(); ++l) {
+    int e = 1;
+    for (int m : spec_.groups[l]) e *= box_.extent[m];
+    logical_shape_.extent[l] = e;
+  }
+}
+
+Partition Partition::whole_machine(const Torus& machine, FoldSpec spec) {
+  return Partition(&machine, std::move(spec), Coord{}, machine.shape());
+}
+
+int Partition::rank(const Coord& logical) const {
+  int r = 0;
+  for (int l = logical_dims() - 1; l >= 0; --l) {
+    assert(logical.c[l] >= 0 && logical.c[l] < logical_shape_.extent[l]);
+    r = r * logical_shape_.extent[l] + logical.c[l];
+  }
+  return r;
+}
+
+Coord Partition::logical_coord(int rank_value) const {
+  assert(rank_value >= 0 && rank_value < num_nodes());
+  Coord c;
+  for (int l = 0; l < logical_dims(); ++l) {
+    c.c[l] = rank_value % logical_shape_.extent[l];
+    rank_value /= logical_shape_.extent[l];
+  }
+  return c;
+}
+
+void Partition::decode_group(int g, int index, Coord& machine_offset) const {
+  // Mixed-radix reflected Gray decode: consecutive indices differ by +-1 in
+  // exactly one machine-dim offset.  Digits are processed most-significant
+  // (last machine dim in the group) first; odd digits reflect the remainder.
+  const auto& dims = spec_.groups[static_cast<std::size_t>(g)];
+  int volume = 1;
+  for (int m : dims) volume *= box_.extent[m];
+  int rem = index;
+  for (std::size_t k = dims.size(); k-- > 0;) {
+    const int m = dims[k];
+    const int e = box_.extent[m];
+    volume /= e;
+    const int digit = rem / volume;
+    rem %= volume;
+    machine_offset.c[m] = digit;
+    if (digit % 2 == 1) rem = volume - 1 - rem;  // reflected sweep
+  }
+}
+
+NodeId Partition::node(const Coord& logical) const {
+  Coord mc = origin_;
+  for (int l = 0; l < logical_dims(); ++l) {
+    Coord offset;
+    decode_group(l, logical.c[l], offset);
+    for (int m : spec_.groups[static_cast<std::size_t>(l)])
+      mc.c[m] = origin_.c[m] + offset.c[m];
+  }
+  return machine_->id(mc);
+}
+
+Coord Partition::logical_of_node(NodeId n) const {
+  // Partitions are small enough (machine-sized at most) that the inverse map
+  // is built on demand; callers needing repeated lookups should cache nodes().
+  for (int r = 0; r < num_nodes(); ++r) {
+    const Coord lc = logical_coord(r);
+    if (node(lc) == n) return lc;
+  }
+  assert(false && "node not in partition");
+  return Coord{};
+}
+
+std::vector<NodeId> Partition::nodes() const {
+  std::vector<NodeId> result;
+  result.reserve(static_cast<std::size_t>(num_nodes()));
+  for (int r = 0; r < num_nodes(); ++r) result.push_back(node(logical_coord(r)));
+  return result;
+}
+
+Partition::Step Partition::step(const Coord& logical, int ldim, Dir dir) const {
+  assert(ldim >= 0 && ldim < logical_dims());
+  Coord to_logical = logical;
+  const int e = logical_shape_.extent[ldim];
+  to_logical.c[ldim] = (to_logical.c[ldim] + static_cast<int>(dir) + e) % e;
+
+  Step s;
+  s.from = node(logical);
+  s.to = node(to_logical);
+  s.single_hop = false;
+  s.link = LinkIndex{0};
+
+  const Coord ca = machine_->coord(s.from);
+  const Coord cb = machine_->coord(s.to);
+  int diff_dim = -1;
+  for (int m = 0; m < kMaxDims; ++m) {
+    if (ca.c[m] != cb.c[m]) {
+      if (diff_dim != -1) return s;  // differs in >1 machine dim: multi-hop
+      diff_dim = m;
+    }
+  }
+  if (diff_dim == -1) {
+    // Logical extent 1: the step loops back to the same node over the
+    // self-connected wire of this group's first machine dim.  Using the
+    // requested direction keeps +/- shifts on distinct physical links.
+    s.single_hop = true;
+    const int self_dim = spec_.groups[static_cast<std::size_t>(ldim)].front();
+    s.link = link_index(self_dim, dir == Dir::kPlus ? Dir::kPlus : Dir::kMinus);
+    return s;
+  }
+  const int me = machine_->shape().extent[diff_dim];
+  const int delta = cb.c[diff_dim] - ca.c[diff_dim];
+  Dir mdir;
+  if (delta == 1 || delta == -(me - 1)) {
+    mdir = Dir::kPlus;
+  } else if (delta == -1 || delta == me - 1) {
+    mdir = Dir::kMinus;
+  } else {
+    return s;  // non-neighbour jump (imperfect wrap)
+  }
+  // Machine extent 2: +1 and -1 reach the same node over *different* physical
+  // links.  Spread logical directions over both links to avoid contention.
+  if (me == 2) mdir = (dir == Dir::kPlus) ? Dir::kPlus : Dir::kMinus;
+  s.single_hop = true;
+  s.link = link_index(diff_dim, mdir);
+  return s;
+}
+
+bool Partition::wrap_is_single_hop(int ldim) const {
+  const int e = logical_shape_.extent[ldim];
+  if (e <= 2) return true;
+  Coord edge;
+  edge.c[ldim] = e - 1;
+  return step(edge, ldim, Dir::kPlus).single_hop;
+}
+
+bool Partition::is_true_torus() const {
+  for (int l = 0; l < logical_dims(); ++l) {
+    const int e = logical_shape_.extent[l];
+    for (int x = 0; x < e; ++x) {
+      Coord c;
+      c.c[l] = x;
+      if (!step(c, l, Dir::kPlus).single_hop) return false;
+      if (!step(c, l, Dir::kMinus).single_hop) return false;
+    }
+  }
+  return true;
+}
+
+Partition fold_to_4d(const Torus& machine) {
+  FoldSpec spec;
+  spec.groups = {{0}, {1}, {2}, {3, 4, 5}};
+  return Partition::whole_machine(machine, spec);
+}
+
+}  // namespace qcdoc::torus

@@ -1,0 +1,91 @@
+// Software partitioning of the 6-D machine into lower-dimensional tori.
+//
+// The paper (Sections 2.2, 3.1): "we chose to make the mesh network six
+// dimensional, so we can make lower-dimensional partitions of the machine in
+// software, without moving cables".  A logical dimension of a partition is
+// produced by *folding* one or more machine dimensions: we embed the logical
+// axis into the machine sub-mesh with a mixed-radix reflected Gray code, so
+// every unit step along the logical axis is exactly one physical hop.  The
+// logical wraparound is also a single hop whenever the most-significant
+// folded extent is even (always true for QCDOC's power-of-two meshes) and
+// spans the full machine dimension (or has extent 2).
+#pragma once
+
+#include <vector>
+
+#include "torus/coords.h"
+
+namespace qcdoc::torus {
+
+/// How machine dimensions combine into logical dimensions.
+/// `groups[l]` lists the machine dims folded into logical dim `l`, fastest
+/// varying first.  Machine dims not mentioned must have box extent 1.
+struct FoldSpec {
+  std::vector<std::vector<int>> groups;
+
+  /// Identity fold: logical dim l = machine dim l, for `dims` dimensions.
+  static FoldSpec identity(int dims);
+};
+
+/// A partition: a box of the machine mesh plus a fold of its dimensions into
+/// a logical torus of dimensionality 1..6.
+class Partition {
+ public:
+  /// `origin` and `box` select the machine sub-mesh (box extents must fit the
+  /// machine shape); `spec` folds the box dims into logical dims.
+  Partition(const Torus* machine, FoldSpec spec, Coord origin, Shape box);
+
+  /// Fold the entire machine.
+  static Partition whole_machine(const Torus& machine, FoldSpec spec);
+
+  int logical_dims() const { return static_cast<int>(spec_.groups.size()); }
+  const Shape& logical_shape() const { return logical_shape_; }
+  int num_nodes() const { return logical_shape_.volume(); }
+  const Torus& machine() const { return *machine_; }
+
+  /// Rank <-> logical coordinate (rank is row-major over logical dims).
+  int rank(const Coord& logical) const;
+  Coord logical_coord(int rank) const;
+
+  /// Machine node hosting a logical coordinate.
+  NodeId node(const Coord& logical) const;
+  /// Inverse: logical coordinate of a machine node in this partition.
+  Coord logical_of_node(NodeId n) const;
+  /// All machine nodes of the partition, in rank order.
+  std::vector<NodeId> nodes() const;
+
+  /// One unit step along logical dim `ldim`.
+  struct Step {
+    NodeId from;
+    NodeId to;
+    LinkIndex link;       ///< machine link carrying the hop (valid iff single_hop)
+    bool single_hop;      ///< false only for non-neighbour logical wraps
+  };
+  Step step(const Coord& logical, int ldim, Dir dir) const;
+
+  /// True if the logical wraparound of `ldim` is a single physical hop, i.e.
+  /// periodic boundary conditions in this logical dim cost the same as any
+  /// interior hop.
+  bool wrap_is_single_hop(int ldim) const;
+
+  /// True when every node pair that is logically adjacent (including wraps)
+  /// is physically adjacent: the partition behaves as a true torus.
+  bool is_true_torus() const;
+
+ private:
+  /// Machine-dim offsets (within the box) of logical index `i` in group `g`.
+  void decode_group(int g, int index, Coord& machine_offset) const;
+
+  const Torus* machine_;
+  FoldSpec spec_;
+  Coord origin_;
+  Shape box_;
+  Shape logical_shape_;
+};
+
+/// Convenience: fold a 6-D machine into the 4-D torus QCD runs on, combining
+/// trailing machine dims into the last logical dim.  E.g. 8x4x4x2x2x2 ->
+/// 8x4x4x8 (dims 3,4,5 folded into logical t).
+Partition fold_to_4d(const Torus& machine);
+
+}  // namespace qcdoc::torus

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "comms/comms.h"
+#include "comms/global_sum.h"
+#include "machine/bsp.h"
+
+namespace qcdoc::comms {
+namespace {
+
+struct CommFixture {
+  machine::Machine m;
+  torus::Partition partition;
+  Communicator comm;
+
+  explicit CommFixture(std::array<int, 6> extents,
+                       torus::FoldSpec fold = torus::FoldSpec::identity(4))
+      : m([&] {
+          machine::MachineConfig cfg;
+          cfg.shape.extent = extents;
+          return cfg;
+        }()),
+        partition(torus::Partition::whole_machine(m.topology(), fold)),
+        comm(&m, &partition) {
+    m.power_on();
+  }
+};
+
+TEST(Communicator, ShiftMovesDataAroundARing) {
+  CommFixture f({4, 1, 1, 1, 1, 1}, torus::FoldSpec::identity(1));
+  const int n = f.comm.num_nodes();
+  std::vector<scu::DmaDescriptor> sends(static_cast<std::size_t>(n));
+  std::vector<scu::DmaDescriptor> recvs(static_cast<std::size_t>(n));
+  std::vector<memsys::Block> src(static_cast<std::size_t>(n));
+  std::vector<memsys::Block> dst(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto& mem = f.m.memory(f.comm.node_of_rank(r));
+    src[static_cast<std::size_t>(r)] = mem.alloc(8, "src");
+    dst[static_cast<std::size_t>(r)] = mem.alloc(8, "dst");
+    for (u64 i = 0; i < 8; ++i) {
+      mem.write_word(src[static_cast<std::size_t>(r)].word_addr + i,
+                     static_cast<u64>(r) * 100 + i);
+    }
+    sends[static_cast<std::size_t>(r)] = scu::DmaDescriptor{
+        src[static_cast<std::size_t>(r)].word_addr, 8, 1, 0};
+    recvs[static_cast<std::size_t>(r)] = scu::DmaDescriptor{
+        dst[static_cast<std::size_t>(r)].word_addr, 8, 1, 0};
+  }
+  f.comm.post_shift(0, torus::Dir::kPlus, sends, recvs);
+  EXPECT_TRUE(f.m.mesh().drain());
+  // Rank r's data landed at rank r+1.
+  for (int r = 0; r < n; ++r) {
+    const int from = (r - 1 + n) % n;
+    auto& mem = f.m.memory(f.comm.node_of_rank(r));
+    for (u64 i = 0; i < 8; ++i) {
+      EXPECT_EQ(mem.read_word(dst[static_cast<std::size_t>(r)].word_addr + i),
+                static_cast<u64>(from) * 100 + i);
+    }
+  }
+}
+
+TEST(Communicator, StoredDescriptorsStartWithOneWrite) {
+  CommFixture f({2, 2, 1, 1, 1, 1}, torus::FoldSpec::identity(2));
+  const int n = f.comm.num_nodes();
+  // Uniform layout: same addresses on every node.
+  std::vector<u64> src_addr(static_cast<std::size_t>(n));
+  std::vector<u64> dst_addr(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto& mem = f.m.memory(f.comm.node_of_rank(r));
+    src_addr[static_cast<std::size_t>(r)] = mem.alloc(4, "s").word_addr;
+    dst_addr[static_cast<std::size_t>(r)] = mem.alloc(4, "d").word_addr;
+    for (u64 i = 0; i < 4; ++i) {
+      mem.write_word(src_addr[static_cast<std::size_t>(r)] + i,
+                     static_cast<u64>(r + 1) * 10 + i);
+    }
+  }
+  // Addresses are identical across ranks thanks to identical allocation
+  // histories -- the uniform layout the stored-descriptor API expects.
+  f.comm.store_shift(0, torus::Dir::kPlus,
+                     scu::DmaDescriptor{src_addr[0], 4, 1, 0},
+                     scu::DmaDescriptor{dst_addr[0], 4, 1, 0});
+  f.comm.start_stored();
+  EXPECT_TRUE(f.m.mesh().drain());
+  for (int r = 0; r < n; ++r) {
+    torus::Coord lc = f.partition.logical_coord(r);
+    lc.c[0] = (lc.c[0] - 1 + 2) % 2;
+    const int from = f.partition.rank(lc);
+    auto& mem = f.m.memory(f.comm.node_of_rank(r));
+    EXPECT_EQ(mem.read_word(dst_addr[static_cast<std::size_t>(r)]),
+              static_cast<u64>(from + 1) * 10);
+  }
+}
+
+TEST(Communicator, GlobalSumMatchesDirectSum) {
+  CommFixture f({2, 2, 2, 2, 1, 1});
+  std::vector<double> values;
+  Rng rng(31);
+  for (int r = 0; r < f.comm.num_nodes(); ++r) {
+    values.push_back(rng.next_gaussian());
+  }
+  const auto result = f.comm.global_sum(values);
+  const double direct = partition_global_sum(f.partition, values);
+  EXPECT_EQ(result.value, direct);  // bitwise: canonical order
+  EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(Communicator, GlobalSumIsBitReproducible) {
+  CommFixture f({2, 2, 2, 2, 1, 1});
+  std::vector<double> values;
+  Rng rng(32);
+  for (int r = 0; r < f.comm.num_nodes(); ++r) {
+    values.push_back(rng.next_gaussian() * 1e-3);
+  }
+  const double a = f.comm.global_sum(values).value;
+  const double b = f.comm.global_sum(values).value;
+  EXPECT_EQ(a, b);
+}
+
+TEST(Communicator, DoubledGlobalModeIsFaster) {
+  CommFixture f({8, 2, 2, 2, 1, 1});
+  std::vector<double> values(static_cast<std::size_t>(f.comm.num_nodes()), 1.0);
+  const auto doubled = f.comm.global_sum(values, true);
+  const auto single = f.comm.global_sum(values, false);
+  EXPECT_LT(doubled.cycles, single.cycles);
+  EXPECT_DOUBLE_EQ(doubled.value, single.value);
+}
+
+TEST(Communicator, BroadcastLatencyGrowsWithMachineSize) {
+  CommFixture small_f({2, 2, 2, 2, 1, 1});
+  CommFixture large_f({8, 8, 2, 2, 1, 1});
+  EXPECT_LT(small_f.comm.broadcast_cycles(), large_f.comm.broadcast_cycles());
+}
+
+TEST(GlobalSum, DimensionWiseTimingMatchesRingModel) {
+  CommFixture f({4, 4, 1, 1, 1, 1});
+  scu::GlobalOpTiming t = f.comm.global_timing();
+  const Cycle cycles = partition_global_sum_cycles(f.partition, t, true);
+  // Two dimensions of extent 4 plus two trivial ones.
+  std::vector<double> ring(4, 0.0);
+  const Cycle one_ring = scu::ring_allreduce(t, ring, true).completion_cycles;
+  EXPECT_EQ(cycles, 2 * one_ring);
+}
+
+TEST(GlobalSum, MultiWordSumsPipelinedNotRepeated) {
+  CommFixture f({4, 4, 1, 1, 1, 1});
+  scu::GlobalOpTiming t = f.comm.global_timing();
+  const Cycle one = partition_global_sum_cycles(f.partition, t, true, 1);
+  const Cycle four = partition_global_sum_cycles(f.partition, t, true, 4);
+  EXPECT_GT(four, one);
+  EXPECT_LT(four, 4 * one);  // pipelining beats four separate sums
+}
+
+}  // namespace
+}  // namespace qcdoc::comms
+
+namespace qcdoc::comms {
+namespace {
+
+TEST(Communicator, StoredDescriptorsRestartRepeatedly) {
+  // Paper Section 3.3: "for repetitive transfers over the same link, the
+  // SCU's can store DMA instructions internally, so that only a single
+  // write (start transfer) is needed" -- the halo exchange of every CG
+  // iteration reuses the stored descriptors.
+  CommFixture f({2, 1, 1, 1, 1, 1}, torus::FoldSpec::identity(1));
+  auto& mem0 = f.m.memory(f.comm.node_of_rank(0));
+  auto& mem1 = f.m.memory(f.comm.node_of_rank(1));
+  const auto src0 = mem0.alloc(4, "s");
+  (void)mem1.alloc(4, "s");  // keep layouts uniform
+  const auto dst0 = mem0.alloc(4, "d");
+  (void)mem1.alloc(4, "d");
+  f.comm.store_shift(0, torus::Dir::kPlus,
+                     scu::DmaDescriptor{src0.word_addr, 4, 1, 0},
+                     scu::DmaDescriptor{dst0.word_addr, 4, 1, 0});
+  for (u64 round = 0; round < 5; ++round) {
+    for (u64 i = 0; i < 4; ++i) {
+      mem0.write_word(src0.word_addr + i, round * 100 + i);
+      mem1.write_word(src0.word_addr + i, round * 200 + i);
+    }
+    f.comm.start_stored();  // one write per node restarts everything
+    ASSERT_TRUE(f.m.mesh().drain());
+    for (u64 i = 0; i < 4; ++i) {
+      EXPECT_EQ(mem1.read_word(dst0.word_addr + i), round * 100 + i);
+      EXPECT_EQ(mem0.read_word(dst0.word_addr + i), round * 200 + i);
+    }
+  }
+  EXPECT_TRUE(f.m.mesh().verify_link_checksums());
+}
+
+}  // namespace
+}  // namespace qcdoc::comms

@@ -1,0 +1,552 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "lattice/clover.h"
+#include "lattice/dwf.h"
+#include "lattice/staggered.h"
+#include "lattice/wilson.h"
+#include "lattice_fixture.h"
+
+namespace qcdoc::lattice {
+namespace {
+
+using testing::LatticeRig;
+using testing::fill_by_global_site;
+using testing::fill_gauge_by_global_site;
+using testing::gather_global;
+
+/// Complex inner product <a, b> over gathered global arrays (consecutive
+/// (re, im) pairs).
+Complex global_cdot(const std::vector<double>& a, const std::vector<double>& b) {
+  Complex sum = 0;
+  for (std::size_t i = 0; i + 1 < a.size(); i += 2) {
+    sum += std::conj(Complex(a[i], a[i + 1])) * Complex(b[i], b[i + 1]);
+  }
+  return sum;
+}
+
+double global_max_diff(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+// --- Wilson -----------------------------------------------------------------
+
+TEST(Wilson, FreeFieldConstantSpinorGivesEightPsi) {
+  // Unit gauge, constant psi: Dslash psi = sum_mu [(1-g)+(1+g)] psi = 8 psi.
+  LatticeRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 4, 4});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  gauge.set_unit();
+  WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge, WilsonParams{});
+  DistField in = op.make_field("in");
+  DistField out = op.make_field("out");
+  for (int r = 0; r < in.ranks(); ++r) {
+    for (int s = 0; s < rig.geom->local().volume(); ++s) {
+      double* p = in.site(r, s);
+      for (int k = 0; k < 24; ++k) p[k] = 0.5 + 0.25 * k;
+    }
+  }
+  op.dslash(out, in);
+  for (int r = 0; r < out.ranks(); ++r) {
+    for (int s = 0; s < rig.geom->local().volume(); ++s) {
+      const double* pi = in.site(r, s);
+      const double* po = out.site(r, s);
+      for (int k = 0; k < 24; ++k) {
+        ASSERT_NEAR(po[k], 8.0 * pi[k], 1e-11);
+      }
+    }
+  }
+}
+
+TEST(Wilson, MultiNodeMatchesSingleNode) {
+  // The decisive halo test: the same global problem on 1 node and on 16
+  // nodes must produce identical results.
+  const Coord4 global{4, 4, 4, 4};
+  LatticeRig one({1, 1, 1, 1, 1, 1}, global);
+  LatticeRig many({2, 2, 2, 2, 1, 1}, global);
+
+  auto run = [&](LatticeRig& rig) {
+    GaugeField gauge(rig.comm.get(), rig.geom.get());
+    fill_gauge_by_global_site(*rig.geom, gauge, 0xbeef);
+    WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                   WilsonParams{.kappa = 0.124});
+    DistField in = op.make_field("in");
+    DistField out = op.make_field("out");
+    fill_by_global_site(*rig.geom, in);
+    op.apply(out, in);
+    return gather_global(*rig.geom, out);
+  };
+  const auto a = run(one);
+  const auto b = run(many);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_LT(global_max_diff(a, b), 1e-12);
+}
+
+TEST(Wilson, Gamma5Hermiticity) {
+  // <phi, M psi> == <M^dagger phi, psi> with M^dagger = g5 M g5.
+  LatticeRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 2, 2});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(3);
+  gauge.randomize(rng);
+  WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                 WilsonParams{.kappa = 0.21});
+  DistField psi = op.make_field("psi");
+  DistField phi = op.make_field("phi");
+  DistField mpsi = op.make_field("mpsi");
+  DistField mdphi = op.make_field("mdphi");
+  fill_by_global_site(*rig.geom, psi);
+  // A different deterministic fill for phi.
+  for (int r = 0; r < phi.ranks(); ++r) {
+    for (int s = 0; s < rig.geom->local().volume(); ++s) {
+      const Coord4 g = rig.geom->global_coords(r, s);
+      double* p = phi.site(r, s);
+      for (int k = 0; k < 24; ++k) {
+        p[k] = std::cos(0.3 * g[0] + 0.7 * g[1] - 0.2 * g[2] + g[3] + k);
+      }
+    }
+  }
+  op.apply(mpsi, psi);
+  op.apply_dag(mdphi, phi);
+  const Complex lhs = global_cdot(gather_global(*rig.geom, phi),
+                                  gather_global(*rig.geom, mpsi));
+  const Complex rhs = global_cdot(gather_global(*rig.geom, mdphi),
+                                  gather_global(*rig.geom, psi));
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9 * std::abs(lhs));
+}
+
+TEST(Wilson, SinglePrecisionCommTracksDouble) {
+  const Coord4 global{4, 4, 4, 4};
+  LatticeRig rig_d({2, 2, 1, 1, 1, 1}, global);
+  LatticeRig rig_s({2, 2, 1, 1, 1, 1}, global);
+  auto run = [&](LatticeRig& rig, bool single) {
+    GaugeField gauge(rig.comm.get(), rig.geom.get());
+    fill_gauge_by_global_site(*rig.geom, gauge, 0xf00d);
+    WilsonParams params;
+    params.single_precision = single;
+    WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge, params);
+    DistField in = op.make_field("in");
+    DistField out = op.make_field("out");
+    fill_by_global_site(*rig.geom, in);
+    op.dslash(out, in);
+    return gather_global(*rig.geom, out);
+  };
+  const auto d = run(rig_d, false);
+  const auto s = run(rig_s, true);
+  // Face data went through floats: small but nonzero truncation.
+  const double diff = global_max_diff(d, s);
+  EXPECT_GT(diff, 0.0);
+  EXPECT_LT(diff, 1e-5);
+}
+
+TEST(Wilson, ProfileMatchesCanonicalFlops) {
+  LatticeRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 4, 4});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  gauge.set_unit();
+  WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge, WilsonParams{});
+  const auto site = op.site_profile();
+  const double v = rig.geom->local().volume();
+  EXPECT_DOUBLE_EQ(site.flops(), 1320.0 * v);  // the canonical count
+}
+
+TEST(Wilson, OverlapModeProducesSameResultFaster) {
+  const Coord4 global{8, 8, 4, 4};
+  LatticeRig rig_a({2, 2, 1, 1, 1, 1}, global);
+  LatticeRig rig_b({2, 2, 1, 1, 1, 1}, global);
+  auto run = [&](LatticeRig& rig, bool overlap, Cycle* cycles) {
+    GaugeField gauge(rig.comm.get(), rig.geom.get());
+    fill_gauge_by_global_site(*rig.geom, gauge, 0xaaaa);
+    WilsonParams params;
+    params.overlap_comm = overlap;
+    WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge, params);
+    DistField in = op.make_field("in");
+    DistField out = op.make_field("out");
+    fill_by_global_site(*rig.geom, in);
+    const Cycle t0 = rig.bsp->now();
+    op.dslash(out, in);
+    *cycles = rig.bsp->now() - t0;
+    return gather_global(*rig.geom, out);
+  };
+  Cycle seq = 0, ovl = 0;
+  const auto a = run(rig_a, false, &seq);
+  const auto b = run(rig_b, true, &ovl);
+  EXPECT_LT(global_max_diff(a, b), 1e-12);
+  EXPECT_LT(ovl, seq);
+}
+
+// --- Clover -----------------------------------------------------------------
+
+TEST(Clover, UnitGaugeReducesToWilson) {
+  // F = 0 for a free field, so A = 1 and M_clover = M_wilson.
+  const Coord4 global{4, 4, 4, 4};
+  LatticeRig rig_c({2, 2, 1, 1, 1, 1}, global);
+  LatticeRig rig_w({2, 2, 1, 1, 1, 1}, global);
+  GaugeField gauge_c(rig_c.comm.get(), rig_c.geom.get());
+  GaugeField gauge_w(rig_w.comm.get(), rig_w.geom.get());
+  gauge_c.set_unit();
+  gauge_w.set_unit();
+  CloverDirac clover(rig_c.ops.get(), rig_c.geom.get(), &gauge_c,
+                     CloverParams{.kappa = 0.124, .csw = 1.3});
+  WilsonDirac wilson(rig_w.ops.get(), rig_w.geom.get(), &gauge_w,
+                     WilsonParams{.kappa = 0.124});
+  DistField in_c = clover.make_field("in");
+  DistField out_c = clover.make_field("out");
+  DistField in_w = wilson.make_field("in");
+  DistField out_w = wilson.make_field("out");
+  fill_by_global_site(*rig_c.geom, in_c);
+  fill_by_global_site(*rig_w.geom, in_w);
+  clover.apply(out_c, in_c);
+  wilson.apply(out_w, in_w);
+  EXPECT_LT(global_max_diff(gather_global(*rig_c.geom, out_c),
+                            gather_global(*rig_w.geom, out_w)),
+            1e-11);
+}
+
+TEST(Clover, CloverTermIsHermitian) {
+  LatticeRig rig({2, 1, 1, 1, 1, 1}, {4, 4, 2, 2});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(8);
+  gauge.randomize_near_unit(rng, 0.2);
+  CloverDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                 CloverParams{.kappa = 0.1, .csw = 1.0});
+  DistField psi = op.make_field("psi");
+  DistField phi = op.make_field("phi");
+  DistField apsi = op.make_field("apsi");
+  DistField aphi = op.make_field("aphi");
+  fill_by_global_site(*rig.geom, psi);
+  for (int r = 0; r < phi.ranks(); ++r) {
+    for (int s = 0; s < rig.geom->local().volume(); ++s) {
+      double* p = phi.site(r, s);
+      for (int k = 0; k < 24; ++k) p[k] = std::sin(1.0 + 0.37 * s + k);
+    }
+  }
+  op.apply_clover_term(apsi, psi);
+  op.apply_clover_term(aphi, phi);
+  const Complex lhs = global_cdot(gather_global(*rig.geom, phi),
+                                  gather_global(*rig.geom, apsi));
+  const Complex rhs = global_cdot(gather_global(*rig.geom, aphi),
+                                  gather_global(*rig.geom, psi));
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-10 * (1.0 + std::abs(lhs)));
+}
+
+TEST(Clover, MultiNodeMatchesSingleNode) {
+  const Coord4 global{4, 4, 4, 4};
+  LatticeRig one({1, 1, 1, 1, 1, 1}, global);
+  LatticeRig many({2, 2, 2, 2, 1, 1}, global);
+  auto run = [&](LatticeRig& rig) {
+    GaugeField gauge(rig.comm.get(), rig.geom.get());
+    fill_gauge_by_global_site(*rig.geom, gauge, 0xc1c1);
+    CloverDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                   CloverParams{.kappa = 0.124, .csw = 1.0});
+    DistField in = op.make_field("in");
+    DistField out = op.make_field("out");
+    fill_by_global_site(*rig.geom, in);
+    op.apply(out, in);
+    return gather_global(*rig.geom, out);
+  };
+  EXPECT_LT(global_max_diff(run(one), run(many)), 1e-11);
+}
+
+TEST(Clover, Gamma5Hermiticity) {
+  LatticeRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 2, 2});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(9);
+  gauge.randomize(rng);
+  CloverDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                 CloverParams{.kappa = 0.15, .csw = 1.7});
+  DistField psi = op.make_field("psi");
+  DistField phi = op.make_field("phi");
+  DistField mpsi = op.make_field("mpsi");
+  DistField mdphi = op.make_field("mdphi");
+  fill_by_global_site(*rig.geom, psi);
+  for (int r = 0; r < phi.ranks(); ++r) {
+    for (int s = 0; s < rig.geom->local().volume(); ++s) {
+      double* p = phi.site(r, s);
+      for (int k = 0; k < 24; ++k) p[k] = std::cos(0.11 * s * k + k);
+    }
+  }
+  op.apply(mpsi, psi);
+  op.apply_dag(mdphi, phi);
+  const Complex lhs = global_cdot(gather_global(*rig.geom, phi),
+                                  gather_global(*rig.geom, mpsi));
+  const Complex rhs = global_cdot(gather_global(*rig.geom, mdphi),
+                                  gather_global(*rig.geom, psi));
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9 * (1.0 + std::abs(lhs)));
+}
+
+// --- ASQTAD staggered -------------------------------------------------------
+
+TEST(Asqtad, UnitGaugeSmearedLinksAreNormalized) {
+  // c1 + 6*c3 = 5/8 + 6/16 = 1: a free field keeps V = 1, W = naik * 1.
+  LatticeRig rig({2, 1, 1, 1, 1, 1}, {8, 4, 4, 4});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  gauge.set_unit();
+  AsqtadDirac op(rig.ops.get(), rig.geom.get(), &gauge, AsqtadParams{});
+  const Su3Matrix v = op.fat_link(0, 0, 1);
+  const Su3Matrix one = Su3Matrix::identity();
+  for (std::size_t k = 0; k < 9; ++k) {
+    EXPECT_NEAR(std::abs(v.m[k] - one.m[k]), 0.0, 1e-13);
+  }
+  const Su3Matrix w = op.long_link(0, 0, 2);
+  EXPECT_NEAR(std::abs(w.at(0, 0) - Complex(-1.0 / 24.0)), 0.0, 1e-13);
+}
+
+TEST(Asqtad, FreeFieldConstantVectorIsAnnihilated) {
+  // D is a lattice derivative: it kills constant fields.
+  LatticeRig rig({2, 2, 1, 1, 1, 1}, {8, 8, 4, 4});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  gauge.set_unit();
+  AsqtadDirac op(rig.ops.get(), rig.geom.get(), &gauge, AsqtadParams{});
+  DistField in = op.make_field("in");
+  DistField out = op.make_field("out");
+  for (int r = 0; r < in.ranks(); ++r) {
+    for (int s = 0; s < rig.geom->local().volume(); ++s) {
+      double* p = in.site(r, s);
+      for (int k = 0; k < 6; ++k) p[k] = 1.0 + 0.1 * k;
+    }
+  }
+  op.dslash(out, in);
+  for (int r = 0; r < out.ranks(); ++r) {
+    for (int s = 0; s < rig.geom->local().volume(); ++s) {
+      const double* p = out.site(r, s);
+      for (int k = 0; k < 6; ++k) ASSERT_NEAR(p[k], 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Asqtad, MultiNodeMatchesSingleNode) {
+  const Coord4 global{6, 6, 6, 6};
+  LatticeRig one({1, 1, 1, 1, 1, 1}, global);
+  LatticeRig many({2, 2, 2, 2, 1, 1}, global);
+  auto run = [&](LatticeRig& rig) {
+    GaugeField gauge(rig.comm.get(), rig.geom.get());
+    fill_gauge_by_global_site(*rig.geom, gauge, 0x57a6);
+    AsqtadDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                   AsqtadParams{.mass = 0.07});
+    DistField in = op.make_field("in");
+    DistField out = op.make_field("out");
+    fill_by_global_site(*rig.geom, in);
+    op.apply(out, in);
+    return gather_global(*rig.geom, out);
+  };
+  EXPECT_LT(global_max_diff(run(one), run(many)), 1e-11);
+}
+
+TEST(Asqtad, HoppingTermIsAntiHermitian) {
+  LatticeRig rig({2, 2, 1, 1, 1, 1}, {8, 8, 4, 4});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(10);
+  gauge.randomize(rng);
+  AsqtadDirac op(rig.ops.get(), rig.geom.get(), &gauge, AsqtadParams{});
+  DistField psi = op.make_field("psi");
+  DistField phi = op.make_field("phi");
+  DistField dpsi = op.make_field("dpsi");
+  DistField dphi = op.make_field("dphi");
+  fill_by_global_site(*rig.geom, psi);
+  for (int r = 0; r < phi.ranks(); ++r) {
+    for (int s = 0; s < rig.geom->local().volume(); ++s) {
+      double* p = phi.site(r, s);
+      for (int k = 0; k < 6; ++k) p[k] = std::sin(0.7 * s + 1.3 * k);
+    }
+  }
+  op.dslash(dpsi, psi);
+  op.dslash(dphi, phi);
+  const Complex lhs = global_cdot(gather_global(*rig.geom, phi),
+                                  gather_global(*rig.geom, dpsi));
+  const Complex rhs = global_cdot(gather_global(*rig.geom, dphi),
+                                  gather_global(*rig.geom, psi));
+  // <phi, D psi> = -conj(<psi, D phi>) = -<D phi, psi>
+  EXPECT_NEAR(std::abs(lhs + rhs), 0.0, 1e-9 * (1.0 + std::abs(lhs)));
+}
+
+// --- Domain wall ------------------------------------------------------------
+
+TEST(Dwf, MultiNodeMatchesSingleNode) {
+  const Coord4 global{4, 4, 2, 2};
+  LatticeRig one({1, 1, 1, 1, 1, 1}, global);
+  LatticeRig many({2, 2, 1, 1, 1, 1}, global);
+  auto run = [&](LatticeRig& rig) {
+    GaugeField gauge(rig.comm.get(), rig.geom.get());
+    fill_gauge_by_global_site(*rig.geom, gauge, 0xd3f);
+    DwfDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                DwfParams{.ls = 4, .kappa5 = 0.17, .mf = 0.05});
+    DistField in = op.make_field("in");
+    DistField out = op.make_field("out");
+    fill_by_global_site(*rig.geom, in);
+    op.apply(out, in);
+    return gather_global(*rig.geom, out);
+  };
+  EXPECT_LT(global_max_diff(run(one), run(many)), 1e-11);
+}
+
+TEST(Dwf, DaggerIsTrueAdjoint) {
+  LatticeRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 2, 2});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(11);
+  gauge.randomize(rng);
+  DwfDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+              DwfParams{.ls = 6, .kappa5 = 0.2, .mf = 0.1});
+  DistField psi = op.make_field("psi");
+  DistField phi = op.make_field("phi");
+  DistField mpsi = op.make_field("mpsi");
+  DistField mdphi = op.make_field("mdphi");
+  fill_by_global_site(*rig.geom, psi);
+  for (int r = 0; r < phi.ranks(); ++r) {
+    for (int s = 0; s < rig.geom->local().volume(); ++s) {
+      double* p = phi.site(r, s);
+      for (int k = 0; k < phi.site_doubles(); ++k) {
+        p[k] = std::cos(0.05 * s + 0.21 * k);
+      }
+    }
+  }
+  op.apply(mpsi, psi);
+  op.apply_dag(mdphi, phi);
+  const Complex lhs = global_cdot(gather_global(*rig.geom, phi),
+                                  gather_global(*rig.geom, mpsi));
+  const Complex rhs = global_cdot(gather_global(*rig.geom, mdphi),
+                                  gather_global(*rig.geom, psi));
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9 * (1.0 + std::abs(lhs)));
+}
+
+TEST(Dwf, GaugeReuseRaisesArithmeticIntensity) {
+  LatticeRig rig({2, 1, 1, 1, 1, 1}, {4, 4, 2, 2});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  gauge.set_unit();
+  DwfDirac dwf8(rig.ops.get(), rig.geom.get(), &gauge, DwfParams{.ls = 8});
+  DwfDirac dwf16(rig.ops.get(), rig.geom.get(), &gauge, DwfParams{.ls = 16});
+  const auto p8 = dwf8.site_profile();
+  const auto p16 = dwf16.site_profile();
+  const double intensity8 = p8.flops() / (p8.load_bytes + p8.store_bytes);
+  const double intensity16 = p16.flops() / (p16.load_bytes + p16.store_bytes);
+  EXPECT_GT(intensity16, intensity8);
+}
+
+}  // namespace
+}  // namespace qcdoc::lattice
+
+namespace qcdoc::lattice {
+namespace {
+
+// The ultimate partitioning test: QCD on a 6-D machine folded down to a
+// 4-D logical torus (the paper's reason for building six dimensions) must
+// reproduce the single-node answer exactly.
+TEST(Wilson, FoldedSixDimensionalMachineMatchesSingleNode) {
+  const Coord4 global{4, 4, 4, 8};
+
+  // Reference: one node.
+  LatticeRig one({1, 1, 1, 1, 1, 1}, global);
+  GaugeField gauge1(one.comm.get(), one.geom.get());
+  testing::fill_gauge_by_global_site(*one.geom, gauge1, 0xf01d);
+  WilsonDirac op1(one.ops.get(), one.geom.get(), &gauge1,
+                  WilsonParams{.kappa = 0.124});
+  DistField in1 = op1.make_field("in");
+  DistField out1 = op1.make_field("out");
+  fill_by_global_site(*one.geom, in1);
+  op1.apply(out1, in1);
+  const auto ref = gather_global(*one.geom, out1);
+
+  // A full 2^6 hypercube (the paper's motherboard!) folded to 2x2x2x8.
+  machine::MachineConfig cfg;
+  cfg.shape.extent = {2, 2, 2, 2, 2, 2};
+  machine::Machine m(cfg);
+  m.power_on();
+  const torus::Partition folded = torus::fold_to_4d(m.topology());
+  ASSERT_TRUE(folded.is_true_torus());
+  ASSERT_EQ(folded.logical_shape().extent[3], 8);
+  comms::Communicator comm(&m, &folded);
+  GlobalGeometry geom(&folded, global);
+  machine::BspRunner bsp(&m);
+  cpu::CpuModel cpu_model(m.hw(), m.mem_timing());
+  FieldOps ops(&bsp, &cpu_model, &comm);
+  GaugeField gauge2(&comm, &geom);
+  testing::fill_gauge_by_global_site(geom, gauge2, 0xf01d);
+  WilsonDirac op2(&ops, &geom, &gauge2, WilsonParams{.kappa = 0.124});
+  DistField in2 = op2.make_field("in");
+  DistField out2 = op2.make_field("out");
+  fill_by_global_site(geom, in2);
+  op2.apply(out2, in2);
+  const auto folded_result = gather_global(geom, out2);
+
+  ASSERT_EQ(ref.size(), folded_result.size());
+  EXPECT_LT(global_max_diff(ref, folded_result), 1e-12);
+  EXPECT_TRUE(m.mesh().verify_link_checksums());
+}
+
+// Machine-shape sweep: the same physics on every distribution.
+struct ShapeCase {
+  std::array<int, 6> machine;
+  Coord4 global;
+};
+
+class DistributionSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(DistributionSweep, WilsonApplyIsDistributionInvariant) {
+  const auto& c = GetParam();
+  LatticeRig one({1, 1, 1, 1, 1, 1}, c.global);
+  LatticeRig many(c.machine, c.global);
+  auto run = [&](LatticeRig& rig) {
+    GaugeField gauge(rig.comm.get(), rig.geom.get());
+    testing::fill_gauge_by_global_site(*rig.geom, gauge, 0xabc);
+    WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                   WilsonParams{.kappa = 0.13});
+    DistField in = op.make_field("in");
+    DistField out = op.make_field("out");
+    fill_by_global_site(*rig.geom, in);
+    op.apply(out, in);
+    return gather_global(*rig.geom, out);
+  };
+  EXPECT_LT(global_max_diff(run(one), run(many)), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistributionSweep,
+    ::testing::Values(ShapeCase{{2, 1, 1, 1, 1, 1}, {4, 4, 2, 2}},
+                      ShapeCase{{4, 1, 1, 1, 1, 1}, {8, 4, 2, 2}},
+                      ShapeCase{{2, 2, 1, 1, 1, 1}, {4, 4, 2, 2}},
+                      ShapeCase{{1, 2, 2, 1, 1, 1}, {2, 4, 4, 2}},
+                      ShapeCase{{2, 2, 2, 2, 1, 1}, {4, 4, 4, 4}},
+                      ShapeCase{{4, 2, 1, 2, 1, 1}, {8, 4, 2, 4}}));
+
+// Domain-wall Ls sweep: adjoint identity must hold for every fifth-
+// dimension extent.
+class LsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LsSweep, DwfAdjointIdentity) {
+  const int ls = GetParam();
+  LatticeRig rig({2, 1, 1, 1, 1, 1}, {4, 2, 2, 2});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(60 + ls);
+  gauge.randomize(rng);
+  DwfDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+              DwfParams{.ls = ls, .kappa5 = 0.19, .mf = 0.07});
+  DistField psi = op.make_field("psi");
+  DistField phi = op.make_field("phi");
+  DistField mpsi = op.make_field("mpsi");
+  DistField mdphi = op.make_field("mdphi");
+  fill_by_global_site(*rig.geom, psi);
+  for (int r = 0; r < phi.ranks(); ++r) {
+    for (int s = 0; s < rig.geom->local().volume(); ++s) {
+      double* p = phi.site(r, s);
+      for (int k = 0; k < phi.site_doubles(); ++k) {
+        p[k] = std::sin(0.03 * s * k + 0.5 * k);
+      }
+    }
+  }
+  op.apply(mpsi, psi);
+  op.apply_dag(mdphi, phi);
+  const Complex lhs = global_cdot(gather_global(*rig.geom, phi),
+                                  gather_global(*rig.geom, mpsi));
+  const Complex rhs = global_cdot(gather_global(*rig.geom, mdphi),
+                                  gather_global(*rig.geom, psi));
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9 * (1.0 + std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(LsValues, LsSweep, ::testing::Values(2, 4, 6, 8, 12));
+
+}  // namespace
+}  // namespace qcdoc::lattice

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cpu/timing.h"
+#include "memsys/dcache.h"
+#include "memsys/memsys.h"
+
+namespace qcdoc::memsys {
+namespace {
+
+TEST(NodeMemory, AllocPrefersEdramThenSpills) {
+  MemConfig cfg;
+  cfg.edram_words = 100;
+  cfg.ddr_words = 1000;
+  NodeMemory mem(cfg);
+  const Block a = mem.alloc(60, "a");
+  EXPECT_EQ(a.region, Region::kEdram);
+  const Block b = mem.alloc(60, "b");  // does not fit the remaining EDRAM
+  EXPECT_EQ(b.region, Region::kDdr);
+  const Block c = mem.alloc(40, "c");  // still fits EDRAM
+  EXPECT_EQ(c.region, Region::kEdram);
+  EXPECT_EQ(mem.edram_words_used(), 100u);
+  EXPECT_EQ(mem.ddr_words_used(), 60u);
+}
+
+TEST(NodeMemory, ReadWriteRoundTrip) {
+  NodeMemory mem;
+  const Block b = mem.alloc(16, "b");
+  for (u64 i = 0; i < 16; ++i) mem.write_word(b.word_addr + i, i * i);
+  for (u64 i = 0; i < 16; ++i) EXPECT_EQ(mem.read_word(b.word_addr + i), i * i);
+}
+
+TEST(NodeMemory, DoubleViewAliasesWords) {
+  NodeMemory mem;
+  const Block b = mem.alloc(8, "b");
+  auto d = mem.doubles(b);
+  d[0] = 3.25;
+  // The word view sees the same bits.
+  u64 bits = mem.read_word(b.word_addr);
+  double via_word;
+  std::memcpy(&via_word, &bits, sizeof(via_word));
+  EXPECT_DOUBLE_EQ(via_word, 3.25);
+}
+
+TEST(NodeMemory, SpansSurviveLaterAllocations) {
+  NodeMemory mem;
+  const Block a = mem.alloc(32, "a");
+  auto sa = mem.doubles(a);
+  sa[5] = 1.5;
+  for (int i = 0; i < 50; ++i) mem.alloc(1024, "filler");
+  EXPECT_DOUBLE_EQ(sa[5], 1.5);  // no invalidation
+  EXPECT_DOUBLE_EQ(mem.doubles(a)[5], 1.5);
+}
+
+TEST(NodeMemory, RegionOfAddress) {
+  MemConfig cfg;
+  cfg.edram_words = 64;
+  NodeMemory mem(cfg);
+  EXPECT_EQ(mem.region_of(0), Region::kEdram);
+  EXPECT_EQ(mem.region_of(63), Region::kEdram);
+  EXPECT_EQ(mem.region_of(64), Region::kDdr);
+}
+
+TEST(MemTiming, EdramStreamsAtFullBandwidthForTwoStreams) {
+  MemTiming t;
+  // 1600 bytes at 16 B/cycle = 100 cycles, no penalty for <= 2 streams.
+  EXPECT_DOUBLE_EQ(t.stream_cycles(Region::kEdram, 1600, 2), 100.0);
+  // More streams than the two prefetch engines pay page misses.
+  EXPECT_GT(t.stream_cycles(Region::kEdram, 1600, 6), 100.0);
+}
+
+TEST(MemTiming, DdrIsSlowerThanEdram) {
+  MemTiming t;
+  EXPECT_GT(t.stream_cycles(Region::kDdr, 4096, 1),
+            t.stream_cycles(Region::kEdram, 4096, 2));
+  // Multi-stream DDR thrashes pages.
+  EXPECT_GT(t.stream_cycles(Region::kDdr, 4096, 4),
+            t.stream_cycles(Region::kDdr, 4096, 1));
+}
+
+TEST(DCache, WorkingSetModel) {
+  DCacheConfig c;
+  EXPECT_DOUBLE_EQ(cache_hit_fraction(c, 16 * 1024, 4), 0.75);
+  EXPECT_DOUBLE_EQ(cache_hit_fraction(c, 64 * 1024, 4), 0.0);
+  EXPECT_DOUBLE_EQ(cache_hit_fraction(c, 1024, 1), 0.0);
+}
+
+TEST(CpuModel, FpuBoundKernel) {
+  HwParams hw;
+  MemTiming mem;
+  cpu::CpuParams params;
+  params.fpu_issue_efficiency = 1.0;
+  cpu::CpuModel model(hw, mem, params);
+  cpu::KernelProfile p;
+  p.fmadd_flops = 2000;  // 1000 cycles of perfect fmadds
+  EXPECT_DOUBLE_EQ(model.kernel_cycles(p), 1000.0);
+  EXPECT_DOUBLE_EQ(model.efficiency(p), 1.0);
+}
+
+TEST(CpuModel, IssueEfficiencyDegradesFpu) {
+  HwParams hw;
+  MemTiming mem;
+  cpu::CpuParams params;
+  params.fpu_issue_efficiency = 0.5;
+  cpu::CpuModel model(hw, mem, params);
+  cpu::KernelProfile p;
+  p.fmadd_flops = 2000;
+  EXPECT_DOUBLE_EQ(model.kernel_cycles(p), 2000.0);
+  EXPECT_DOUBLE_EQ(model.efficiency(p), 0.5);
+}
+
+TEST(CpuModel, DdrTrafficIsAdditiveEdramIsNot) {
+  HwParams hw;
+  MemTiming mem;
+  cpu::CpuParams params;
+  params.fpu_issue_efficiency = 1.0;
+  cpu::CpuModel model(hw, mem, params);
+  cpu::KernelProfile base;
+  base.fmadd_flops = 20000;  // 10000 fpu cycles
+  cpu::KernelProfile with_edram = base;
+  with_edram.edram_bytes = 16000;  // 1000 cycles, hidden under compute
+  with_edram.streams = 2;
+  EXPECT_DOUBLE_EQ(model.kernel_cycles(with_edram),
+                   model.kernel_cycles(base));
+  cpu::KernelProfile with_ddr = base;
+  with_ddr.ddr_bytes = 16000;  // exposed stall
+  with_ddr.streams = 1;
+  EXPECT_GT(model.kernel_cycles(with_ddr), model.kernel_cycles(base));
+}
+
+TEST(CpuModel, SinglePrecisionHelpsOnlyMemoryBoundKernels) {
+  HwParams hw;
+  MemTiming mem;
+  cpu::CpuModel model(hw, mem);
+  cpu::KernelProfile dp;
+  dp.fmadd_flops = 100;
+  dp.load_bytes = 6400;  // strongly load/store bound
+  cpu::KernelProfile sp = dp;
+  sp.load_bytes /= 2;
+  EXPECT_LT(model.kernel_cycles(sp), model.kernel_cycles(dp));
+}
+
+TEST(KernelProfile, AdditionAndScaling) {
+  cpu::KernelProfile a, b;
+  a.fmadd_flops = 10;
+  a.load_bytes = 100;
+  b.fmadd_flops = 5;
+  b.other_flops = 3;
+  const auto c = a + b;
+  EXPECT_DOUBLE_EQ(c.fmadd_flops, 15.0);
+  EXPECT_DOUBLE_EQ(c.flops(), 18.0);
+  const auto d = c.scaled(2.0);
+  EXPECT_DOUBLE_EQ(d.fmadd_flops, 30.0);
+  EXPECT_DOUBLE_EQ(d.load_bytes, 200.0);
+}
+
+}  // namespace
+}  // namespace qcdoc::memsys

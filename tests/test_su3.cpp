@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lattice/gamma.h"
+#include "lattice/su3.h"
+
+namespace qcdoc::lattice {
+namespace {
+
+TEST(Su3, IdentityBehaves) {
+  const Su3Matrix one = Su3Matrix::identity();
+  EXPECT_EQ(one.trace(), Complex(3.0));
+  EXPECT_NEAR(std::abs(one.det() - Complex(1.0)), 0.0, 1e-14);
+  ColorVector v{{Complex(1, 2), Complex(-3, 0.5), Complex(0, 1)}};
+  const ColorVector w = one * v;
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(w[i], v[i]);
+}
+
+TEST(Su3, RandomElementsAreInTheGroup) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    const Su3Matrix u = random_su3(rng);
+    EXPECT_LT(unitarity_violation(u), 1e-12);
+  }
+}
+
+TEST(Su3, ReunitarizeRepairsPerturbedElements) {
+  Rng rng(22);
+  for (int i = 0; i < 20; ++i) {
+    Su3Matrix u = random_su3(rng);
+    for (auto& z : u.m) z += Complex(1e-3 * rng.next_gaussian(),
+                                     1e-3 * rng.next_gaussian());
+    const Su3Matrix r = reunitarize(u);
+    EXPECT_LT(unitarity_violation(r), 1e-12);
+    // Repair should be a small perturbation, not a different element.
+    double dist = 0;
+    for (std::size_t k = 0; k < 9; ++k) dist += std::abs(r.m[k] - u.m[k]);
+    EXPECT_LT(dist, 0.1);
+  }
+}
+
+TEST(Su3, NearIdentityElements) {
+  Rng rng(23);
+  for (double eps : {1e-4, 1e-2}) {
+    const Su3Matrix u = random_su3_near_identity(rng, eps);
+    EXPECT_LT(unitarity_violation(u), 1e-12);
+    double dist = 0;
+    const Su3Matrix one = Su3Matrix::identity();
+    for (std::size_t k = 0; k < 9; ++k) dist += std::abs(u.m[k] - one.m[k]);
+    EXPECT_LT(dist, 40 * eps);
+    EXPECT_GT(dist, 0.0);
+  }
+}
+
+TEST(Su3, AdjMulMatchesAdjointMultiply) {
+  Rng rng(24);
+  const Su3Matrix u = random_su3(rng);
+  ColorVector v{{Complex(0.3, -1), Complex(2, 0.7), Complex(-0.2, 0.1)}};
+  const ColorVector a = adj_mul(u, v);
+  const ColorVector b = u.adjoint() * v;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-14);
+  }
+}
+
+TEST(Su3, GroupClosureAndInverse) {
+  Rng rng(25);
+  const Su3Matrix a = random_su3(rng);
+  const Su3Matrix b = random_su3(rng);
+  EXPECT_LT(unitarity_violation(a * b), 1e-11);
+  const Su3Matrix should_be_one = a * a.adjoint();
+  const Su3Matrix one = Su3Matrix::identity();
+  for (std::size_t k = 0; k < 9; ++k) {
+    EXPECT_NEAR(std::abs(should_be_one.m[k] - one.m[k]), 0.0, 1e-13);
+  }
+}
+
+TEST(Su3, DotIsSesquilinear) {
+  ColorVector v{{Complex(1, 1), Complex(0, 2), Complex(3, 0)}};
+  EXPECT_NEAR(norm2(v), 2 + 4 + 9, 1e-14);
+  const Complex z(0, 1);
+  ColorVector zv = z * v;
+  EXPECT_NEAR(norm2(zv), norm2(v), 1e-14);  // |i z| = |z|
+}
+
+// --- Gamma algebra ----------------------------------------------------------
+
+TEST(Gamma, AnticommutationRelations) {
+  // {gamma_mu, gamma_nu} = 2 delta_munu.
+  for (int mu = 0; mu < 4; ++mu) {
+    for (int nu = 0; nu < 4; ++nu) {
+      const SpinMatrix anti = gamma(mu) * gamma(nu) + gamma(nu) * gamma(mu);
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          const Complex expected =
+              (mu == nu && i == j) ? Complex(2.0) : Complex(0.0);
+          EXPECT_NEAR(std::abs(anti.at(i, j) - expected), 0.0, 1e-14)
+              << "mu=" << mu << " nu=" << nu;
+        }
+      }
+    }
+  }
+}
+
+TEST(Gamma, Gamma5IsProductOfGammas) {
+  const SpinMatrix prod = gamma(0) * gamma(1) * gamma(2) * gamma(3);
+  const SpinMatrix& g5 = gamma5();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(std::abs(prod.at(i, j) - g5.at(i, j)), 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(Gamma, GammasAreHermitian) {
+  for (int mu = 0; mu < 4; ++mu) {
+    const SpinMatrix& g = gamma(mu);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(std::abs(g.at(i, j) - std::conj(g.at(j, i))), 0.0, 1e-14);
+      }
+    }
+  }
+}
+
+TEST(Gamma, SigmaIsHermitianAndChiralBlockDiagonal) {
+  for (int mu = 0; mu < 4; ++mu) {
+    for (int nu = mu + 1; nu < 4; ++nu) {
+      const SpinMatrix s = sigma(mu, nu);
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          EXPECT_NEAR(std::abs(s.at(i, j) - std::conj(s.at(j, i))), 0.0, 1e-14);
+          // Off-chirality blocks vanish in the DeGrand-Rossi basis.
+          if ((i < 2) != (j < 2)) {
+            EXPECT_NEAR(std::abs(s.at(i, j)), 0.0, 1e-14);
+          }
+        }
+      }
+    }
+  }
+}
+
+Spinor random_spinor(Rng& rng) {
+  Spinor s;
+  for (int sp = 0; sp < 4; ++sp) {
+    for (int c = 0; c < 3; ++c) {
+      s[sp][c] = Complex(rng.next_gaussian(), rng.next_gaussian());
+    }
+  }
+  return s;
+}
+
+class ProjectionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ProjectionSweep, ProjectReconstructMatchesGenericGamma) {
+  const int mu = std::get<0>(GetParam());
+  const int sign = std::get<1>(GetParam());
+  Rng rng(100 + mu * 10 + sign);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Spinor psi = random_spinor(rng);
+    // Generic (1 - sign*gamma_mu) psi.
+    Spinor expected = psi;
+    const Spinor gpsi = gamma(mu) * psi;
+    for (int sp = 0; sp < 4; ++sp) {
+      for (int c = 0; c < 3; ++c) {
+        expected[sp][c] -= static_cast<double>(sign) * gpsi[sp][c];
+      }
+    }
+    const Spinor got = reconstruct(mu, sign, project(mu, sign, psi));
+    for (int sp = 0; sp < 4; ++sp) {
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_NEAR(std::abs(got[sp][c] - expected[sp][c]), 0.0, 1e-13)
+            << "mu=" << mu << " sign=" << sign << " spin=" << sp;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDirections, ProjectionSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(+1, -1)));
+
+TEST(HalfSpinor, ProjectionIsIdempotentUpToFactor) {
+  // (1 -+ gamma)^2 = 2 (1 -+ gamma): projecting a reconstructed projected
+  // spinor doubles it.
+  Rng rng(55);
+  const Spinor psi = random_spinor(rng);
+  for (int mu = 0; mu < 4; ++mu) {
+    const Spinor once = reconstruct(mu, +1, project(mu, +1, psi));
+    const Spinor twice = reconstruct(mu, +1, project(mu, +1, once));
+    for (int sp = 0; sp < 4; ++sp) {
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_NEAR(std::abs(twice[sp][c] - 2.0 * once[sp][c]), 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qcdoc::lattice

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "torus/coords.h"
+#include "torus/partition.h"
+
+namespace qcdoc::torus {
+namespace {
+
+Shape make_shape(std::array<int, 6> e) {
+  Shape s;
+  s.extent = e;
+  return s;
+}
+
+TEST(Shape, VolumeAndDims) {
+  const Shape s = make_shape({8, 4, 4, 2, 2, 2});
+  EXPECT_EQ(s.volume(), 1024);
+  EXPECT_EQ(s.dims_used(), 6);
+  EXPECT_EQ(make_shape({4, 4, 1, 1, 1, 1}).dims_used(), 2);
+}
+
+TEST(Torus, IdCoordRoundTrip) {
+  const Torus t(make_shape({3, 4, 2, 2, 1, 5}));
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    const NodeId id{static_cast<u32>(n)};
+    EXPECT_EQ(t.id(t.coord(id)), id);
+  }
+}
+
+TEST(Torus, NeighborWrapsAround) {
+  const Torus t(make_shape({4, 1, 1, 1, 1, 1}));
+  const NodeId n0{0};
+  EXPECT_EQ(t.neighbor(n0, 0, Dir::kPlus).value, 1u);
+  EXPECT_EQ(t.neighbor(n0, 0, Dir::kMinus).value, 3u);
+  EXPECT_EQ(t.neighbor(NodeId{3}, 0, Dir::kPlus).value, 0u);
+}
+
+TEST(Torus, NeighborIsInvolutionThroughFacingLink) {
+  const Torus t(make_shape({4, 4, 2, 2, 2, 2}));
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    for (int l = 0; l < kLinksPerNode; ++l) {
+      const NodeId from{static_cast<u32>(n)};
+      const LinkIndex link{l};
+      const NodeId to = t.neighbor(from, link);
+      EXPECT_EQ(t.neighbor(to, facing_link(link)), from);
+    }
+  }
+}
+
+TEST(Torus, DistanceIsMinimalHops) {
+  const Torus t(make_shape({8, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(t.distance(NodeId{0}, NodeId{1}), 1);
+  EXPECT_EQ(t.distance(NodeId{0}, NodeId{7}), 1);  // wrap
+  EXPECT_EQ(t.distance(NodeId{0}, NodeId{4}), 4);
+  const Torus t2(make_shape({4, 4, 1, 1, 1, 1}));
+  EXPECT_EQ(t2.distance(t2.id(Coord{{0, 0}}), t2.id(Coord{{3, 3}})), 2);
+}
+
+TEST(Torus, TwelveLinksPerNodeAndEdgesConsistent) {
+  const Torus t(make_shape({2, 2, 2, 2, 2, 2}));
+  const auto edges = t.edges();
+  EXPECT_EQ(edges.size(), 64u * 12u);  // 12 out-links per node
+  for (const auto& e : edges) {
+    EXPECT_EQ(t.distance(e.from, e.to), 1);
+  }
+}
+
+TEST(LinkIndex, EncodingRoundTrip) {
+  for (int dim = 0; dim < kMaxDims; ++dim) {
+    for (Dir d : {Dir::kPlus, Dir::kMinus}) {
+      const LinkIndex l = link_index(dim, d);
+      EXPECT_EQ(link_dim(l), dim);
+      EXPECT_EQ(link_dir(l), d);
+      EXPECT_EQ(link_dim(facing_link(l)), dim);
+      EXPECT_EQ(link_dir(facing_link(l)), opposite(d));
+    }
+  }
+}
+
+// --- Partitions -------------------------------------------------------------
+
+TEST(Partition, IdentityFoldIsMachineItself) {
+  const Torus t(make_shape({4, 4, 2, 2, 1, 1}));
+  const Partition p =
+      Partition::whole_machine(t, FoldSpec::identity(4));
+  EXPECT_EQ(p.num_nodes(), t.num_nodes());
+  EXPECT_TRUE(p.is_true_torus());
+  for (int r = 0; r < p.num_nodes(); ++r) {
+    EXPECT_EQ(p.rank(p.logical_coord(r)), r);
+  }
+}
+
+TEST(Partition, FoldTo4dOn1024NodeRack) {
+  // The paper's 1024-node machine: 8x4x4x2x2x2 folded to 4-D (8x4x4x8).
+  const Torus t(make_shape({8, 4, 4, 2, 2, 2}));
+  const Partition p = fold_to_4d(t);
+  EXPECT_EQ(p.logical_dims(), 4);
+  EXPECT_EQ(p.logical_shape().extent[0], 8);
+  EXPECT_EQ(p.logical_shape().extent[3], 8);
+  EXPECT_EQ(p.num_nodes(), 1024);
+  EXPECT_TRUE(p.is_true_torus());
+}
+
+TEST(Partition, GrayFoldEveryStepIsSingleHop) {
+  const Torus t(make_shape({4, 2, 2, 2, 1, 1}));
+  FoldSpec spec;
+  spec.groups = {{0, 1, 2, 3}};  // fold everything into one logical ring
+  const Partition p = Partition::whole_machine(t, spec);
+  EXPECT_EQ(p.logical_shape().extent[0], 32);
+  EXPECT_TRUE(p.is_true_torus());
+  // The embedding visits every node exactly once.
+  std::set<u32> seen;
+  for (const NodeId n : p.nodes()) seen.insert(n.value);
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(Partition, StepsUseDistinctLinksForOppositeDirections) {
+  const Torus t(make_shape({2, 2, 1, 1, 1, 1}));
+  const Partition p = Partition::whole_machine(t, FoldSpec::identity(2));
+  Coord c;
+  const auto plus = p.step(c, 0, Dir::kPlus);
+  const auto minus = p.step(c, 0, Dir::kMinus);
+  EXPECT_TRUE(plus.single_hop);
+  EXPECT_TRUE(minus.single_hop);
+  // Extent-2 dims reach the same node over different physical wires.
+  EXPECT_EQ(plus.to, minus.to);
+  EXPECT_NE(plus.link, minus.link);
+}
+
+TEST(Partition, SelfStepOnExtent1UsesOwnGroupDim) {
+  const Torus t(make_shape({4, 2, 1, 1, 1, 1}));
+  FoldSpec spec;
+  spec.groups = {{0}, {1}, {2}};
+  const Partition p = Partition::whole_machine(t, spec);
+  Coord c;
+  const auto s = p.step(c, 2, Dir::kPlus);
+  EXPECT_TRUE(s.single_hop);
+  EXPECT_EQ(s.from, s.to);
+  EXPECT_EQ(link_dim(s.link), 2);  // not colliding with dims 0/1
+}
+
+TEST(Partition, SubBoxPartition) {
+  const Torus t(make_shape({4, 2, 2, 1, 1, 1}));
+  Coord origin;
+  origin.c[0] = 2;
+  Shape box = make_shape({2, 2, 2, 1, 1, 1});
+  const Partition p(&t, FoldSpec::identity(3), origin, box);
+  EXPECT_EQ(p.num_nodes(), 8);
+  EXPECT_TRUE(p.is_true_torus());  // extent-2 boxes are true tori
+  for (const NodeId n : p.nodes()) {
+    EXPECT_GE(t.coord(n).c[0], 2);
+  }
+}
+
+TEST(Partition, LogicalOfNodeInvertsNode) {
+  const Torus t(make_shape({2, 2, 2, 2, 2, 2}));
+  FoldSpec spec;
+  spec.groups = {{0}, {1}, {2}, {3, 4, 5}};
+  const Partition p = Partition::whole_machine(t, spec);
+  for (int r = 0; r < p.num_nodes(); ++r) {
+    const Coord lc = p.logical_coord(r);
+    EXPECT_EQ(p.logical_of_node(p.node(lc)), lc);
+  }
+}
+
+TEST(Partition, WrapSingleHopForPowerOfTwoFolds) {
+  const Torus t(make_shape({8, 2, 2, 1, 1, 1}));
+  FoldSpec spec;
+  spec.groups = {{0, 1}, {2}};
+  const Partition p = Partition::whole_machine(t, spec);
+  EXPECT_EQ(p.logical_shape().extent[0], 16);
+  EXPECT_TRUE(p.wrap_is_single_hop(0));
+  EXPECT_TRUE(p.wrap_is_single_hop(1));
+}
+
+// Property sweep: many shapes and folds must all embed as true tori.
+struct FoldCase {
+  std::array<int, 6> shape;
+  std::vector<std::vector<int>> groups;
+};
+
+class PartitionSweep : public ::testing::TestWithParam<FoldCase> {};
+
+TEST_P(PartitionSweep, TrueTorusEmbedding) {
+  const auto& c = GetParam();
+  const Torus t(make_shape(c.shape));
+  FoldSpec spec;
+  spec.groups = c.groups;
+  const Partition p = Partition::whole_machine(t, spec);
+  EXPECT_TRUE(p.is_true_torus()) << t.shape().to_string();
+  std::set<u32> seen;
+  for (const NodeId n : p.nodes()) seen.insert(n.value);
+  EXPECT_EQ(static_cast<int>(seen.size()), p.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Folds, PartitionSweep,
+    ::testing::Values(
+        FoldCase{{2, 2, 2, 2, 2, 2}, {{0}, {1}, {2}, {3, 4, 5}}},
+        FoldCase{{4, 4, 2, 2, 2, 2}, {{0}, {1}, {2, 3}, {4, 5}}},
+        FoldCase{{8, 4, 4, 2, 2, 2}, {{0}, {1}, {2}, {3, 4, 5}}},
+        FoldCase{{4, 2, 2, 2, 1, 1}, {{0, 1, 2, 3}}},
+        FoldCase{{2, 2, 2, 2, 1, 1}, {{0, 1}, {2, 3}}},
+        FoldCase{{4, 4, 4, 2, 2, 2}, {{0}, {1}, {2}, {3}, {4}, {5}}},
+        FoldCase{{8, 8, 1, 1, 1, 1}, {{0}, {1}}},
+        FoldCase{{2, 4, 2, 4, 2, 4}, {{0, 1}, {2, 3}, {4, 5}}}));
+
+}  // namespace
+}  // namespace qcdoc::torus
+
+namespace qcdoc::torus {
+namespace {
+
+TEST(Partition, OddFoldWrapIsNotSingleHop) {
+  // A fold whose most-significant extent is odd cannot close the logical
+  // ring with one hop (the Gray sequence ends deep inside the block);
+  // wrap_is_single_hop must report it honestly.
+  const Torus t(make_shape({2, 3, 1, 1, 1, 1}));
+  FoldSpec spec;
+  spec.groups = {{0, 1}};  // 6-ring folded with odd most-significant radix
+  const Partition p = Partition::whole_machine(t, spec);
+  EXPECT_EQ(p.logical_shape().extent[0], 6);
+  // Interior steps are always single hops...
+  Coord c;
+  for (int x = 0; x + 1 < 6; ++x) {
+    c.c[0] = x;
+    EXPECT_TRUE(p.step(c, 0, Dir::kPlus).single_hop) << x;
+  }
+  // ...but the wraparound is not.
+  EXPECT_FALSE(p.wrap_is_single_hop(0));
+  EXPECT_FALSE(p.is_true_torus());
+}
+
+TEST(Partition, SubBoxSmallerThanDimensionBreaksTheWrap) {
+  // A 3-wide window of an 6-wide dimension has no physical wrap link.
+  const Torus t(make_shape({6, 2, 1, 1, 1, 1}));
+  Shape box = make_shape({3, 2, 1, 1, 1, 1});
+  const Partition p(&t, FoldSpec::identity(2), Coord{}, box);
+  EXPECT_FALSE(p.wrap_is_single_hop(0));
+  EXPECT_TRUE(p.wrap_is_single_hop(1));  // extent 2 always wraps
+}
+
+}  // namespace
+}  // namespace qcdoc::torus
