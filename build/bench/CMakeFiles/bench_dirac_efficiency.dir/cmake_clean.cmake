@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dirac_efficiency.dir/bench_dirac_efficiency.cpp.o"
+  "CMakeFiles/bench_dirac_efficiency.dir/bench_dirac_efficiency.cpp.o.d"
+  "bench_dirac_efficiency"
+  "bench_dirac_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dirac_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_global_sum.dir/bench_global_sum.cpp.o"
+  "CMakeFiles/bench_global_sum.dir/bench_global_sum.cpp.o.d"
+  "bench_global_sum"
+  "bench_global_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_global_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hard_scaling.dir/bench_hard_scaling.cpp.o"
+  "CMakeFiles/bench_hard_scaling.dir/bench_hard_scaling.cpp.o.d"
+  "bench_hard_scaling"
+  "bench_hard_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hard_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_roofline.dir/bench_kernel_roofline.cpp.o"
+  "CMakeFiles/bench_kernel_roofline.dir/bench_kernel_roofline.cpp.o.d"
+  "bench_kernel_roofline"
+  "bench_kernel_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_interrupt.dir/bench_partition_interrupt.cpp.o"
+  "CMakeFiles/bench_partition_interrupt.dir/bench_partition_interrupt.cpp.o.d"
+  "bench_partition_interrupt"
+  "bench_partition_interrupt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_interrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

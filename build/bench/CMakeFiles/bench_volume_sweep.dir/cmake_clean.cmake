@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_volume_sweep.dir/bench_volume_sweep.cpp.o"
+  "CMakeFiles/bench_volume_sweep.dir/bench_volume_sweep.cpp.o.d"
+  "bench_volume_sweep"
+  "bench_volume_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_volume_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwf_evolution.dir/dwf_evolution.cpp.o"
+  "CMakeFiles/dwf_evolution.dir/dwf_evolution.cpp.o.d"
+  "dwf_evolution"
+  "dwf_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwf_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

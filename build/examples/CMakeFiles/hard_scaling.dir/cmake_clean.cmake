@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_scaling.dir/hard_scaling.cpp.o"
+  "CMakeFiles/hard_scaling.dir/hard_scaling.cpp.o.d"
+  "hard_scaling"
+  "hard_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitions.dir/partitions.cpp.o"
+  "CMakeFiles/partitions.dir/partitions.cpp.o.d"
+  "partitions"
+  "partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

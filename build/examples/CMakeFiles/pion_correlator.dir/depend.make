@@ -1,0 +1,2 @@
+# Empty dependencies file for pion_correlator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/qcdoc.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/qcdoc.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/common/rng.cpp.o.d"
+  "/root/repo/src/comms/comms.cpp" "src/CMakeFiles/qcdoc.dir/comms/comms.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/comms/comms.cpp.o.d"
+  "/root/repo/src/comms/global_sum.cpp" "src/CMakeFiles/qcdoc.dir/comms/global_sum.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/comms/global_sum.cpp.o.d"
+  "/root/repo/src/cpu/profile.cpp" "src/CMakeFiles/qcdoc.dir/cpu/profile.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/cpu/profile.cpp.o.d"
+  "/root/repo/src/cpu/timing.cpp" "src/CMakeFiles/qcdoc.dir/cpu/timing.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/cpu/timing.cpp.o.d"
+  "/root/repo/src/host/boot.cpp" "src/CMakeFiles/qcdoc.dir/host/boot.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/host/boot.cpp.o.d"
+  "/root/repo/src/host/config_store.cpp" "src/CMakeFiles/qcdoc.dir/host/config_store.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/host/config_store.cpp.o.d"
+  "/root/repo/src/host/diagnostics.cpp" "src/CMakeFiles/qcdoc.dir/host/diagnostics.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/host/diagnostics.cpp.o.d"
+  "/root/repo/src/host/qcsh.cpp" "src/CMakeFiles/qcdoc.dir/host/qcsh.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/host/qcsh.cpp.o.d"
+  "/root/repo/src/host/qdaemon.cpp" "src/CMakeFiles/qcdoc.dir/host/qdaemon.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/host/qdaemon.cpp.o.d"
+  "/root/repo/src/hssl/hssl.cpp" "src/CMakeFiles/qcdoc.dir/hssl/hssl.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/hssl/hssl.cpp.o.d"
+  "/root/repo/src/lattice/bicgstab.cpp" "src/CMakeFiles/qcdoc.dir/lattice/bicgstab.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/bicgstab.cpp.o.d"
+  "/root/repo/src/lattice/cg.cpp" "src/CMakeFiles/qcdoc.dir/lattice/cg.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/cg.cpp.o.d"
+  "/root/repo/src/lattice/clover.cpp" "src/CMakeFiles/qcdoc.dir/lattice/clover.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/clover.cpp.o.d"
+  "/root/repo/src/lattice/dwf.cpp" "src/CMakeFiles/qcdoc.dir/lattice/dwf.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/dwf.cpp.o.d"
+  "/root/repo/src/lattice/eo_cg.cpp" "src/CMakeFiles/qcdoc.dir/lattice/eo_cg.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/eo_cg.cpp.o.d"
+  "/root/repo/src/lattice/field.cpp" "src/CMakeFiles/qcdoc.dir/lattice/field.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/field.cpp.o.d"
+  "/root/repo/src/lattice/gamma.cpp" "src/CMakeFiles/qcdoc.dir/lattice/gamma.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/gamma.cpp.o.d"
+  "/root/repo/src/lattice/gauge.cpp" "src/CMakeFiles/qcdoc.dir/lattice/gauge.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/gauge.cpp.o.d"
+  "/root/repo/src/lattice/layout.cpp" "src/CMakeFiles/qcdoc.dir/lattice/layout.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/layout.cpp.o.d"
+  "/root/repo/src/lattice/linalg.cpp" "src/CMakeFiles/qcdoc.dir/lattice/linalg.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/linalg.cpp.o.d"
+  "/root/repo/src/lattice/observables.cpp" "src/CMakeFiles/qcdoc.dir/lattice/observables.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/observables.cpp.o.d"
+  "/root/repo/src/lattice/staggered.cpp" "src/CMakeFiles/qcdoc.dir/lattice/staggered.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/staggered.cpp.o.d"
+  "/root/repo/src/lattice/su3.cpp" "src/CMakeFiles/qcdoc.dir/lattice/su3.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/su3.cpp.o.d"
+  "/root/repo/src/lattice/wilson.cpp" "src/CMakeFiles/qcdoc.dir/lattice/wilson.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/lattice/wilson.cpp.o.d"
+  "/root/repo/src/machine/bsp.cpp" "src/CMakeFiles/qcdoc.dir/machine/bsp.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/machine/bsp.cpp.o.d"
+  "/root/repo/src/machine/cost.cpp" "src/CMakeFiles/qcdoc.dir/machine/cost.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/machine/cost.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/qcdoc.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/machine/packaging.cpp" "src/CMakeFiles/qcdoc.dir/machine/packaging.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/machine/packaging.cpp.o.d"
+  "/root/repo/src/memsys/dcache.cpp" "src/CMakeFiles/qcdoc.dir/memsys/dcache.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/memsys/dcache.cpp.o.d"
+  "/root/repo/src/memsys/ddr.cpp" "src/CMakeFiles/qcdoc.dir/memsys/ddr.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/memsys/ddr.cpp.o.d"
+  "/root/repo/src/memsys/edram.cpp" "src/CMakeFiles/qcdoc.dir/memsys/edram.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/memsys/edram.cpp.o.d"
+  "/root/repo/src/memsys/memsys.cpp" "src/CMakeFiles/qcdoc.dir/memsys/memsys.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/memsys/memsys.cpp.o.d"
+  "/root/repo/src/net/cluster_net.cpp" "src/CMakeFiles/qcdoc.dir/net/cluster_net.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/net/cluster_net.cpp.o.d"
+  "/root/repo/src/net/ethernet.cpp" "src/CMakeFiles/qcdoc.dir/net/ethernet.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/net/ethernet.cpp.o.d"
+  "/root/repo/src/net/mesh_net.cpp" "src/CMakeFiles/qcdoc.dir/net/mesh_net.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/net/mesh_net.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/CMakeFiles/qcdoc.dir/perf/report.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/perf/report.cpp.o.d"
+  "/root/repo/src/scu/dma.cpp" "src/CMakeFiles/qcdoc.dir/scu/dma.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/scu/dma.cpp.o.d"
+  "/root/repo/src/scu/global_ops.cpp" "src/CMakeFiles/qcdoc.dir/scu/global_ops.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/scu/global_ops.cpp.o.d"
+  "/root/repo/src/scu/link.cpp" "src/CMakeFiles/qcdoc.dir/scu/link.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/scu/link.cpp.o.d"
+  "/root/repo/src/scu/packet.cpp" "src/CMakeFiles/qcdoc.dir/scu/packet.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/scu/packet.cpp.o.d"
+  "/root/repo/src/scu/partition_interrupt.cpp" "src/CMakeFiles/qcdoc.dir/scu/partition_interrupt.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/scu/partition_interrupt.cpp.o.d"
+  "/root/repo/src/scu/scu.cpp" "src/CMakeFiles/qcdoc.dir/scu/scu.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/scu/scu.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/qcdoc.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/qcdoc.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/torus/coords.cpp" "src/CMakeFiles/qcdoc.dir/torus/coords.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/torus/coords.cpp.o.d"
+  "/root/repo/src/torus/partition.cpp" "src/CMakeFiles/qcdoc.dir/torus/partition.cpp.o" "gcc" "src/CMakeFiles/qcdoc.dir/torus/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

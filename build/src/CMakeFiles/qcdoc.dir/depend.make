@@ -1,0 +1,2 @@
+# Empty dependencies file for qcdoc.
+# This may be replaced when dependencies are built.

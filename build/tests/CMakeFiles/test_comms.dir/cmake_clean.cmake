@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comms.dir/test_comms.cpp.o"
+  "CMakeFiles/test_comms.dir/test_comms.cpp.o.d"
+  "test_comms"
+  "test_comms.pdb"
+  "test_comms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

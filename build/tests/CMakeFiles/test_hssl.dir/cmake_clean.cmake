@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hssl.dir/test_hssl.cpp.o"
+  "CMakeFiles/test_hssl.dir/test_hssl.cpp.o.d"
+  "test_hssl"
+  "test_hssl.pdb"
+  "test_hssl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hssl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

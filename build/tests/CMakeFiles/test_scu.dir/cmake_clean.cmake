@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scu.dir/test_scu.cpp.o"
+  "CMakeFiles/test_scu.dir/test_scu.cpp.o.d"
+  "test_scu"
+  "test_scu.pdb"
+  "test_scu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

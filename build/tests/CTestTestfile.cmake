@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_torus[1]_include.cmake")
+include("/root/repo/build/tests/test_hssl[1]_include.cmake")
+include("/root/repo/build/tests/test_scu[1]_include.cmake")
+include("/root/repo/build/tests/test_memsys[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_comms[1]_include.cmake")
+include("/root/repo/build/tests/test_su3[1]_include.cmake")
+include("/root/repo/build/tests/test_lattice[1]_include.cmake")
+include("/root/repo/build/tests/test_dirac[1]_include.cmake")
+include("/root/repo/build/tests/test_cg[1]_include.cmake")
+include("/root/repo/build/tests/test_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
