@@ -1,0 +1,132 @@
+// E14: fault campaigns, health monitoring cost and audit overhead.
+//
+// Paper Section 4: bring-up lives with marginal links and dead boards; the
+// Ethernet/JTAG controller is the path "to monitor and probe a failing
+// node".  This bench measures what that machinery costs when nothing is
+// wrong (the common case): the cycle price of a whole-machine health sweep,
+// a randomized fault soak exercising detection and retraining, and the
+// overhead the incremental checksum audit adds to a clean CG solve.
+#include "bench_util.h"
+#include "fault/checksum_audit.h"
+#include "fault/fault.h"
+#include "host/qdaemon.h"
+#include "lattice/cg.h"
+#include "lattice/rig.h"
+#include "lattice/wilson.h"
+
+using namespace qcdoc;
+
+namespace {
+
+void sweep_cost() {
+  machine::MachineConfig cfg;
+  cfg.shape.extent = {2, 2, 2, 2, 2, 2};  // 64 nodes
+  machine::Machine m(cfg);
+  host::Qdaemon daemon(&m);
+  daemon.boot();
+  const Cycle before = m.engine().now();
+  daemon.health().sweep();
+  const Cycle cost = m.engine().now() - before;
+  std::printf("health sweep, %d nodes: %llu cycles = %.1f us (%.2f us/node)\n",
+              m.num_nodes(), static_cast<unsigned long long>(cost),
+              m.microseconds(cost), m.microseconds(cost) / m.num_nodes());
+}
+
+void soak() {
+  machine::MachineConfig cfg;
+  cfg.shape.extent = {2, 2, 2, 2, 2, 2};
+  machine::Machine m(cfg);
+  host::Qdaemon daemon(&m);
+  daemon.boot();
+  host::HealthConfig hc;
+  hc.sweep_period_cycles = 1 << 21;  // ~4 ms at 500 MHz, well above sweep cost
+  host::HealthMonitor& monitor = daemon.health(hc);
+
+  sim::StatSet fstats;
+  fault::FaultInjector injector(&m.mesh(), &fstats);
+  const Cycle start = m.engine().now();
+  const Cycle horizon = 8 * hc.sweep_period_cycles;
+  const auto plan = fault::FaultPlan::random_campaign(
+      /*seed=*/7, cfg.shape, /*n=*/12, start, horizon);
+  injector.arm(plan);
+  monitor.monitor_for(horizon);
+
+  std::printf("soak: %llu faults injected over %llu cycles, %llu sweeps\n",
+              static_cast<unsigned long long>(injector.injected()),
+              static_cast<unsigned long long>(horizon),
+              static_cast<unsigned long long>(monitor.sweeps()));
+  for (const char* key : {"fault.ber_spike", "fault.link_death",
+                          "fault.ack_drop_burst", "fault.data_corruption"}) {
+    std::printf("  %-22s %llu\n", key,
+                static_cast<unsigned long long>(fstats.get(key)));
+  }
+  std::printf("  retrains %llu, nodes quarantined %zu of %d\n",
+              static_cast<unsigned long long>(
+                  monitor.stats().get("health.retrains")),
+              daemon.quarantined_nodes().size(), m.num_nodes());
+}
+
+struct CgPoint {
+  int iterations;
+  u64 cycles;
+  int restarts;
+};
+
+CgPoint solve(bool audited) {
+  lattice::SolverRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 4, 4});
+  lattice::GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(41);
+  gauge.randomize_near_unit(rng, 0.1);
+  lattice::WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                          lattice::WilsonParams{.kappa = 0.12});
+  lattice::DistField x = op.make_field("x");
+  lattice::DistField b = op.make_field("b");
+  x.zero();
+  rig.fill_source(b);
+  lattice::CgParams params;
+  params.tolerance = 1e-8;
+  params.max_iterations = 400;
+  lattice::CgResult r;
+  if (audited) {
+    fault::ChecksumAuditor auditor(&rig.machine().mesh());
+    lattice::CgAuditParams audit;
+    audit.clean = [&] { return auditor.clean_since_last(); };
+    audit.interval = 5;
+    r = lattice::cg_solve_audited(op, x, b, params, audit);
+  } else {
+    r = lattice::cg_solve(op, x, b, params);
+  }
+  return CgPoint{r.iterations, static_cast<u64>(r.cycles), r.restarts};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E14: bench_fault_campaign -- health monitoring and audit overhead",
+      "Ethernet/JTAG monitors and probes failing nodes; link checksums "
+      "confirm no erroneous data was exchanged");
+
+  sweep_cost();
+  std::printf("\n");
+  soak();
+  std::printf("\n");
+
+  const CgPoint plain = solve(false);
+  const CgPoint audited = solve(true);
+  const double overhead =
+      100.0 * (static_cast<double>(audited.cycles) / plain.cycles - 1.0);
+  std::printf("CG without faults: plain %d iters / %llu cycles, audited %d "
+              "iters / %llu cycles\n",
+              plain.iterations, static_cast<unsigned long long>(plain.cycles),
+              audited.iterations,
+              static_cast<unsigned long long>(audited.cycles));
+
+  std::vector<perf::Row> rows = {
+      {"E14", "audited-CG machine-cycle overhead", 0, overhead, "% vs plain"},
+      {"E14", "spurious restarts without faults", 0,
+       static_cast<double>(audited.restarts), "restarts"},
+  };
+  bench::print_rows(rows);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Fault injection, health sweeps and quarantine (paper Sections 2.3, 3.1, 4).
+//
+// Bringing up QCDOC meant living with marginal serial links and dead
+// daughterboards; the qdaemon is "responsible for ... keeping track of the
+// status of the nodes (including hardware problems)", and the Ethernet/JTAG
+// controller gives the host "an I/O path to monitor and probe a failing
+// node".  This example breaks a running machine on purpose and walks the
+// recovery machinery: detect, quarantine, reallocate around the damage.
+#include <cstdio>
+
+#include "fault/fault.h"
+#include "host/qdaemon.h"
+
+using namespace qcdoc;
+
+namespace {
+
+host::JobResult sum_job(host::Qdaemon& daemon, machine::Machine& m,
+                        const host::PartitionHandle& h) {
+  return daemon.run_job(
+      h, [&m](comms::Communicator& comm, std::vector<std::string>& out) {
+        std::vector<double> one(static_cast<std::size_t>(comm.num_nodes()),
+                                1.0);
+        const auto sum = comm.global_sum(one);
+        char line[96];
+        std::snprintf(line, sizeof(line), "sum over %d nodes = %.0f (%.2f us)",
+                      comm.num_nodes(), sum.value, m.microseconds(sum.cycles));
+        out.push_back(line);
+      });
+}
+
+void print_job(const char* tag, const host::JobResult& r) {
+  std::printf("%s: %s\n", tag, r.ok ? "ok" : "FAILED");
+  for (const auto& line : r.output) std::printf("    %s\n", line.c_str());
+}
+
+}  // namespace
+
+int main() {
+  // A 16-node machine, booted by the qdaemon.
+  machine::MachineConfig cfg;
+  cfg.shape.extent = {2, 2, 2, 2, 1, 1};
+  machine::Machine m(cfg);
+  host::Qdaemon daemon(&m);
+  daemon.boot();
+  std::printf("booted %d nodes, %d free\n\n", daemon.machine_nodes(),
+              daemon.free_nodes());
+
+  // A user takes half the machine and runs happily.
+  torus::Shape half;
+  half.extent = {2, 2, 2, 1, 1, 1};
+  auto part = daemon.allocate_partition("user", half, 3);
+  print_job("job on healthy partition", sum_job(daemon, m, *part));
+
+  // Disaster: one ASIC inside the partition goes electrically dead.  All
+  // twelve of its serial links die with it.
+  const NodeId victim = part->partition->nodes()[3];
+  fault::FaultInjector injector(&m.mesh());
+  fault::FaultPlan plan;
+  plan.node_crash(m.engine().now(), victim);
+  injector.arm(plan);
+  m.engine().run_until(m.engine().now() + 1);
+  std::printf("\n*** node %u crashed ***\n\n", victim.value);
+
+  // The periodic health sweep probes every node over Ethernet/JTAG -- a
+  // path that decodes in pure hardware, so it works even with no software
+  // running on the victim -- and quarantines what it finds.
+  const auto sweep = daemon.health().sweep();
+  std::printf("health sweep: %d healthy, %d degraded, %d failed\n",
+              sweep.healthy, sweep.degraded, sweep.failed);
+  for (const auto& note : sweep.notes) std::printf("    %s\n", note.c_str());
+
+  // The partition still exists, but its next job fails cleanly with a
+  // diagnostic instead of hanging the whole machine.
+  print_job("\njob on damaged partition", sum_job(daemon, m, *part));
+
+  // Recovery: release the damaged partition and allocate a fresh one.  The
+  // allocator never places a partition over a quarantined node.
+  daemon.release_partition(*part);
+  torus::Shape quarter;
+  quarter.extent = {2, 2, 1, 1, 1, 1};
+  auto fresh = daemon.allocate_partition("user2", quarter, 2);
+  bool avoids = true;
+  for (const NodeId n : fresh->partition->nodes()) {
+    if (n == victim) avoids = false;
+  }
+  std::printf("\nreallocated %d nodes, avoids node %u: %s\n",
+              fresh->partition->num_nodes(), victim.value,
+              avoids ? "yes" : "NO");
+  print_job("job on fresh partition", sum_job(daemon, m, *fresh));
+
+  std::printf("\nquarantined nodes now:");
+  for (const NodeId n : daemon.quarantined_nodes()) {
+    std::printf(" %u", n.value);
+  }
+  std::printf("  (free: %d of %d)\n", daemon.free_nodes(),
+              daemon.machine_nodes());
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "fault/checksum_audit.h"
+
+#include <sstream>
+
+namespace qcdoc::fault {
+
+ChecksumAuditor::ChecksumAuditor(net::MeshNet* mesh)
+    : mesh_(mesh), edges_(mesh->topology().edges()) {
+  snapshot(&send_base_, &recv_base_);
+}
+
+void ChecksumAuditor::snapshot(std::vector<u64>* send,
+                               std::vector<u64>* recv) const {
+  send->resize(edges_.size());
+  recv->resize(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const auto& e = edges_[i];
+    (*send)[i] = mesh_->scu(e.from).send_checksum(e.link);
+    (*recv)[i] = mesh_->scu(e.to).recv_checksum(torus::facing_link(e.link));
+  }
+}
+
+bool ChecksumAuditor::clean_since_last(std::vector<std::string>* mismatches) {
+  ++audits_;
+  std::vector<u64> send_now, recv_now;
+  snapshot(&send_now, &recv_now);
+  bool ok = true;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    // The checksums are additive (sum of payload words mod 2^64), so the
+    // interval's contribution is the difference of running sums.
+    const u64 sent_delta = send_now[i] - send_base_[i];
+    const u64 recv_delta = recv_now[i] - recv_base_[i];
+    if (sent_delta != recv_delta) {
+      ok = false;
+      if (mismatches) {
+        const auto& e = edges_[i];
+        std::ostringstream msg;
+        msg << "edge " << e.from.value << " -> " << e.to.value
+            << " (link index " << e.link.value << "): send delta 0x"
+            << std::hex << sent_delta << " != recv delta 0x" << recv_delta;
+        mismatches->push_back(msg.str());
+      }
+    }
+  }
+  if (!ok) ++failures_;
+  send_base_ = std::move(send_now);
+  recv_base_ = std::move(recv_now);
+  return ok;
+}
+
+}  // namespace qcdoc::fault

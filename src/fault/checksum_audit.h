@@ -1,0 +1,47 @@
+// Incremental link-checksum auditing.
+//
+// Each SCU keeps a running additive checksum of payload words per directed
+// link; the paper compares send vs. receive sums at the end of a calculation
+// to confirm no erroneous data was exchanged.  For long runs that is too
+// late: an undetected corruption early in a multi-day evolution wastes the
+// whole run.  The auditor exploits the checksums being plain sums -- the
+// *delta* since the last audit must match edge-by-edge -- so a quiescent
+// mesh can be audited at every iteration boundary, and a solver can restart
+// from its last known-clean checkpoint instead of from zero.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/mesh_net.h"
+
+namespace qcdoc::fault {
+
+class ChecksumAuditor {
+ public:
+  /// Baselines every directed edge of the mesh at construction time.
+  explicit ChecksumAuditor(net::MeshNet* mesh);
+
+  /// Compare per-edge checksum deltas since the previous call (or since
+  /// construction).  The mesh must be quiescent -- in-flight words would
+  /// show up as spurious mismatches.  Re-baselines unconditionally, so a
+  /// dirty interval is consumed: the caller rolls back, and the next audit
+  /// starts clean.  Optionally reports the mismatching edges.
+  bool clean_since_last(std::vector<std::string>* mismatches = nullptr);
+
+  u64 audits() const { return audits_; }
+  u64 failures() const { return failures_; }
+
+ private:
+  void snapshot(std::vector<u64>* send, std::vector<u64>* recv) const;
+
+  net::MeshNet* mesh_;
+  std::vector<torus::Torus::Edge> edges_;
+  std::vector<u64> send_base_;
+  std::vector<u64> recv_base_;
+  u64 audits_ = 0;
+  u64 failures_ = 0;
+};
+
+}  // namespace qcdoc::fault

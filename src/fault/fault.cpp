@@ -1,0 +1,186 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace qcdoc::fault {
+
+using torus::LinkIndex;
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kBerSpike: return "ber_spike";
+    case FaultKind::kLinkDeath: return "link_death";
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kNodeHang: return "node_hang";
+    case FaultKind::kAckDropBurst: return "ack_drop_burst";
+    case FaultKind::kDataCorruption: return "data_corruption";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::ber_spike(Cycle at, NodeId node, LinkIndex link,
+                                double rate, Cycle duration) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kBerSpike;
+  e.node = node;
+  e.link = link;
+  e.bit_error_rate = rate;
+  e.duration = duration;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_death(Cycle at, NodeId node, LinkIndex link) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkDeath;
+  e.node = node;
+  e.link = link;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::node_crash(Cycle at, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kNodeCrash;
+  e.node = node;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::node_hang(Cycle at, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kNodeHang;
+  e.node = node;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::ack_drop_burst(Cycle at, NodeId node, LinkIndex link,
+                                     int count) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kAckDropBurst;
+  e.node = node;
+  e.link = link;
+  e.count = count;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::data_corruption(Cycle at, NodeId node, LinkIndex link,
+                                      int count) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDataCorruption;
+  e.node = node;
+  e.link = link;
+  e.count = count;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan FaultPlan::random_campaign(u64 seed, const torus::Shape& shape,
+                                     int n, Cycle start, Cycle horizon) {
+  FaultPlan plan;
+  Rng rng(seed);
+  const torus::Torus topo(shape);
+  const u64 nodes = static_cast<u64>(topo.num_nodes());
+  for (int i = 0; i < n; ++i) {
+    const Cycle at =
+        start + (horizon > 0 ? static_cast<Cycle>(rng.next_below(
+                                   static_cast<u64>(horizon)))
+                             : 0);
+    const NodeId node{static_cast<u32>(rng.next_below(nodes))};
+    const LinkIndex link{
+        static_cast<int>(rng.next_below(torus::kLinksPerNode))};
+    switch (rng.next_below(4)) {
+      case 0:
+        plan.ber_spike(at, node, link, 1e-3 + rng.next_double() * 1e-2,
+                       /*duration=*/1 << 14);
+        break;
+      case 1:
+        plan.link_death(at, node, link);
+        break;
+      case 2:
+        plan.ack_drop_burst(at, node, link,
+                            1 + static_cast<int>(rng.next_below(4)));
+        break;
+      default:
+        plan.data_corruption(at, node, link,
+                             1 + static_cast<int>(rng.next_below(3)));
+        break;
+    }
+  }
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+FaultInjector::FaultInjector(net::MeshNet* mesh, sim::StatSet* stats)
+    : mesh_(mesh), stats_(stats) {}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  sim::Engine& engine = mesh_->engine();
+  for (const FaultEvent& e : plan.events()) {
+    const Cycle at = std::max(e.at, engine.now());
+    engine.schedule_at(at, [this, e] { apply(e); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  ++injected_;
+  if (stats_) {
+    stats_->add("fault.injected");
+    stats_->add(std::string("fault.") + to_string(e.kind));
+  }
+  QCDOC_INFO << "fault: " << to_string(e.kind) << " node " << e.node.value
+             << " link " << e.link.value << " at cycle "
+             << mesh_->engine().now();
+  switch (e.kind) {
+    case FaultKind::kBerSpike: {
+      hssl::Hssl& wire = mesh_->wire(e.node, e.link);
+      const double previous = wire.bit_error_rate();
+      wire.set_bit_error_rate(e.bit_error_rate);
+      if (e.duration > 0) {
+        mesh_->engine().schedule(e.duration, [this, e, previous] {
+          mesh_->wire(e.node, e.link).set_bit_error_rate(previous);
+        });
+      }
+      break;
+    }
+    case FaultKind::kLinkDeath:
+      mesh_->wire(e.node, e.link).fail();
+      break;
+    case FaultKind::kNodeCrash:
+      mesh_->set_condition(e.node, net::NodeCondition::kCrashed);
+      for (int l = 0; l < torus::kLinksPerNode; ++l) {
+        mesh_->wire(e.node, LinkIndex{l}).fail();
+      }
+      break;
+    case FaultKind::kNodeHang:
+      mesh_->set_condition(e.node, net::NodeCondition::kHung);
+      break;
+    case FaultKind::kAckDropBurst:
+      mesh_->scu(e.node).send_side(e.link).drop_acks(e.count);
+      break;
+    case FaultKind::kDataCorruption: {
+      // Corruption lands at the *receiving* end of this node's outgoing
+      // wire: the neighbour's facing receive side decodes the bad words.
+      const NodeId neighbor = mesh_->topology().neighbor(e.node, e.link);
+      mesh_->scu(neighbor)
+          .recv_side(torus::facing_link(e.link))
+          .force_corrupt(e.count);
+      break;
+    }
+  }
+}
+
+}  // namespace qcdoc::fault

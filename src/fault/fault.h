@@ -1,0 +1,96 @@
+// Fault-injection campaigns (paper Sec. 4 bring-up, turned into a harness).
+//
+// Building and debugging a 10 Teraflops machine means living with marginal
+// serial links, dead daughterboards and hung nodes.  This module schedules
+// deterministic fault events against a MeshNet so the detection and recovery
+// machinery (SCU link-fault escalation, host health sweeps, checksum audits,
+// CG restart) can be exercised reproducibly: the same seed always yields the
+// same campaign, the same simulation, the same recovery -- the repo-wide
+// bit-reproducibility requirement applied to failure paths.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/mesh_net.h"
+#include "sim/stats.h"
+#include "torus/coords.h"
+
+namespace qcdoc::fault {
+
+enum class FaultKind {
+  kBerSpike,        ///< transient: one wire's bit-error rate jumps
+  kLinkDeath,       ///< permanent (until retrain): one wire dies outright
+  kNodeCrash,       ///< one ASIC goes electrically dead: all 12 wires die
+  kNodeHang,        ///< one CPU stops making progress; SCU still acks
+  kAckDropBurst,    ///< a burst of acknowledgement frames is lost
+  kDataCorruption,  ///< multi-bit flips that slip past parity (undetected)
+};
+
+const char* to_string(FaultKind k);
+
+/// One scheduled fault.  Which fields matter depends on `kind`; unused ones
+/// are ignored.
+struct FaultEvent {
+  Cycle at = 0;
+  FaultKind kind = FaultKind::kBerSpike;
+  NodeId node{0};               ///< owning node of the affected wire
+  torus::LinkIndex link{0};     ///< outgoing link index on `node`
+  double bit_error_rate = 0.0;  ///< kBerSpike: the spiked rate
+  Cycle duration = 0;           ///< kBerSpike: 0 = permanent, else restore
+  int count = 0;                ///< kAckDropBurst / kDataCorruption: events
+};
+
+/// An ordered list of fault events, built by hand for targeted tests or
+/// generated pseudo-randomly for soak campaigns.
+class FaultPlan {
+ public:
+  FaultPlan& ber_spike(Cycle at, NodeId node, torus::LinkIndex link,
+                       double rate, Cycle duration = 0);
+  FaultPlan& link_death(Cycle at, NodeId node, torus::LinkIndex link);
+  FaultPlan& node_crash(Cycle at, NodeId node);
+  FaultPlan& node_hang(Cycle at, NodeId node);
+  FaultPlan& ack_drop_burst(Cycle at, NodeId node, torus::LinkIndex link,
+                            int count);
+  FaultPlan& data_corruption(Cycle at, NodeId node, torus::LinkIndex link,
+                             int count);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// A seed-deterministic soak campaign: `n` events of mixed kinds spread
+  /// uniformly over [start, start + horizon) against random wires of a
+  /// machine of the given shape.  Node crashes are excluded (they end a
+  /// soak run immediately); use node_crash() explicitly when wanted.
+  static FaultPlan random_campaign(u64 seed, const torus::Shape& shape, int n,
+                                   Cycle start, Cycle horizon);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Applies a FaultPlan to a live mesh by scheduling each event on the mesh's
+/// engine.  The injector only *breaks* things; detection and recovery belong
+/// to the SCU escalation path and the host health monitor.
+class FaultInjector {
+ public:
+  FaultInjector(net::MeshNet* mesh, sim::StatSet* stats = nullptr);
+
+  /// Schedule every event of `plan`.  Events whose time is already in the
+  /// past fire at now().  May be called repeatedly with different plans.
+  void arm(const FaultPlan& plan);
+
+  /// Apply one event immediately (the scheduled path calls this too).
+  void apply(const FaultEvent& e);
+
+  u64 injected() const { return injected_; }
+
+ private:
+  net::MeshNet* mesh_;
+  sim::StatSet* stats_;
+  u64 injected_ = 0;
+};
+
+}  // namespace qcdoc::fault

@@ -81,11 +81,29 @@ BootReport BootSequencer::boot() {
     load_boot_kernel(NodeId{static_cast<u32>(i)});
   }
   // Drain: boot packet deliveries, hardware tests, SCU init and training.
+  // A dead wire never finishes training; its events simply stop, so the
+  // queue empties and we fall through to report it instead of spinning.
   while (nodes_ready_ + nodes_failed_ < machine_->num_nodes() ||
          !machine_->mesh().all_trained()) {
-    const bool progressed = machine_->engine().step();
-    assert(progressed && "boot stalled");
-    if (!progressed) break;
+    if (!machine_->engine().step()) break;
+  }
+  report.link_training_ok = machine_->mesh().all_trained();
+  if (!report.link_training_ok) {
+    report.untrained_links = machine_->mesh().untrained_links();
+    for (const auto& ref : report.untrained_links) {
+      QCDOC_WARN << "boot: wire " << ref.node.value << "/" << ref.link.value
+                 << " failed to train";
+      // Both ends of a dead wire are unusable for mesh traffic.
+      const NodeId ends[2] = {
+          ref.node, machine_->topology().neighbor(ref.node, ref.link)};
+      for (const NodeId n : ends) {
+        auto& st = states_[n.value];
+        if (st == NodeBootState::kHardwareFailed) continue;
+        if (st == NodeBootState::kReady) --nodes_ready_;
+        st = NodeBootState::kHardwareFailed;
+        ++nodes_failed_;
+      }
+    }
   }
 
   // Run kernels check the partition interrupts: node 0 raises a line and

@@ -52,6 +52,10 @@ struct BootReport {
   torus::Shape detected_shape;  ///< the run kernels' six-dimensional size
   int nodes_ready = 0;
   std::vector<NodeId> failed_nodes;  ///< hardware-test failures
+  bool link_training_ok = true;      ///< every HSSL trained during boot
+  /// Wires that never trained (dead cables / daughterboards).  Their
+  /// endpoint nodes are demoted to hardware-failed and quarantined.
+  std::vector<net::LinkRef> untrained_links;
 };
 
 /// Drives the full boot of a machine over the Ethernet tree and the mesh.

@@ -1,0 +1,140 @@
+#include "host/health.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "host/qdaemon.h"
+
+namespace qcdoc::host {
+
+const char* to_string(NodeHealth h) {
+  switch (h) {
+    case NodeHealth::kHealthy: return "healthy";
+    case NodeHealth::kDegraded: return "degraded";
+    case NodeHealth::kFailed: return "failed";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(machine::Machine* m, net::EthernetTree* eth,
+                             Qdaemon* qd, HealthConfig cfg)
+    : machine_(m), eth_(eth), qdaemon_(qd), cfg_(cfg) {
+  const auto n = static_cast<std::size_t>(m->num_nodes());
+  health_.assign(n, NodeHealth::kHealthy);
+  resend_base_.assign(n * torus::kLinksPerNode, 0);
+  recv_err_base_.assign(n * torus::kLinksPerNode, 0);
+}
+
+HealthSweep HealthMonitor::sweep() {
+  ++sweeps_;
+  stats_.add("health.sweeps");
+  HealthSweep rep;
+  net::MeshNet& mesh = machine_->mesh();
+  const auto& topo = machine_->topology();
+  const int n = machine_->num_nodes();
+
+  const auto retrain_wire = [&](NodeId owner, torus::LinkIndex l) {
+    if (!cfg_.auto_retrain) return;
+    // retrain() is a no-op while already training, so a wire flagged by
+    // both its sender and its receiver in one sweep retrains only once.
+    if (mesh.wire(owner, l).state() == hssl::LinkState::kTraining) return;
+    mesh.wire(owner, l).retrain();
+    mesh.scu(owner).clear_link_fault(l);
+    stats_.add("health.retrains");
+    rep.retrained.push_back(net::LinkRef{owner, l});
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const NodeId node{static_cast<u32>(i)};
+    // Ethernet/JTAG probe: one command/response round trip per node.  This
+    // path decodes in pure hardware, so it works even on a node with no
+    // software running (the paper's "probe a failing node").
+    bool probe_done = false;
+    eth_->host_to_node(node, 64, net::EthKind::kJtag, [this, node, &probe_done] {
+      eth_->node_to_host(node, 64, [&probe_done] { probe_done = true; });
+    });
+    while (!probe_done && machine_->engine().step()) {
+    }
+    stats_.add("health.jtag_probes");
+
+    NodeHealth verdict = NodeHealth::kHealthy;
+    const net::NodeCondition cond = mesh.condition(node);
+    if (cond != net::NodeCondition::kOk) {
+      verdict = NodeHealth::kFailed;
+      rep.notes.push_back("node " + std::to_string(i) + ": " +
+                          net::to_string(cond));
+    }
+
+    scu::Scu& node_scu = mesh.scu(node);
+    for (int l = 0; l < torus::kLinksPerNode; ++l) {
+      const torus::LinkIndex link{l};
+      const std::size_t w = static_cast<std::size_t>(i) * torus::kLinksPerNode +
+                            static_cast<std::size_t>(l);
+      const u64 resends = node_scu.send_side(link).resends();
+      const u64 resend_delta = resends - resend_base_[w];
+      resend_base_[w] = resends;
+      const u64 errors = node_scu.recv_side(link).detected_errors();
+      const u64 error_delta = errors - recv_err_base_[w];
+      recv_err_base_[w] = errors;
+
+      hssl::Hssl& wire = mesh.wire(node, link);
+      if (wire.failed()) {
+        // A dead outgoing wire makes the node unusable for mesh traffic.
+        verdict = NodeHealth::kFailed;
+        rep.notes.push_back("node " + std::to_string(i) + " link " +
+                            std::to_string(l) + ": wire failed");
+        continue;
+      }
+      const bool escalated = (node_scu.faulted_links() >> l) & 1u;
+      if (escalated || resend_delta >= cfg_.degraded_resend_delta) {
+        if (verdict == NodeHealth::kHealthy) verdict = NodeHealth::kDegraded;
+        stats_.add("health.degraded_links");
+        rep.notes.push_back("node " + std::to_string(i) + " link " +
+                            std::to_string(l) +
+                            (escalated ? ": link-fault escalation"
+                                       : ": resend burst"));
+        retrain_wire(node, link);
+      }
+      if (error_delta >= cfg_.degraded_error_delta) {
+        // Our receive side saw the parity failures, but the marginal wire
+        // is the *incoming* one, owned by the neighbour on the facing link.
+        if (verdict == NodeHealth::kHealthy) verdict = NodeHealth::kDegraded;
+        stats_.add("health.degraded_links");
+        rep.notes.push_back("node " + std::to_string(i) + " link " +
+                            std::to_string(l) + ": receive error burst");
+        retrain_wire(topo.neighbor(node, link), torus::facing_link(link));
+      }
+    }
+
+    if (health_[static_cast<std::size_t>(i)] == NodeHealth::kFailed) {
+      verdict = NodeHealth::kFailed;  // failure is sticky
+    } else if (verdict == NodeHealth::kFailed) {
+      rep.newly_failed.push_back(node);
+      stats_.add("health.failed_nodes");
+      if (cfg_.auto_quarantine && qdaemon_) qdaemon_->quarantine_node(node);
+    }
+    health_[static_cast<std::size_t>(i)] = verdict;
+    switch (verdict) {
+      case NodeHealth::kHealthy: ++rep.healthy; break;
+      case NodeHealth::kDegraded: ++rep.degraded; break;
+      case NodeHealth::kFailed: ++rep.failed; break;
+    }
+  }
+
+  rep.at = machine_->engine().now();
+  for (const auto& note : rep.notes) QCDOC_INFO << "health: " << note;
+  return rep;
+}
+
+void HealthMonitor::monitor_for(Cycle duration) {
+  sim::Engine& engine = machine_->engine();
+  const Cycle end = engine.now() + duration;
+  while (engine.now() < end) {
+    const Cycle next =
+        std::min(end, engine.now() + cfg_.sweep_period_cycles);
+    engine.run_until(next);
+    sweep();
+  }
+}
+
+}  // namespace qcdoc::host

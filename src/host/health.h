@@ -1,0 +1,89 @@
+// Machine health monitoring (paper Sections 2.3, 3.1 and 4).
+//
+// The qdaemon is "responsible for ... keeping track of the status of the
+// nodes (including hardware problems)", and the Ethernet/JTAG controller is
+// "an I/O path to monitor and probe a failing node" that works with no
+// software running on it.  The HealthMonitor turns those two facts into a
+// periodic sweep: probe every node over JTAG, read back the SCU link-fault
+// and error counters, classify each node healthy / degraded / failed, and
+// drive recovery -- retrain marginal serial links, quarantine dead nodes so
+// the qdaemon never allocates a partition over them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "machine/machine.h"
+#include "net/ethernet.h"
+#include "sim/stats.h"
+
+namespace qcdoc::host {
+
+class Qdaemon;
+
+enum class NodeHealth {
+  kHealthy,   ///< no fault indications this sweep
+  kDegraded,  ///< marginal links (resends / detected errors / escalations)
+  kFailed,    ///< crashed, hung, or with dead outgoing wires; quarantined
+};
+
+const char* to_string(NodeHealth h);
+
+struct HealthConfig {
+  /// Cycles between sweeps when monitoring continuously.
+  Cycle sweep_period_cycles = 1 << 16;
+  /// A link whose send side resent at least this many words since the last
+  /// sweep is marginal (a healthy link resends rarely).
+  u64 degraded_resend_delta = 4;
+  /// Same threshold on a receive side's detected (parity/type) errors.
+  u64 degraded_error_delta = 4;
+  bool auto_retrain = true;     ///< retrain marginal / faulted wires
+  bool auto_quarantine = true;  ///< quarantine failed nodes from allocation
+};
+
+/// What one sweep found and did.
+struct HealthSweep {
+  Cycle at = 0;
+  int healthy = 0;
+  int degraded = 0;
+  int failed = 0;
+  std::vector<NodeId> newly_failed;
+  std::vector<net::LinkRef> retrained;
+  std::vector<std::string> notes;  ///< human-readable findings
+};
+
+class HealthMonitor {
+ public:
+  /// `qd` may be null (no quarantine sink: classification + retraining only).
+  HealthMonitor(machine::Machine* m, net::EthernetTree* eth, Qdaemon* qd,
+                HealthConfig cfg = HealthConfig{});
+
+  /// Probe every node now (advances the engine by the JTAG round trips) and
+  /// apply recovery actions.
+  HealthSweep sweep();
+
+  /// Run the engine for `duration` cycles, sweeping every sweep_period.
+  void monitor_for(Cycle duration);
+
+  NodeHealth health(NodeId n) const { return health_[n.value]; }
+  u64 sweeps() const { return sweeps_; }
+  const sim::StatSet& stats() const { return stats_; }
+  const HealthConfig& config() const { return cfg_; }
+
+ private:
+  machine::Machine* machine_;
+  net::EthernetTree* eth_;
+  Qdaemon* qdaemon_;
+  HealthConfig cfg_;
+
+  std::vector<NodeHealth> health_;
+  /// Per directed wire [node * kLinksPerNode + link]: counter baselines from
+  /// the previous sweep, so each sweep judges the interval, not the total.
+  std::vector<u64> resend_base_;
+  std::vector<u64> recv_err_base_;
+  u64 sweeps_ = 0;
+  sim::StatSet stats_;
+};
+
+}  // namespace qcdoc::host

@@ -14,6 +14,7 @@ Qdaemon::Qdaemon(machine::Machine* m, net::EthernetConfig eth_cfg,
                                              m->num_nodes());
   sequencer_ = std::make_unique<BootSequencer>(machine_, eth_.get(), boot_params_);
   node_used_.assign(static_cast<std::size_t>(m->num_nodes()), false);
+  quarantined_.assign(static_cast<std::size_t>(m->num_nodes()), false);
 }
 
 const BootReport& Qdaemon::boot() {
@@ -22,7 +23,7 @@ const BootReport& Qdaemon::boot() {
     // Hardware problems found during boot: quarantine those nodes so no
     // partition is ever placed over them.
     for (const auto bad : boot_report_->failed_nodes) {
-      node_used_[bad.value] = true;
+      quarantine_node(bad);
     }
   }
   return *boot_report_;
@@ -31,7 +32,28 @@ const BootReport& Qdaemon::boot() {
 int Qdaemon::machine_nodes() const { return machine_->num_nodes(); }
 
 std::vector<NodeId> Qdaemon::failed_nodes() const {
-  return boot_report_ ? boot_report_->failed_nodes : std::vector<NodeId>{};
+  return quarantined_nodes();
+}
+
+void Qdaemon::quarantine_node(NodeId n) {
+  if (quarantined_[n.value]) return;
+  quarantined_[n.value] = true;
+  QCDOC_WARN << "qdaemon: node " << n.value << " quarantined";
+}
+
+std::vector<NodeId> Qdaemon::quarantined_nodes() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < quarantined_.size(); ++i) {
+    if (quarantined_[i]) out.push_back(NodeId{static_cast<u32>(i)});
+  }
+  return out;
+}
+
+HealthMonitor& Qdaemon::health(HealthConfig cfg) {
+  if (!health_) {
+    health_ = std::make_unique<HealthMonitor>(machine_, eth_.get(), this, cfg);
+  }
+  return *health_;
 }
 
 NodeBootState Qdaemon::node_state(NodeId n) const {
@@ -50,7 +72,8 @@ bool Qdaemon::box_free(const torus::Coord& origin,
       c.c[d] = origin.c[d] + rest % box.extent[d];
       rest /= box.extent[d];
     }
-    if (node_used_[topo.id(c).value]) return false;
+    const NodeId n = topo.id(c);
+    if (node_used_[n.value] || quarantined_[n.value]) return false;
   }
   return true;
 }
@@ -136,8 +159,8 @@ void Qdaemon::release_partition(const PartitionHandle& h) {
 
 int Qdaemon::free_nodes() const {
   int n = 0;
-  for (bool used : node_used_) {
-    if (!used) ++n;
+  for (std::size_t i = 0; i < node_used_.size(); ++i) {
+    if (!node_used_[i] && !quarantined_[i]) ++n;
   }
   return n;
 }
@@ -149,11 +172,51 @@ JobResult Qdaemon::run_job(
   JobResult result;
   auto it = partitions_.find(h.id);
   if (it == partitions_.end() || !app) return result;
+
+  // Pre-flight: refuse to start over hardware known to be bad, and fail the
+  // job cleanly with a diagnostic instead of hanging the user's qcsh.
+  const std::vector<NodeId> nodes = it->second.partition->nodes();
+  bool healthy = true;
+  for (const NodeId n : nodes) {
+    if (is_quarantined(n)) {
+      result.output.push_back("job aborted: node " + std::to_string(n.value) +
+                              " is quarantined");
+      healthy = false;
+    } else if (machine_->mesh().condition(n) != net::NodeCondition::kOk) {
+      result.output.push_back(
+          "job aborted: node " + std::to_string(n.value) + " is " +
+          net::to_string(machine_->mesh().condition(n)));
+      healthy = false;
+    }
+  }
+  if (!healthy) return result;  // ok stays false
+
+  // Snapshot the link-fault state so faults raised *during* the job fail it.
+  std::vector<u32> fault_masks_before(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    fault_masks_before[i] = machine_->mesh().scu(nodes[i]).faulted_links();
+  }
+
   comms::Communicator comm(machine_, it->second.partition.get());
   const Cycle start = machine_->engine().now();
   app(comm, result.output);
   result.cycles = machine_->engine().now() - start;
-  result.ok = true;
+
+  bool faulted = false;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const u32 fresh = machine_->mesh().scu(nodes[i]).faulted_links() &
+                      ~fault_masks_before[i];
+    if (!fresh) continue;
+    faulted = true;
+    for (int l = 0; l < torus::kLinksPerNode; ++l) {
+      if (fresh & (1u << l)) {
+        result.output.push_back(
+            "job failed: link fault on node " +
+            std::to_string(nodes[i].value) + " link " + std::to_string(l));
+      }
+    }
+  }
+  result.ok = !faulted;
   return result;
 }
 

@@ -21,6 +21,7 @@
 
 #include "comms/comms.h"
 #include "host/boot.h"
+#include "host/health.h"
 #include "machine/machine.h"
 #include "net/ethernet.h"
 #include "torus/partition.h"
@@ -51,8 +52,23 @@ class Qdaemon {
 
   NodeBootState node_state(NodeId n) const;
   int machine_nodes() const;
-  /// Nodes the boot hardware test flagged; never allocated to partitions.
+  /// Nodes flagged by the boot hardware test or quarantined since; never
+  /// allocated to partitions.
   std::vector<NodeId> failed_nodes() const;
+
+  // --- Node-status tracking -----------------------------------------------
+  /// Remove a node from the allocatable pool ("keeping track of the status
+  /// of the nodes, including hardware problems").  Partitions already placed
+  /// over it keep running -- their next job fails cleanly instead.
+  void quarantine_node(NodeId n);
+  bool is_quarantined(NodeId n) const {
+    return quarantined_[n.value];
+  }
+  std::vector<NodeId> quarantined_nodes() const;
+
+  /// Periodic health sweeps over Ethernet/JTAG, wired back to this daemon
+  /// for quarantining.  Created on first use.
+  HealthMonitor& health(HealthConfig cfg = HealthConfig{});
 
   /// Allocate a partition: a box of the machine with extents `box` (unused
   /// dims extent 1), remapped to `logical_dims` dimensions by folding
@@ -94,7 +110,9 @@ class Qdaemon {
   BootParams boot_params_;
   std::optional<BootReport> boot_report_;
   std::unique_ptr<BootSequencer> sequencer_;
+  std::unique_ptr<HealthMonitor> health_;
   std::vector<bool> node_used_;
+  std::vector<bool> quarantined_;
   std::map<int, Allocation> partitions_;
   int next_partition_id_ = 0;
 };

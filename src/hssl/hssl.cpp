@@ -1,36 +1,90 @@
 #include "hssl/hssl.h"
 
-#include <cassert>
+#include <cmath>
+
+#include "common/log.h"
 
 namespace qcdoc::hssl {
 
+const char* to_string(LinkState s) {
+  switch (s) {
+    case LinkState::kDown: return "down";
+    case LinkState::kTraining: return "training";
+    case LinkState::kTrained: return "trained";
+    case LinkState::kFailed: return "failed";
+  }
+  return "?";
+}
+
 Hssl::Hssl(sim::Engine* engine, HsslConfig cfg, Rng error_stream,
            sim::StatSet* stats)
-    : engine_(engine), cfg_(cfg), errors_(error_stream), stats_(stats) {}
+    : engine_(engine), cfg_(cfg), errors_(error_stream), stats_(stats) {
+  set_bit_error_rate(cfg_.bit_error_rate);  // clamp whatever the config holds
+}
 
-void Hssl::power_on() {
-  if (powered_) return;
-  powered_ = true;
-  engine_->schedule(cfg_.training_cycles, [this] {
-    trained_ = true;
+void Hssl::begin_training() {
+  state_ = LinkState::kTraining;
+  engine_->schedule(cfg_.training_cycles, [this, epoch = epoch_] {
+    if (epoch != epoch_) return;  // failed/retrained while training
+    state_ = LinkState::kTrained;
     trained_at_ = engine_->now();
+    busy_cycles_ = 0;
+    ++times_trained_;
     if (stats_) stats_->add("hssl.trained");
     start_next();
     if (!busy_ && on_ready_) on_ready_();
   });
 }
 
+void Hssl::power_on() {
+  if (state_ != LinkState::kDown) return;
+  begin_training();
+}
+
+void Hssl::fail() {
+  if (state_ == LinkState::kDown || state_ == LinkState::kFailed) {
+    state_ = LinkState::kFailed;
+    return;
+  }
+  state_ = LinkState::kFailed;
+  busy_ = false;
+  queue_.clear();  // bits in flight never arrive
+  ++epoch_;
+  if (stats_) stats_->add("hssl.failures");
+}
+
+void Hssl::retrain() {
+  if (state_ == LinkState::kDown || state_ == LinkState::kTraining) return;
+  ++epoch_;
+  busy_ = false;
+  queue_.clear();
+  if (stats_) stats_->add("hssl.retrains");
+  begin_training();
+}
+
+void Hssl::set_bit_error_rate(double rate) {
+  if (!std::isfinite(rate) || rate < 0.0) rate = 0.0;
+  if (rate > 1.0) rate = 1.0;
+  cfg_.bit_error_rate = rate;
+}
+
 u64 Hssl::transmit(int bits, DeliveryFn on_delivered) {
-  assert(powered_ && "transmit before power_on");
-  assert(bits > 0);
+  if (state_ == LinkState::kDown || state_ == LinkState::kFailed ||
+      bits <= 0) {
+    ++rejected_frames_;
+    if (stats_) stats_->add("hssl.rejected_frames");
+    QCDOC_WARN << "hssl: transmit rejected (" << to_string(state_)
+               << " link, " << bits << " bits)";
+    return kRejected;
+  }
   const u64 id = next_frame_id_++;
   queue_.push_back(Frame{id, bits, std::move(on_delivered)});
-  if (trained_ && !busy_) start_next();
+  if (state_ == LinkState::kTrained && !busy_) start_next();
   return id;
 }
 
 void Hssl::start_next() {
-  if (!trained_ || busy_ || queue_.empty()) return;
+  if (state_ != LinkState::kTrained || busy_ || queue_.empty()) return;
   busy_ = true;
   Frame frame = std::move(queue_.front());
   queue_.pop_front();
@@ -49,21 +103,24 @@ void Hssl::start_next() {
   }
 
   // The sender's serializer frees up after the last bit leaves; delivery at
-  // the far end happens one wire delay later.
+  // the far end happens one wire delay later.  Both events are void if the
+  // link fails or retrains in between (the bits die on the wire).
   const Cycle serialize = static_cast<Cycle>(frame.bits);
-  engine_->schedule(serialize, [this] {
+  engine_->schedule(serialize, [this, epoch = epoch_] {
+    if (epoch != epoch_) return;
     busy_ = false;
     start_next();
     if (!busy_ && on_ready_) on_ready_();
   });
   engine_->schedule(serialize + cfg_.wire_delay_cycles,
-                    [frame = std::move(frame), flipped] {
+                    [this, epoch = epoch_, frame = std::move(frame), flipped] {
+                      if (epoch != epoch_) return;
                       if (frame.on_delivered) frame.on_delivered(frame.id, flipped);
                     });
 }
 
 Cycle Hssl::idle_cycles() const {
-  if (!trained_) return 0;
+  if (state_ != LinkState::kTrained) return 0;
   const Cycle since_trained = engine_->now() - trained_at_;
   return since_trained > busy_cycles_ ? since_trained - busy_cycles_ : 0;
 }

@@ -8,6 +8,12 @@
 // 1 bit/cycle, adds a wire time-of-flight, and injects bit errors from a
 // deterministic per-link stream so the SCU's parity/resend machinery is
 // exercised for real.
+//
+// Fault model: a link can die outright (`fail()` -- a broken cable or
+// daughterboard, paper Sec. 4's bring-up debugging) and be brought back by
+// host-commanded retraining (`retrain()`), the recovery action the
+// Ethernet/JTAG path enables.  A failed link rejects traffic with a clear
+// sentinel instead of queueing it silently.
 #pragma once
 
 #include <deque>
@@ -26,6 +32,16 @@ struct HsslConfig {
   double bit_error_rate = 0.0;   ///< probability a transmitted bit flips
 };
 
+/// Lifecycle of one serial link.
+enum class LinkState {
+  kDown,      ///< not yet powered
+  kTraining,  ///< exchanging the training byte sequence
+  kTrained,   ///< carrying data / idle bytes
+  kFailed,    ///< dead: rejects traffic until retrained
+};
+
+const char* to_string(LinkState s);
+
 /// One unidirectional serial link.  Frames are opaque bit counts to the HSSL;
 /// framing (headers, parity) belongs to the SCU layer above.
 class Hssl {
@@ -34,15 +50,32 @@ class Hssl {
   /// frame (plus wire delay) reaches the receiver.
   using DeliveryFn = std::function<void(u64 frame_id, int flipped_bits)>;
 
+  /// Returned by transmit() when the link refuses the frame (failed or
+  /// unpowered).  Callers must treat it as a hard link fault.
+  static constexpr u64 kRejected = ~0ull;
+
   Hssl(sim::Engine* engine, HsslConfig cfg, Rng error_stream,
        sim::StatSet* stats);
 
   /// Begin the training sequence; the link carries data only once trained.
   void power_on();
-  bool trained() const { return trained_; }
+  bool trained() const { return state_ == LinkState::kTrained; }
+  bool failed() const { return state_ == LinkState::kFailed; }
+  LinkState state() const { return state_; }
   Cycle trained_at() const { return trained_at_; }
 
-  /// Queue a frame of `bits` for transmission.  Returns its frame id.
+  /// Kill the link: pending and in-flight frames are lost, and further
+  /// transmit() calls are rejected until retrain().  Models a dead cable /
+  /// daughterboard or an HSSL macro that dropped lock.
+  void fail();
+
+  /// Host-commanded recovery: re-run the training sequence.  Valid from the
+  /// failed *or* trained state (retraining a marginal link re-finds the
+  /// sampling point).  Anything queued is dropped, as on real re-lock.
+  void retrain();
+
+  /// Queue a frame of `bits` for transmission.  Returns its frame id, or
+  /// kRejected (with a stat and a warning) when the link cannot carry it.
   /// Frames serialize strictly in order at 1 bit/cycle.
   u64 transmit(int bits, DeliveryFn on_delivered);
 
@@ -56,10 +89,15 @@ class Hssl {
   Cycle idle_cycles() const;
 
   /// Change the error rate at runtime (fault injection for diagnostics).
-  void set_bit_error_rate(double rate) { cfg_.bit_error_rate = rate; }
+  /// Clamped to [0, 1]; non-finite rates are treated as 0.
+  void set_bit_error_rate(double rate);
   double bit_error_rate() const { return cfg_.bit_error_rate; }
 
+  u64 times_trained() const { return times_trained_; }
+  u64 rejected_frames() const { return rejected_frames_; }
+
  private:
+  void begin_training();
   void start_next();
 
   sim::Engine* engine_;
@@ -67,12 +105,16 @@ class Hssl {
   Rng errors_;
   sim::StatSet* stats_;
 
-  bool powered_ = false;
-  bool trained_ = false;
+  LinkState state_ = LinkState::kDown;
   Cycle trained_at_ = 0;
   bool busy_ = false;
   u64 next_frame_id_ = 0;
   Cycle busy_cycles_ = 0;
+  u64 times_trained_ = 0;
+  u64 rejected_frames_ = 0;
+  /// Bumped on fail()/retrain(): events scheduled under an older epoch
+  /// (training completion, serializer free, deliveries) are void.
+  u64 epoch_ = 0;
 
   struct Frame {
     u64 id;

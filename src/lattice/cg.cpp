@@ -1,13 +1,20 @@
 #include "lattice/cg.h"
 
 #include <cmath>
+#include <optional>
 
 #include "common/log.h"
 
 namespace qcdoc::lattice {
 
-CgResult cg_solve(DiracOperator& op, DistField& x, DistField& b,
-                  const CgParams& params) {
+namespace {
+
+// Shared CG engine.  `audit` == nullptr runs the plain solver; otherwise
+// every audit->interval iterations (and before declaring convergence) the
+// link checksums are audited, with rollback to the last clean checkpoint
+// on a mismatch.
+CgResult cg_run(DiracOperator& op, DistField& x, DistField& b,
+                const CgParams& params, const CgAuditParams* audit) {
   FieldOps& ops = op.ops();
   auto& bsp = ops.bsp();
 
@@ -21,24 +28,48 @@ CgResult cg_solve(DiracOperator& op, DistField& x, DistField& b,
   DistField r = op.make_field("cg.r");
   DistField p = op.make_field("cg.p");
   DistField ap = op.make_field("cg.ap");
+  std::optional<DistField> xck;  // last known-clean checkpoint of x
+  if (audit) xck.emplace(op.make_field("cg.xck"));
 
-  // Normal equations: solve M^+ M x = M^+ b.
-  // r = M^+ b - M^+ M x;  with x = 0 this is r = M^+ b.
-  op.apply_dag(r, b);
-  op.apply(tmp, x);
-  op.apply_dag(ap, tmp);
-  ops.axpy(-1.0, ap, r);
+  double rsq = 0;
+  // r = M^+ b - M^+ M x (normal equations); with x = 0 this is r = M^+ b.
+  const auto recompute_residual = [&] {
+    op.apply_dag(r, b);
+    op.apply(tmp, x);
+    op.apply_dag(ap, tmp);
+    ops.axpy(-1.0, ap, r);
+    ops.copy(r, p);
+    rsq = ops.norm2(r);
+  };
 
-  ops.copy(r, p);
-  double rsq = ops.norm2(r);
+  CgResult result;
+  if (audit) ops.copy(x, *xck);
+  recompute_residual();
+  if (audit) {
+    // Baseline audit: the initial residual itself crosses the mesh, and a
+    // corruption here would poison the reference scale.
+    ++result.audits;
+    while (!audit->clean() && result.restarts < audit->max_restarts) {
+      ++result.audit_failures;
+      ++result.restarts;
+      ops.copy(*xck, x);
+      recompute_residual();
+      ++result.audits;
+    }
+  }
   const double rhs_norm2 = rsq;  // reference scale: |M^+ b| for x0 = 0
   const double target =
       params.tolerance * params.tolerance * (rhs_norm2 > 0 ? rhs_norm2 : 1.0);
 
-  CgResult result;
   const int iters = params.fixed_iterations > 0 ? params.fixed_iterations
                                                 : params.max_iterations;
-  for (int it = 0; it < iters; ++it) {
+  // With restarts, rolled-back iterations don't count as productive work;
+  // the guard bounds total loop trips even if every interval is dirty.
+  const int max_trips =
+      audit ? iters * (audit->max_restarts + 1) + audit->max_restarts : iters;
+  int since_audit = 0;
+  bool gave_up = false;
+  for (int trip = 0; trip < max_trips && result.iterations < iters; ++trip) {
     // ap = M^+ M p   (two Dirac applications per iteration)
     op.apply(tmp, p);
     op.apply_dag(ap, tmp);
@@ -49,8 +80,48 @@ CgResult cg_solve(DiracOperator& op, DistField& x, DistField& b,
     ops.axpy(alpha, p, x);
     ops.axpy(-alpha, ap, r);
     const double rsq_new = ops.norm2(r);
-    result.iterations = it + 1;
-    if (params.fixed_iterations == 0 && rsq_new < target) {
+    ++result.iterations;
+    ++since_audit;
+
+    const bool looks_converged =
+        params.fixed_iterations == 0 && rsq_new < target;
+
+    if (audit && (looks_converged || since_audit >= audit->interval ||
+                  result.iterations == iters)) {
+      ++result.audits;
+      if (!audit->clean()) {
+        // Corrupted traffic somewhere in this interval: every iterate since
+        // the checkpoint is suspect.  Roll back and recompute the true
+        // residual; recomputation traffic is itself audited.
+        ++result.audit_failures;
+        bool recovered = false;
+        while (result.restarts < audit->max_restarts) {
+          ++result.restarts;
+          result.iterations -= since_audit;  // the interval was wasted
+          ops.copy(*xck, x);
+          recompute_residual();
+          ++result.audits;
+          since_audit = 0;
+          if (audit->clean()) {
+            recovered = true;
+            break;
+          }
+          ++result.audit_failures;
+        }
+        if (!recovered) {
+          gave_up = true;
+          rsq = rsq_new;
+          break;
+        }
+        continue;  // p == r after recompute; restart the Krylov space
+      }
+      ops.copy(x, *xck);
+      since_audit = 0;
+    }
+
+    if (looks_converged) {
+      // Without auditing this is immediate; with auditing we only reach
+      // here after the interval just passed a clean audit.
       result.converged = true;
       rsq = rsq_new;
       break;
@@ -61,7 +132,7 @@ CgResult cg_solve(DiracOperator& op, DistField& x, DistField& b,
   }
   result.relative_residual =
       rhs_norm2 > 0 ? std::sqrt(rsq / rhs_norm2) : std::sqrt(rsq);
-  if (params.fixed_iterations > 0) {
+  if (params.fixed_iterations > 0 && !gave_up) {
     result.converged = result.relative_residual <= params.tolerance;
   }
 
@@ -71,8 +142,24 @@ CgResult cg_solve(DiracOperator& op, DistField& x, DistField& b,
   result.comm_cycles = bsp.comm_cycles() - start_comm;
   result.global_cycles = bsp.global_cycles() - start_global;
   QCDOC_INFO << "cg[" << op.name() << "]: " << result.iterations
-             << " iterations, |r|/|b| = " << result.relative_residual;
+             << " iterations, |r|/|b| = " << result.relative_residual
+             << (audit ? (", " + std::to_string(result.restarts) + " restarts")
+                       : std::string());
   return result;
+}
+
+}  // namespace
+
+CgResult cg_solve(DiracOperator& op, DistField& x, DistField& b,
+                  const CgParams& params) {
+  return cg_run(op, x, b, params, nullptr);
+}
+
+CgResult cg_solve_audited(DiracOperator& op, DistField& x, DistField& b,
+                          const CgParams& params,
+                          const CgAuditParams& audit) {
+  if (!audit.clean) return cg_run(op, x, b, params, nullptr);
+  return cg_run(op, x, b, params, &audit);
 }
 
 }  // namespace qcdoc::lattice

@@ -8,6 +8,8 @@
 // products through the SCU global-sum hardware.
 #pragma once
 
+#include <functional>
+
 #include "lattice/dirac.h"
 
 namespace qcdoc::lattice {
@@ -20,10 +22,28 @@ struct CgParams {
   int fixed_iterations = 0;
 };
 
+/// Checksum-audit policy for the fault-tolerant solver.  The paper compares
+/// per-link checksums at the end of a calculation; auditing every few
+/// iterations instead lets a multi-day run restart from its last known-clean
+/// checkpoint when an undetected corruption slips past the link parity.
+struct CgAuditParams {
+  /// Returns true when all link traffic since the *previous* call matched
+  /// checksums (e.g. fault::ChecksumAuditor::clean_since_last).  Called at
+  /// iteration boundaries, where the BSP runtime leaves the mesh quiescent.
+  std::function<bool()> clean;
+  int interval = 10;     ///< iterations between audits
+  int max_restarts = 8;  ///< give up after this many rollbacks
+};
+
 struct CgResult {
   bool converged = false;
   int iterations = 0;
   double relative_residual = 0;
+
+  // Fault-tolerance accounting (cg_solve_audited only).
+  int restarts = 0;         ///< rollbacks to the last clean checkpoint
+  u64 audits = 0;           ///< checksum audits performed
+  u64 audit_failures = 0;   ///< audits that found corrupted traffic
 
   // Machine-level accounting over the solve.
   double flops = 0;          ///< total useful flops (whole machine)
@@ -44,5 +64,14 @@ struct CgResult {
 /// starting guess).  Advances the machine clock; all arithmetic is real.
 CgResult cg_solve(DiracOperator& op, DistField& x, DistField& b,
                   const CgParams& params);
+
+/// Fault-tolerant CG: every `audit.interval` iterations (and before
+/// declaring convergence) the solver audits the link checksums.  A clean
+/// audit checkpoints x; a dirty one rolls x back to the checkpoint and
+/// recomputes the true residual, so corrupted halo traffic costs at most
+/// one audit interval.  Convergence is only ever declared on clean data.
+CgResult cg_solve_audited(DiracOperator& op, DistField& x, DistField& b,
+                          const CgParams& params,
+                          const CgAuditParams& audit);
 
 }  // namespace qcdoc::lattice

@@ -34,4 +34,21 @@ Cycle Machine::power_on() {
   return engine_->now() - start;
 }
 
+PowerOnReport Machine::power_on_checked(Cycle timeout_cycles) {
+  if (timeout_cycles == 0) {
+    timeout_cycles = mesh_->config().hssl.training_cycles * 64;
+  }
+  const Cycle start = engine_->now();
+  const Cycle deadline = start + timeout_cycles;
+  mesh_->power_on();
+  while (!mesh_->all_trained() && engine_->now() < deadline &&
+         engine_->step()) {
+  }
+  PowerOnReport report;
+  report.cycles = engine_->now() - start;
+  report.all_trained = mesh_->all_trained();
+  if (!report.all_trained) report.untrained = mesh_->untrained_links();
+  return report;
+}
+
 }  // namespace qcdoc::machine

@@ -7,6 +7,15 @@ namespace qcdoc::net {
 
 using torus::LinkIndex;
 
+const char* to_string(NodeCondition c) {
+  switch (c) {
+    case NodeCondition::kOk: return "ok";
+    case NodeCondition::kHung: return "hung";
+    case NodeCondition::kCrashed: return "crashed";
+  }
+  return "?";
+}
+
 MeshNet::MeshNet(sim::Engine* engine, MeshConfig cfg)
     : engine_(engine), cfg_(cfg), topology_(cfg.shape) {
   const int n = topology_.num_nodes();
@@ -16,6 +25,7 @@ MeshNet::MeshNet(sim::Engine* engine, MeshConfig cfg)
   stats_.reserve(static_cast<std::size_t>(n));
   scus_.reserve(static_cast<std::size_t>(n));
   wires_.resize(static_cast<std::size_t>(n) * torus::kLinksPerNode);
+  conditions_.assign(static_cast<std::size_t>(n), NodeCondition::kOk);
 
   cfg_.scu.active_transfers = &active_transfers_;
   for (int i = 0; i < n; ++i) {
@@ -70,6 +80,32 @@ bool MeshNet::all_trained() const {
     if (!w->trained()) return false;
   }
   return true;
+}
+
+std::vector<LinkRef> MeshNet::untrained_links() const {
+  std::vector<LinkRef> out;
+  for (std::size_t i = 0; i < wires_.size(); ++i) {
+    if (!wires_[i]->trained()) {
+      out.push_back(LinkRef{
+          NodeId{static_cast<u32>(i / torus::kLinksPerNode)},
+          LinkIndex{static_cast<int>(i % torus::kLinksPerNode)}});
+    }
+  }
+  return out;
+}
+
+std::vector<LinkRef> MeshNet::faulted_links() const {
+  std::vector<LinkRef> out;
+  for (std::size_t i = 0; i < scus_.size(); ++i) {
+    const u32 mask = scus_[i]->faulted_links();
+    if (!mask) continue;
+    for (int l = 0; l < torus::kLinksPerNode; ++l) {
+      if (mask & (1u << l)) {
+        out.push_back(LinkRef{NodeId{static_cast<u32>(i)}, LinkIndex{l}});
+      }
+    }
+  }
+  return out;
 }
 
 bool MeshNet::verify_link_checksums(std::vector<std::string>* mismatches) const {

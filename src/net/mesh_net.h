@@ -16,6 +16,24 @@
 
 namespace qcdoc::net {
 
+/// Physical condition of one node's ASIC, as set by fault injection and read
+/// back (indirectly) by the host's health sweeps.  A hung node stops making
+/// forward progress but its SCU hardware still acknowledges; a crashed node
+/// is electrically gone -- all its outgoing wires are dead.
+enum class NodeCondition {
+  kOk,
+  kHung,
+  kCrashed,
+};
+
+const char* to_string(NodeCondition c);
+
+/// One directed link endpoint: `node`'s outgoing wire on `link`.
+struct LinkRef {
+  NodeId node;
+  torus::LinkIndex link;
+};
+
 struct MeshConfig {
   torus::Shape shape;
   hssl::HsslConfig hssl;
@@ -44,6 +62,16 @@ class MeshNet {
   /// Power on every HSSL; links train and then exchange idle bytes.
   void power_on();
   bool all_trained() const;
+  /// Every outgoing wire that is not currently in the trained state.
+  std::vector<LinkRef> untrained_links() const;
+  /// Every outgoing link whose send side has declared a fault.
+  std::vector<LinkRef> faulted_links() const;
+
+  /// Node condition (fault-injection state; kOk unless a fault was applied).
+  NodeCondition condition(NodeId n) const {
+    return conditions_[n.value];
+  }
+  void set_condition(NodeId n, NodeCondition c) { conditions_[n.value] = c; }
 
   /// Machine-wide partition-interrupt domain (flooding over all mesh links).
   scu::PirqDomain& pirq() { return *pirq_; }
@@ -77,6 +105,7 @@ class MeshNet {
   // wires_[node * kLinksPerNode + link]: the outgoing serial wire.
   std::vector<std::unique_ptr<hssl::Hssl>> wires_;
   std::unique_ptr<scu::PirqDomain> pirq_;
+  std::vector<NodeCondition> conditions_;
   scu::ActiveCounter active_transfers_ = 0;
   bool powered_ = false;
 };

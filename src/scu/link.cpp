@@ -43,6 +43,17 @@ void SendSide::enqueue_control(PacketType type, u8 seq) {
 
 void SendSide::pump() {
   if (frame_in_flight_) return;
+  if (faulted_) {
+    // A faulted link stops originating traffic; control packets for the
+    // reverse direction still flow in case only our outbound data path (or
+    // the remote's ack path) is broken.
+    if (!control_queue_.empty()) {
+      Packet p = control_queue_.front();
+      control_queue_.pop_front();
+      transmit(p);
+    }
+    return;
+  }
 
   // Per-frame priority decision, high to low: link control, partition
   // interrupts, supervisor, normal data (paper: supervisor packets take
@@ -113,9 +124,16 @@ void SendSide::pump() {
 void SendSide::transmit(const Packet& p) {
   frame_in_flight_ = true;
   WireFrame frame = encode(p);
-  wire_->transmit(frame.bits, [this, frame, p](u64 /*frame_id*/, int flipped) {
-    if (remote_) remote_->on_frame(frame, flipped, p);
-  });
+  const u64 id = wire_->transmit(
+      frame.bits, [this, frame, p](u64 /*frame_id*/, int flipped) {
+        if (remote_) remote_->on_frame(frame, flipped, p);
+      });
+  if (id == hssl::Hssl::kRejected) {
+    // The wire is dead: there will be no serializer-free callback.  Escalate
+    // immediately instead of queueing into the void.
+    frame_in_flight_ = false;
+    declare_fault();
+  }
 }
 
 void SendSide::arm_timeout() {
@@ -126,10 +144,16 @@ void SendSide::arm_timeout() {
 
 void SendSide::on_timeout() {
   timeout_armed_ = false;
-  if (unacked_.empty()) return;
+  if (faulted_ || unacked_.empty()) return;
   const Cycle age = engine_->now() - oldest_unacked_since_;
   if (age >= params_.resend_timeout_cycles) {
-    // Lost/corrupted acknowledgement: go back and resend the window.
+    // Lost/corrupted acknowledgement: go back and resend the window.  Count
+    // consecutive no-progress rounds; a healthy link is repaired within one
+    // or two, so a long streak means the link (or its ack path) is dead.
+    if (++consecutive_timeouts_ >= params_.fault_timeout_rounds) {
+      declare_fault();
+      return;
+    }
     send_cursor_ = 0;
     resends_ += unacked_.size();
     if (stats_) stats_->add("scu.timeout_resends", unacked_.size());
@@ -137,6 +161,27 @@ void SendSide::on_timeout() {
     pump();
   }
   arm_timeout();
+}
+
+void SendSide::declare_fault() {
+  if (faulted_) return;
+  faulted_ = true;
+  if (stats_) stats_->add("scu.link_faults");
+  if (on_link_fault_) on_link_fault_();
+}
+
+void SendSide::clear_fault() {
+  if (!faulted_) return;
+  faulted_ = false;
+  consecutive_timeouts_ = 0;
+  frame_in_flight_ = false;  // whatever was on the dead wire is gone
+  // Anything still windowed must be resent from the start of the window.
+  send_cursor_ = 0;
+  if (!unacked_.empty()) {
+    oldest_unacked_since_ = engine_->now();
+    arm_timeout();
+  }
+  pump();
 }
 
 std::size_t SendSide::pop_acked_below(u8 expected) {
@@ -152,6 +197,7 @@ std::size_t SendSide::pop_acked_below(u8 expected) {
   send_cursor_ = send_cursor_ > d ? send_cursor_ - d : 0;
   if (d > 0) {
     oldest_unacked_since_ = engine_->now();
+    consecutive_timeouts_ = 0;  // forward progress: the link is alive
     if (stats_) stats_->add("scu.acks", d);
     if (data_drained() && on_data_drained_) on_data_drained_();
   }
@@ -159,11 +205,21 @@ std::size_t SendSide::pop_acked_below(u8 expected) {
 }
 
 void SendSide::on_ack(u8 expected) {
+  if (ack_drops_remaining_ > 0) {
+    --ack_drops_remaining_;
+    if (stats_) stats_->add("scu.acks_dropped");
+    return;
+  }
   pop_acked_below(expected);
   pump();
 }
 
 void SendSide::on_nack(u8 expected) {
+  if (ack_drops_remaining_ > 0) {
+    --ack_drops_remaining_;
+    if (stats_) stats_->add("scu.acks_dropped");
+    return;
+  }
   pop_acked_below(expected);
   if (!unacked_.empty() && unacked_.front().seq == (expected & 0x3)) {
     send_cursor_ = 0;  // go back: resend the whole window in order
@@ -255,6 +311,19 @@ void RecvSide::on_frame(WireFrame frame, int flipped, const Packet& sent) {
 
 void RecvSide::accept_data(u64 word, u8 seq) {
   (void)seq;
+  if (forced_corrupt_remaining_ > 0) {
+    // Injected undetected corruption: flip the sign bit and a mantissa bit
+    // of the landed word (keeping a double payload finite), exactly as a
+    // multi-bit error that defeats parity would.  The checksum absorbs the
+    // corrupted value, so the end-to-end comparison diverges.
+    --forced_corrupt_remaining_;
+    word ^= (1ull << 63) | (1ull << 40);
+    ++undetected_errors_;
+    if (stats_) {
+      stats_->add("scu.undetected_errors");
+      stats_->add("scu.forced_corruptions");
+    }
+  }
   if (data_sink_) {
     expected_seq_ = static_cast<u8>((expected_seq_ + 1) & 0x3);
     checksum_ += word;

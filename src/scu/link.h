@@ -36,6 +36,11 @@ struct LinkParams {
   int ack_window = 3;                  ///< "three in the air"
   Cycle resend_timeout_cycles = 4096;  ///< backstop for lost/corrupted ACKs
   int idle_hold_words = 3;             ///< SCU registers for idle receive
+  /// Consecutive timeout resend rounds with zero forward progress before
+  /// the send side stops retrying and raises a link-fault supervisor
+  /// interrupt (a working link recovers in one or two rounds; a dead one
+  /// would otherwise retry forever).
+  int fault_timeout_rounds = 8;
 };
 
 class RecvSide;
@@ -78,6 +83,24 @@ class SendSide {
     on_data_drained_ = std::move(fn);
   }
 
+  /// Called once when this side declares the link faulted (the model of the
+  /// SCU raising a link-fault supervisor interrupt at its CPU).
+  void set_on_link_fault(std::function<void()> fn) {
+    on_link_fault_ = std::move(fn);
+  }
+  /// The send side gave up: either the wire rejected a frame outright or
+  /// `fault_timeout_rounds` consecutive timeout resends made no progress.
+  bool faulted() const { return faulted_; }
+
+  /// Fault injection: silently discard the next `n` ACK/NACK notifications
+  /// from the remote receiver, forcing the timeout/go-back machinery to
+  /// recover (a burst of corrupted acknowledgement frames).
+  void drop_acks(int n) { ack_drops_remaining_ += n; }
+
+  /// Re-arm after the wire below was retrained: clears the faulted state
+  /// and resumes pumping whatever survived in the queues.
+  void clear_fault();
+
   u64 checksum() const { return checksum_; }
   u64 words_accepted() const { return words_accepted_; }
   u64 resends() const { return resends_; }
@@ -87,6 +110,7 @@ class SendSide {
   void transmit(const Packet& p);
   void arm_timeout();
   void on_timeout();
+  void declare_fault();
   std::size_t pop_acked_below(u8 expected);
 
   sim::Engine* engine_;
@@ -109,6 +133,10 @@ class SendSide {
   u64 resends_ = 0;
   Cycle oldest_unacked_since_ = 0;
   bool timeout_armed_ = false;
+  int consecutive_timeouts_ = 0;
+  bool faulted_ = false;
+  int ack_drops_remaining_ = 0;
+  std::function<void()> on_link_fault_;
 
   // Supervisor stream (one outstanding, own 2-bit sequence).
   std::deque<u64> sup_queue_;
@@ -159,6 +187,13 @@ class RecvSide {
     pirq_handler_ = std::move(fn);
   }
 
+  /// Fault injection: bit-flip the next `words` accepted data words as if a
+  /// multi-bit wire error had slipped past the parity/type checks.  The
+  /// corrupted value lands in memory and in the receive checksum, so only
+  /// the end-to-end checksum comparison can expose it -- the deterministic
+  /// stand-in for the rare undetected-corruption events of Sec. 2.2.
+  void force_corrupt(int words) { forced_corrupt_remaining_ += words; }
+
   u64 checksum() const { return checksum_; }
   u64 words_received() const { return words_received_; }
   int held_words() const { return static_cast<int>(held_.size()); }
@@ -181,6 +216,7 @@ class RecvSide {
   u64 words_received_ = 0;
   u64 detected_errors_ = 0;
   u64 undetected_errors_ = 0;
+  int forced_corrupt_remaining_ = 0;
 
   struct Held {
     u64 word;

@@ -29,6 +29,11 @@ void Scu::attach_outgoing_wire(LinkIndex l, hssl::Hssl* wire) {
   auto& slot = send_[static_cast<std::size_t>(l.value)];
   assert(!slot && "wire already attached");
   slot = std::make_unique<SendSide>(engine_, wire, cfg_.link, stats_);
+  slot->set_on_link_fault([this, l] {
+    faulted_links_ |= 1u << l.value;
+    if (stats_) stats_->add("scu.node_link_faults");
+    if (link_fault_handler_) link_fault_handler_(l);
+  });
   send_dma_[static_cast<std::size_t>(l.value)] =
       std::make_unique<SendDma>(engine_, memory_, slot.get(), cfg_.dma,
                                 cfg_.active_transfers);
@@ -93,6 +98,15 @@ void Scu::send_supervisor(LinkIndex l, u64 word) {
 void Scu::set_supervisor_handler(
     std::function<void(LinkIndex, u64)> fn) {
   supervisor_handler_ = std::move(fn);
+}
+
+void Scu::set_link_fault_handler(std::function<void(LinkIndex)> fn) {
+  link_fault_handler_ = std::move(fn);
+}
+
+void Scu::clear_link_fault(LinkIndex l) {
+  faulted_links_ &= ~(1u << l.value);
+  send_side(l).clear_fault();
 }
 
 u64 Scu::send_checksum(LinkIndex l) { return send_side(l).checksum(); }

@@ -66,6 +66,16 @@ class Scu {
   /// packet lands here.
   void set_supervisor_handler(std::function<void(torus::LinkIndex, u64)> fn);
 
+  // --- Link-fault escalation ----------------------------------------------
+  /// Handler invoked when a send side gives up on its link (the model of
+  /// the link-fault supervisor interrupt raised at this node's CPU).
+  void set_link_fault_handler(std::function<void(torus::LinkIndex)> fn);
+  /// Bit i set: our outgoing link i has been declared faulted.
+  u32 faulted_links() const { return faulted_links_; }
+  /// Clear the faulted flag for link `l` after a successful wire retrain,
+  /// re-arming the send side's escalation machinery.
+  void clear_link_fault(torus::LinkIndex l);
+
   // --- Checksums (end-of-run data-integrity confirmation) -----------------
   u64 send_checksum(torus::LinkIndex l);
   u64 recv_checksum(torus::LinkIndex l);
@@ -92,6 +102,8 @@ class Scu {
   std::array<std::optional<DmaDescriptor>, torus::kLinksPerNode> stored_send_;
   std::array<std::optional<DmaDescriptor>, torus::kLinksPerNode> stored_recv_;
   std::function<void(torus::LinkIndex, u64)> supervisor_handler_;
+  std::function<void(torus::LinkIndex)> link_fault_handler_;
+  u32 faulted_links_ = 0;
 };
 
 }  // namespace qcdoc::scu

@@ -1,6 +1,7 @@
 // Unit tests for the bit-serial HSSL link model (paper Section 2.2).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "common/rng.h"
@@ -137,6 +138,81 @@ TEST(Hssl, RuntimeErrorRateChange) {
   EXPECT_DOUBLE_EQ(w.link->bit_error_rate(), 0.0);
   w.link->set_bit_error_rate(1e-3);
   EXPECT_DOUBLE_EQ(w.link->bit_error_rate(), 1e-3);
+}
+
+TEST(Hssl, ErrorRateIsClampedToProbabilityRange) {
+  Wire w;
+  w.link->set_bit_error_rate(-0.5);
+  EXPECT_DOUBLE_EQ(w.link->bit_error_rate(), 0.0);
+  w.link->set_bit_error_rate(7.0);
+  EXPECT_DOUBLE_EQ(w.link->bit_error_rate(), 1.0);
+  w.link->set_bit_error_rate(std::nan(""));
+  EXPECT_DOUBLE_EQ(w.link->bit_error_rate(), 0.0);
+  HsslConfig cfg;
+  cfg.bit_error_rate = 42.0;  // a bad config value is clamped on construction
+  Wire clamped(cfg);
+  EXPECT_DOUBLE_EQ(clamped.link->bit_error_rate(), 1.0);
+}
+
+TEST(Hssl, UnpoweredOrFailedLinkRejectsTraffic) {
+  Wire w;
+  // Never powered on: no training sequence has run.
+  EXPECT_EQ(w.link->state(), LinkState::kDown);
+  EXPECT_EQ(w.link->transmit(72, {}), Hssl::kRejected);
+  EXPECT_EQ(w.link->rejected_frames(), 1u);
+
+  w.link->power_on();
+  w.engine.run_until_idle();
+  EXPECT_TRUE(w.link->trained());
+
+  w.link->fail();
+  EXPECT_TRUE(w.link->failed());
+  EXPECT_FALSE(w.link->busy());
+  EXPECT_EQ(w.link->transmit(72, {}), Hssl::kRejected);
+  EXPECT_EQ(w.link->rejected_frames(), 2u);
+  EXPECT_EQ(w.stats.get("hssl.rejected_frames"), 2u);
+}
+
+TEST(Hssl, FailDropsInFlightFramesAndRetrainRecovers) {
+  HsslConfig cfg;
+  cfg.training_cycles = 8;
+  Wire w(cfg);
+  w.link->power_on();
+  w.engine.run_until_idle();
+
+  bool lost_delivered = false;
+  w.link->transmit(72, [&](u64, int) { lost_delivered = true; });
+  w.engine.run_until(cfg.training_cycles + 10);  // mid-serialization
+  w.link->fail();
+  w.engine.run_until_idle();
+  EXPECT_FALSE(lost_delivered);  // the bits died on the wire
+  EXPECT_EQ(w.stats.get("hssl.failures"), 1u);
+
+  // Host-commanded recovery: retraining re-runs the byte sequence and the
+  // link carries traffic again.
+  w.link->retrain();
+  EXPECT_EQ(w.link->state(), LinkState::kTraining);
+  bool delivered = false;
+  w.link->transmit(72, [&](u64, int) { delivered = true; });
+  w.engine.run_until_idle();
+  EXPECT_TRUE(w.link->trained());
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(w.link->times_trained(), 2u);
+  EXPECT_EQ(w.stats.get("hssl.retrains"), 1u);
+}
+
+TEST(Hssl, RetrainFromTrainedRefindsSamplingPoint) {
+  HsslConfig cfg;
+  cfg.training_cycles = 8;
+  Wire w(cfg);
+  w.link->power_on();
+  w.engine.run_until_idle();
+  const Cycle first_trained_at = w.link->trained_at();
+  w.link->retrain();
+  w.engine.run_until_idle();
+  EXPECT_TRUE(w.link->trained());
+  EXPECT_GT(w.link->trained_at(), first_trained_at);
+  EXPECT_EQ(w.link->times_trained(), 2u);
 }
 
 }  // namespace

@@ -448,6 +448,114 @@ TEST(GlobalOps, OddRingSizes) {
   }
 }
 
+// --- Fault injection and escalation -----------------------------------------
+
+TEST(Link, AckLossBurstIsRecoveredByTimeout) {
+  LinkParams params;
+  params.resend_timeout_cycles = 512;
+  LinkPair link(0.0, params);
+  std::vector<u64> got;
+  link.recv_b->set_data_sink([&](u64 w) { got.push_back(w); });
+  link.send_a->drop_acks(4);
+  for (u64 i = 0; i < 30; ++i) link.send_a->enqueue_data(3000 + i);
+  link.engine.run_until_idle();
+  ASSERT_EQ(got.size(), 30u);
+  for (u64 i = 0; i < 30; ++i) EXPECT_EQ(got[i], 3000 + i);
+  EXPECT_TRUE(link.send_a->data_drained());
+  EXPECT_EQ(link.send_a->checksum(), link.recv_b->checksum());
+  // The dropped acknowledgements forced the timeout machinery to resend.
+  EXPECT_GT(link.send_a->resends(), 0u);
+  EXPECT_GT(link.stats.get("scu.acks_dropped"), 0u);
+  EXPECT_FALSE(link.send_a->faulted());
+}
+
+TEST(Link, HighErrorRateGoBackNKeepsChecksumsMatched) {
+  LinkParams params;
+  params.resend_timeout_cycles = 512;
+  LinkPair link(1e-3, params);
+  std::vector<u64> got;
+  link.recv_b->set_data_sink([&](u64 w) { got.push_back(w); });
+  Rng payloads(11);
+  std::vector<u64> sent;
+  for (int i = 0; i < 600; ++i) {
+    sent.push_back(payloads.next_u64());
+    link.send_a->enqueue_data(sent.back());
+  }
+  link.engine.run_until_idle();
+  ASSERT_EQ(got.size(), sent.size());
+  // At this rate parity failures and NACK go-backs are guaranteed.
+  EXPECT_GT(link.recv_b->detected_errors(), 0u);
+  EXPECT_GT(link.send_a->resends(), 0u);
+  if (link.recv_b->undetected_errors() == 0) {
+    EXPECT_EQ(got, sent);
+    EXPECT_EQ(link.send_a->checksum(), link.recv_b->checksum());
+  } else {
+    EXPECT_NE(link.send_a->checksum(), link.recv_b->checksum());
+  }
+}
+
+TEST(Link, ErrorRecoveryIsSeedDeterministic) {
+  // The whole failure path -- error injection, NACKs, timeouts, resends --
+  // must be bit-reproducible for a fixed seed (paper Section 4).
+  auto run = [] {
+    LinkParams params;
+    params.resend_timeout_cycles = 512;
+    LinkPair link(1e-3, params);
+    link.recv_b->set_data_sink([](u64) {});
+    Rng payloads(13);
+    for (int i = 0; i < 400; ++i) link.send_a->enqueue_data(payloads.next_u64());
+    link.engine.run_until_idle();
+    return std::make_tuple(link.send_a->resends(),
+                           link.recv_b->detected_errors(),
+                           link.recv_b->checksum(), link.engine.now());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Link, DeadWireEscalatesToLinkFaultInsteadOfRetryingForever) {
+  LinkParams params;
+  params.resend_timeout_cycles = 256;
+  params.fault_timeout_rounds = 4;
+  LinkPair link(0.0, params);
+  std::vector<u64> got;
+  link.recv_b->set_data_sink([&](u64 w) { got.push_back(w); });
+  int faults = 0;
+  link.send_a->set_on_link_fault([&] { ++faults; });
+  for (u64 i = 0; i < 10; ++i) link.send_a->enqueue_data(i);
+  link.engine.run_until(400);  // a few words get through
+  link.wire_ab->fail();
+  link.engine.run_until_idle();  // must terminate: no infinite retry
+  EXPECT_TRUE(link.send_a->faulted());
+  EXPECT_EQ(faults, 1);
+  EXPECT_FALSE(link.send_a->data_drained());
+  EXPECT_GT(link.stats.get("scu.link_faults"), 0u);
+
+  // Host-commanded recovery: retrain the wire, clear the fault, and the
+  // window protocol re-delivers whatever the dead wire swallowed.
+  link.wire_ab->retrain();
+  link.send_a->clear_fault();
+  link.engine.run_until_idle();
+  EXPECT_FALSE(link.send_a->faulted());
+  EXPECT_TRUE(link.send_a->data_drained());
+  ASSERT_EQ(got.size(), 10u);
+  for (u64 i = 0; i < 10; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_EQ(link.send_a->checksum(), link.recv_b->checksum());
+}
+
+TEST(Link, ForcedCorruptionLandsInChecksumOnly) {
+  LinkPair link;
+  std::vector<u64> got;
+  link.recv_b->set_data_sink([&](u64 w) { got.push_back(w); });
+  link.recv_b->force_corrupt(1);
+  for (u64 i = 0; i < 10; ++i) link.send_a->enqueue_data(i);
+  link.engine.run_until_idle();
+  // The transfer "succeeds" -- only the end-to-end checksum can tell.
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_TRUE(link.send_a->data_drained());
+  EXPECT_EQ(link.recv_b->undetected_errors(), 1u);
+  EXPECT_NE(link.send_a->checksum(), link.recv_b->checksum());
+}
+
 // Window-size sweep as a property: bandwidth must be monotone in the
 // window and saturate at 3 (the paper's design point).
 class WindowSweep : public ::testing::TestWithParam<int> {};
