@@ -13,11 +13,16 @@
 // from the packet-level simulation; the cluster line gives the same nodes
 // the paper's commodity network (7.5 us message start, GigE bandwidth,
 // log-tree allreduce) on identical compute.
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
 #include "bench_util.h"
 #include "lattice/cg.h"
 #include "lattice/rig.h"
 #include "lattice/wilson.h"
 #include "net/cluster_net.h"
+#include "torus/partition.h"
 
 using namespace qcdoc;
 using namespace qcdoc::lattice;
@@ -82,6 +87,105 @@ ScalePoint run(std::array<int, 6> shape) {
   return pt;
 }
 
+// --- Simulator engine scaling ----------------------------------------------
+//
+// How fast can we *simulate* the machine?  The same boot + CG workload on a
+// 4^6 = 4096-node machine, run once on the serial engine and once on the
+// parallel engine, with the event-order digests compared: the parallel
+// engine must be bit-identical, and any wall-clock gain is pure profit.
+
+struct EngineRun {
+  int threads;
+  double wall_seconds;
+  u64 digest;
+  u64 events;
+  Cycle end_cycle;
+  sim::EngineReport report;
+};
+
+EngineRun run_engine(std::array<int, 6> shape, Coord4 global, int threads,
+                     int iterations) {
+  const auto t0 = std::chrono::steady_clock::now();
+  machine::MachineConfig cfg;
+  cfg.shape.extent = shape;
+  cfg.sim_threads = threads;
+  machine::Machine m(cfg);
+  m.power_on();
+  const torus::Partition part = torus::fold_to_4d(m.topology());
+  SolverRig rig(&m, &part, global);
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(7);
+  gauge.randomize_near_unit(rng, 0.15);
+  WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge, WilsonParams{});
+  DistField x = op.make_field("x");
+  DistField b = op.make_field("b");
+  x.zero();
+  rig.fill_source(b);
+  CgParams params;
+  params.fixed_iterations = iterations;
+  cg_solve(op, x, b, params);
+
+  EngineRun er;
+  er.threads = threads;
+  er.wall_seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  er.digest = m.engine().trace_digest();
+  er.events = m.engine().events_executed();
+  er.end_cycle = m.engine().now();
+  er.report = m.engine().report();
+  return er;
+}
+
+void engine_scaling_section() {
+  // A full 4^6 machine unless QCDOC_BENCH_SHAPE=small asks for the quicker
+  // 4x4x4x4x2x2 = 1024-node variant.
+  std::array<int, 6> shape{4, 4, 4, 4, 4, 4};
+  Coord4 global{8, 8, 8, 64};
+  const char* small = std::getenv("QCDOC_BENCH_SHAPE");
+  if (small && std::string(small) == "small") {
+    shape = {4, 4, 4, 4, 2, 2};
+    global = {8, 8, 8, 16};
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf(
+      "\nsimulator engine scaling (%dx%dx%dx%dx%dx%d machine, %u host "
+      "core%s):\n",
+      shape[0], shape[1], shape[2], shape[3], shape[4], shape[5], cores,
+      cores == 1 ? "" : "s");
+
+  const EngineRun serial = run_engine(shape, global, 1, 2);
+  std::printf("  serial:   %7.2fs wall, %llu events, digest %016llx\n",
+              serial.wall_seconds,
+              static_cast<unsigned long long>(serial.events),
+              static_cast<unsigned long long>(serial.digest));
+  const EngineRun par = run_engine(shape, global, 4, 2);
+  std::printf("  4 threads:%7.2fs wall, %llu events, digest %016llx\n",
+              par.wall_seconds, static_cast<unsigned long long>(par.events),
+              static_cast<unsigned long long>(par.digest));
+  std::printf("  %s, %.2fs barrier stall\n",
+              perf::format_engine_report(par.report).c_str(),
+              par.report.barrier_stall_seconds);
+
+  const bool identical = serial.digest == par.digest &&
+                         serial.events == par.events &&
+                         serial.end_cycle == par.end_cycle;
+  const double speedup = par.wall_seconds > 0
+                             ? serial.wall_seconds / par.wall_seconds
+                             : 0.0;
+  std::printf("  deterministic: %s   speedup: %.2fx\n",
+              identical ? "yes (bit-identical digests)" : "NO -- BUG",
+              speedup);
+  if (!identical) std::exit(1);
+  // The >= 2x expectation only stands where the hardware can physically
+  // deliver it; on fewer than 4 cores we report the measured number and the
+  // determinism guarantee carries the bench.
+  if (cores >= 4 && speedup < 2.0) {
+    std::printf("  WARNING: expected >= 2x on %u cores, got %.2fx\n", cores,
+                speedup);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -119,5 +223,6 @@ int main() {
        first.cluster_ms_per_iter / last.cluster_ms_per_iter, "x"},
   };
   bench::print_rows(rows);
+  engine_scaling_section();
   return 0;
 }

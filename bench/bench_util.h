@@ -21,4 +21,11 @@ inline void print_rows(const std::vector<perf::Row>& rows) {
   std::printf("%s", perf::format_table(rows).c_str());
 }
 
+/// Print which simulation engine a machine is running on.  Every bench and
+/// example calls this so the QCDOC_SIM_THREADS knob is visible in output;
+/// simulated results are bit-identical regardless, only wall clock changes.
+inline void print_engine(machine::Machine& m) {
+  std::printf("%s\n", perf::format_engine_report(m.engine().report()).c_str());
+}
+
 }  // namespace qcdoc::bench

@@ -25,6 +25,9 @@ int main() {
   std::printf("machine: %d nodes, %s, %.0f MHz\n", m.num_nodes(),
               m.topology().shape().to_string().c_str(),
               m.hw().cpu_clock_hz / 1e6);
+  // Simulation engine (QCDOC_SIM_THREADS selects serial vs parallel; the
+  // simulated results are bit-identical either way).
+  std::printf("%s\n", perf::format_engine_report(m.engine().report()).c_str());
 
   // Boot through the qdaemon: ~100 JTAG + ~100 UDP packets per node.
   host::Qdaemon daemon(&m);
@@ -76,5 +79,8 @@ int main() {
   // The paper's end-of-run confirmation.
   std::printf("link checksums: %s\n",
               m.mesh().verify_link_checksums() ? "all match" : "MISMATCH");
+  std::printf("%s\n", perf::format_engine_report(m.engine().report()).c_str());
+  std::printf("event-order digest: %016llx\n",
+              static_cast<unsigned long long>(m.engine().trace_digest()));
   return 0;
 }

@@ -1,11 +1,14 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace qcdoc {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;  // serializes writes and guards the sink
 Log::Sink g_sink;
 
 const char* level_name(LogLevel level) {
@@ -21,12 +24,18 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void Log::set_level(LogLevel level) { g_level = level; }
-LogLevel Log::level() { return g_level; }
-void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+void Log::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
 
 void Log::write(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (level < Log::level()) return;
+  const std::lock_guard<std::mutex> lock(g_mutex);
   if (g_sink) {
     g_sink(level, msg);
     return;

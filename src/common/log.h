@@ -10,8 +10,10 @@ namespace qcdoc {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log configuration.  Not thread-safe by design: the simulator is
-/// single-threaded (determinism is a correctness requirement, Section 4).
+/// Global log configuration.  Writes are serialized by a mutex and the
+/// level gate is atomic, so events running on the parallel engine's worker
+/// threads may log; set_sink()/set_level() should still happen only from
+/// the main thread (typically before the simulation starts).
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;

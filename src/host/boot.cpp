@@ -83,10 +83,10 @@ BootReport BootSequencer::boot() {
   // Drain: boot packet deliveries, hardware tests, SCU init and training.
   // A dead wire never finishes training; its events simply stop, so the
   // queue empties and we fall through to report it instead of spinning.
-  while (nodes_ready_ + nodes_failed_ < machine_->num_nodes() ||
-         !machine_->mesh().all_trained()) {
-    if (!machine_->engine().step()) break;
-  }
+  machine_->engine().run_while([this] {
+    return nodes_ready_ + nodes_failed_ < machine_->num_nodes() ||
+           !machine_->mesh().all_trained();
+  });
   report.link_training_ok = machine_->mesh().all_trained();
   if (!report.link_training_ok) {
     report.untrained_links = machine_->mesh().untrained_links();
@@ -112,8 +112,8 @@ BootReport BootSequencer::boot() {
   machine_->mesh().pirq().set_interrupt_handler(
       [&nodes_seen](NodeId, u8) { ++nodes_seen; });
   machine_->mesh().pirq().raise(NodeId{0}, 0x1);
-  while (nodes_seen < machine_->num_nodes() && machine_->engine().step()) {
-  }
+  machine_->engine().run_while(
+      [&] { return nodes_seen < machine_->num_nodes(); });
   machine_->mesh().pirq().set_interrupt_handler(nullptr);
   report.partition_interrupt_ok = nodes_seen == machine_->num_nodes();
   for (int i = 0; i < machine_->num_nodes(); ++i) {

@@ -66,8 +66,7 @@ IoReport ConfigStore::save(const lattice::GaugeField& gauge,
       std::memcpy(dst, src, kLinkDoubles * sizeof(double));
     }
   }
-  while (packets_pending > 0 && machine_->engine().step()) {
-  }
+  machine_->engine().run_while([&] { return packets_pending > 0; });
   stored.plaquette = gauge.average_plaquette();
   stored.checksum = payload_checksum(stored.data);
   disk_[name] = std::move(stored);
@@ -122,8 +121,7 @@ IoReport ConfigStore::load(lattice::GaugeField* gauge,
                   kLinkDoubles * sizeof(double));
     }
   }
-  while (packets_pending > 0 && machine_->engine().step()) {
-  }
+  machine_->engine().run_while([&] { return packets_pending > 0; });
   // Header verification: the reloaded field must reproduce the plaquette.
   const double plaq = gauge->average_plaquette();
   if (plaq != stored.plaquette) {

@@ -34,8 +34,7 @@ void Diagnostics::jtag_round_trip(NodeId n) {
   eth_->host_to_node(n, 64, net::EthKind::kJtag, [this, n, &done] {
     eth_->node_to_host(n, 64, [&done] { done = true; });
   });
-  while (!done && machine_->engine().step()) {
-  }
+  machine_->engine().run_while([&] { return !done; });
 }
 
 u64 Diagnostics::jtag_peek(NodeId n, u64 word_addr) {

@@ -53,8 +53,7 @@ HealthSweep HealthMonitor::sweep() {
     eth_->host_to_node(node, 64, net::EthKind::kJtag, [this, node, &probe_done] {
       eth_->node_to_host(node, 64, [&probe_done] { probe_done = true; });
     });
-    while (!probe_done && machine_->engine().step()) {
-    }
+    machine_->engine().run_while([&] { return !probe_done; });
     stats_.add("health.jtag_probes");
 
     NodeHealth verdict = NodeHealth::kHealthy;

@@ -16,18 +16,19 @@ const char* to_string(LinkState s) {
   return "?";
 }
 
-Hssl::Hssl(sim::Engine* engine, HsslConfig cfg, Rng error_stream,
+Hssl::Hssl(sim::EngineRef engine, HsslConfig cfg, Rng error_stream,
            sim::StatSet* stats)
-    : engine_(engine), cfg_(cfg), errors_(error_stream), stats_(stats) {
+    : engine_(engine), delivery_(engine), cfg_(cfg), errors_(error_stream),
+      stats_(stats) {
   set_bit_error_rate(cfg_.bit_error_rate);  // clamp whatever the config holds
 }
 
 void Hssl::begin_training() {
   state_ = LinkState::kTraining;
-  engine_->schedule(cfg_.training_cycles, [this, epoch = epoch_] {
+  engine_.schedule(cfg_.training_cycles, [this, epoch = epoch_] {
     if (epoch != epoch_) return;  // failed/retrained while training
     state_ = LinkState::kTrained;
-    trained_at_ = engine_->now();
+    trained_at_ = engine_.now();
     busy_cycles_ = 0;
     ++times_trained_;
     if (stats_) stats_->add("hssl.trained");
@@ -106,22 +107,25 @@ void Hssl::start_next() {
   // the far end happens one wire delay later.  Both events are void if the
   // link fails or retrains in between (the bits die on the wire).
   const Cycle serialize = static_cast<Cycle>(frame.bits);
-  engine_->schedule(serialize, [this, epoch = epoch_] {
+  engine_.schedule(serialize, [this, epoch = epoch_] {
     if (epoch != epoch_) return;
     busy_ = false;
     start_next();
     if (!busy_ && on_ready_) on_ready_();
   });
-  engine_->schedule(serialize + cfg_.wire_delay_cycles,
-                    [this, epoch = epoch_, frame = std::move(frame), flipped] {
-                      if (epoch != epoch_) return;
-                      if (frame.on_delivered) frame.on_delivered(frame.id, flipped);
-                    });
+  // Delivery executes at the receiving node.  The serialization time plus
+  // the wire delay is never shorter than a minimum frame plus the wire
+  // delay, which is exactly the parallel engine's lookahead.
+  delivery_.schedule(serialize + cfg_.wire_delay_cycles,
+                     [this, epoch = epoch_, frame = std::move(frame), flipped] {
+                       if (epoch != epoch_) return;
+                       if (frame.on_delivered) frame.on_delivered(frame.id, flipped);
+                     });
 }
 
 Cycle Hssl::idle_cycles() const {
   if (state_ != LinkState::kTrained) return 0;
-  const Cycle since_trained = engine_->now() - trained_at_;
+  const Cycle since_trained = engine_.now() - trained_at_;
   return since_trained > busy_cycles_ ? since_trained - busy_cycles_ : 0;
 }
 

@@ -54,8 +54,15 @@ class Hssl {
   /// unpowered).  Callers must treat it as a hard link fault.
   static constexpr u64 kRejected = ~0ull;
 
-  Hssl(sim::Engine* engine, HsslConfig cfg, Rng error_stream,
+  Hssl(sim::EngineRef engine, HsslConfig cfg, Rng error_stream,
        sim::StatSet* stats);
+
+  /// Deliveries happen at the *receiving* node: tell the engine which one,
+  /// so the parallel engine can route the delivery event to the right shard.
+  /// Set by the network builder when the wire's far end is connected.
+  void set_delivery_affinity(sim::Affinity a) {
+    delivery_ = sim::EngineRef(engine_.get(), a);
+  }
 
   /// Begin the training sequence; the link carries data only once trained.
   void power_on();
@@ -100,7 +107,8 @@ class Hssl {
   void begin_training();
   void start_next();
 
-  sim::Engine* engine_;
+  sim::EngineRef engine_;
+  sim::EngineRef delivery_;  ///< same engine, the receiving node's affinity
   HsslConfig cfg_;
   Rng errors_;
   sim::StatSet* stats_;

@@ -1,5 +1,8 @@
 #include "machine/machine.h"
 
+#include "scu/packet.h"
+#include "sim/parallel_engine.h"
+
 namespace qcdoc::machine {
 
 Machine::Machine(const MachineConfig& cfg) : cfg_(cfg) {
@@ -7,8 +10,6 @@ Machine::Machine(const MachineConfig& cfg) : cfg_(cfg) {
   // Fixed-frequency external parts get slower in CPU cycles as the core
   // clock rises; on-chip paths (EDRAM, links) scale with the clock.
   mem_timing_.ddr_bytes_per_cycle = hw_.ddr_bandwidth_Bps / cfg.clock_hz;
-
-  engine_ = std::make_unique<sim::Engine>();
 
   net::MeshConfig mesh_cfg;
   mesh_cfg.shape = cfg.shape;
@@ -18,6 +19,23 @@ Machine::Machine(const MachineConfig& cfg) : cfg_(cfg) {
   mesh_cfg.scu.dma.recv_landing_cycles = hw_.scu_dma_landing_cycles;
   mesh_cfg.mem = cfg.mem;
   mesh_cfg.seed = cfg.seed;
+
+  const int threads =
+      cfg.sim_threads > 0 ? cfg.sim_threads : sim::threads_from_env();
+  if (threads <= 1) {
+    engine_ = std::make_unique<sim::SerialEngine>();
+  } else {
+    // Nothing crosses between nodes faster than the shortest frame's
+    // serialization plus the wire time-of-flight, so that is the
+    // conservative lookahead.
+    sim::ParallelConfig pcfg;
+    pcfg.threads = threads;
+    pcfg.lookahead = static_cast<Cycle>(scu::min_frame_bits()) +
+                     mesh_cfg.hssl.wire_delay_cycles;
+    pcfg.num_nodes = mesh_cfg.shape.volume();
+    engine_ = std::make_unique<sim::ParallelEngine>(pcfg);
+  }
+
   mesh_ = std::make_unique<net::MeshNet>(engine_.get(), mesh_cfg);
   package_map_ = std::make_unique<PackageMap>(mesh_->topology());
 }
@@ -29,8 +47,7 @@ PackagingPlan Machine::packaging() const {
 Cycle Machine::power_on() {
   const Cycle start = engine_->now();
   mesh_->power_on();
-  while (!mesh_->all_trained() && engine_->step()) {
-  }
+  engine_->run_while([this] { return !mesh_->all_trained(); });
   return engine_->now() - start;
 }
 
@@ -41,9 +58,9 @@ PowerOnReport Machine::power_on_checked(Cycle timeout_cycles) {
   const Cycle start = engine_->now();
   const Cycle deadline = start + timeout_cycles;
   mesh_->power_on();
-  while (!mesh_->all_trained() && engine_->now() < deadline &&
-         engine_->step()) {
-  }
+  engine_->run_while([this, deadline] {
+    return !mesh_->all_trained() && engine_->now() < deadline;
+  });
   PowerOnReport report;
   report.cycles = engine_->now() - start;
   report.all_trained = mesh_->all_trained();

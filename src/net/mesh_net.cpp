@@ -32,14 +32,16 @@ MeshNet::MeshNet(sim::Engine* engine, MeshConfig cfg)
     memories_.push_back(std::make_unique<memsys::NodeMemory>(cfg_.mem));
     stats_.push_back(std::make_unique<sim::StatSet>());
     scus_.push_back(std::make_unique<scu::Scu>(
-        engine_, memories_.back().get(), cfg_.scu,
+        sim::EngineRef(engine_, static_cast<sim::Affinity>(i)),
+        memories_.back().get(), cfg_.scu,
         Rng(cfg_.seed, NodeId{static_cast<u32>(i)}), stats_.back().get()));
   }
   // Create the outgoing wires and attach them, then connect the endpoints.
   for (int i = 0; i < n; ++i) {
     for (int l = 0; l < torus::kLinksPerNode; ++l) {
       auto wire = std::make_unique<hssl::Hssl>(
-          engine_, cfg_.hssl, machine_rng.split(), stats_[static_cast<std::size_t>(i)].get());
+          sim::EngineRef(engine_, static_cast<sim::Affinity>(i)), cfg_.hssl,
+          machine_rng.split(), stats_[static_cast<std::size_t>(i)].get());
       scus_[static_cast<std::size_t>(i)]->attach_outgoing_wire(LinkIndex{l},
                                                                wire.get());
       wires_[static_cast<std::size_t>(i) * torus::kLinksPerNode +
@@ -52,6 +54,8 @@ MeshNet::MeshNet(sim::Engine* engine, MeshConfig cfg)
       const LinkIndex link{l};
       const NodeId to = topology_.neighbor(node, link);
       scus_[static_cast<std::size_t>(i)]->connect_to(link, *scus_[to.value]);
+      // The wire's delivery events execute at the receiving node.
+      wire(node, link).set_delivery_affinity(to.value);
     }
   }
   // Machine-wide interrupt domain flooding over every mesh link.
@@ -141,11 +145,6 @@ bool MeshNet::quiescent_slow() const {
   return true;
 }
 
-bool MeshNet::drain() {
-  while (!quiescent()) {
-    if (!engine_->step()) return false;  // stalled: no events but not done
-  }
-  return true;
-}
+bool MeshNet::drain() { return engine_->drain(active_transfers_); }
 
 }  // namespace qcdoc::net

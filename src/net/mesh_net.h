@@ -85,7 +85,7 @@ class MeshNet {
 
   /// True when no data transfer is in progress anywhere in the machine
   /// (O(1): the DMA engines maintain a shared in-flight counter).
-  bool quiescent() const { return active_transfers_ == 0; }
+  bool quiescent() const { return active_transfers_.value() == 0; }
   /// Exhaustive per-link check (used by tests to validate the counter).
   bool quiescent_slow() const;
 
@@ -106,7 +106,7 @@ class MeshNet {
   std::vector<std::unique_ptr<hssl::Hssl>> wires_;
   std::unique_ptr<scu::PirqDomain> pirq_;
   std::vector<NodeCondition> conditions_;
-  scu::ActiveCounter active_transfers_ = 0;
+  scu::ActiveCounter active_transfers_;
   bool powered_ = false;
 };
 

@@ -28,6 +28,37 @@ std::string format_table(const std::vector<Row>& rows) {
   return out.str();
 }
 
+std::string format_engine_report(const sim::EngineReport& r) {
+  char line[256];
+  if (r.kind != "parallel") {
+    std::snprintf(line, sizeof(line), "engine: %s, %llu events",
+                  r.kind.c_str(),
+                  static_cast<unsigned long long>(r.events));
+    return line;
+  }
+  u64 min_shard = ~u64{0}, max_shard = 0;
+  for (const u64 e : r.shard_events) {
+    min_shard = std::min(min_shard, e);
+    max_shard = std::max(max_shard, e);
+  }
+  if (r.shard_events.empty()) min_shard = 0;
+  // Deliberately no wall-clock figures here: this line goes into example
+  // and bench output that must be bit-identical run to run.  Barrier stall
+  // time lives in EngineReport for callers that want it.
+  std::snprintf(line, sizeof(line),
+                "engine: parallel, %d threads, lookahead %llu cycles, "
+                "%llu events (shards %llu..%llu), windows %llu par / %llu "
+                "ser, %llu cross-shard",
+                r.threads, static_cast<unsigned long long>(r.lookahead),
+                static_cast<unsigned long long>(r.events),
+                static_cast<unsigned long long>(min_shard),
+                static_cast<unsigned long long>(max_shard),
+                static_cast<unsigned long long>(r.windows_parallel),
+                static_cast<unsigned long long>(r.windows_serial),
+                static_cast<unsigned long long>(r.cross_shard_events));
+  return line;
+}
+
 double machine_peak_flops_per_cycle(const machine::Machine& m) {
   return static_cast<double>(m.num_nodes()) * 2.0;
 }

@@ -9,6 +9,7 @@
 #include "lattice/cg.h"
 #include "machine/cost.h"
 #include "machine/machine.h"
+#include "sim/engine.h"
 
 namespace qcdoc::perf {
 
@@ -23,6 +24,11 @@ struct Row {
 
 /// Render rows as an aligned text table.
 std::string format_table(const std::vector<Row>& rows);
+
+/// One-line summary of which simulation engine ran and how hard it worked:
+/// kind, thread count, events, and -- for the parallel engine -- window and
+/// cross-shard counts, barrier stall time, and the per-shard event spread.
+std::string format_engine_report(const sim::EngineReport& r);
 
 /// Machine peak in flops per cycle (nodes x 2).
 double machine_peak_flops_per_cycle(const machine::Machine& m);

@@ -4,7 +4,7 @@
 
 namespace qcdoc::scu {
 
-SendDma::SendDma(sim::Engine* engine, memsys::NodeMemory* memory,
+SendDma::SendDma(sim::EngineRef engine, memsys::NodeMemory* memory,
                  SendSide* channel, DmaTiming timing,
                  ActiveCounter* active_counter)
     : engine_(engine),
@@ -17,26 +17,26 @@ void SendDma::start(const DmaDescriptor& desc,
                     std::function<void()> on_complete) {
   assert(!active_ && "send DMA already running on this link");
   active_ = true;
-  if (active_counter_) ++*active_counter_;
+  if (active_counter_) active_counter_->increment();
   ++transfers_;
   on_complete_ = std::move(on_complete);
   channel_->set_on_data_drained([this] {
     if (!active_) return;
     active_ = false;
-    if (active_counter_) --*active_counter_;
+    if (active_counter_) active_counter_->decrement(engine_.now());
     if (on_complete_) on_complete_();
   });
   // After the setup path (descriptor fetch, first memory access, SCU
   // injection) the DMA streams words faster than the 72-cycle serial link
   // can drain them, so the channel queue is filled in one go.
-  engine_->schedule(timing_.send_setup_cycles, [this, desc] {
+  engine_.schedule(timing_.send_setup_cycles, [this, desc] {
     for (u64 i = 0; i < desc.total_words(); ++i) {
       channel_->enqueue_data(memory_->read_word(desc.word_addr(i)));
     }
   });
 }
 
-RecvDma::RecvDma(sim::Engine* engine, memsys::NodeMemory* memory,
+RecvDma::RecvDma(sim::EngineRef engine, memsys::NodeMemory* memory,
                  RecvSide* channel, DmaTiming timing,
                  ActiveCounter* active_counter)
     : engine_(engine),
@@ -50,7 +50,7 @@ void RecvDma::start(const DmaDescriptor& desc,
   assert(!active_ && "receive DMA already running on this link");
   desc_ = desc;
   active_ = true;
-  if (active_counter_) ++*active_counter_;
+  if (active_counter_) active_counter_->increment();
   next_index_ = 0;
   first_landed_at_ = 0;
   on_complete_ = std::move(on_complete);
@@ -68,14 +68,14 @@ void RecvDma::on_word(u64 word) {
     // engine stays active until the final landing completes.
     channel_->clear_data_sink();
   }
-  engine_->schedule(timing_.recv_landing_cycles, [this, addr, word, index, last] {
+  engine_.schedule(timing_.recv_landing_cycles, [this, addr, word, index, last] {
     memory_->write_word(addr, word);
     ++landed_;
-    last_landed_at_ = engine_->now();
-    if (index == 0) first_landed_at_ = engine_->now();
+    last_landed_at_ = engine_.now();
+    if (index == 0) first_landed_at_ = engine_.now();
     if (last) {
       active_ = false;
-      if (active_counter_) --*active_counter_;
+      if (active_counter_) active_counter_->decrement(engine_.now());
       if (on_complete_) on_complete_();
     }
   });

@@ -48,13 +48,13 @@ struct DmaTiming {
 
 /// Shared count of in-flight transfers, used by the machine to detect
 /// quiescence in O(1) instead of scanning every link after every event.
-using ActiveCounter = long;
+using ActiveCounter = sim::ActiveCounter;
 
 /// Send engine for one link: fetches words from local memory and feeds the
 /// link's transmit side.
 class SendDma {
  public:
-  SendDma(sim::Engine* engine, memsys::NodeMemory* memory, SendSide* channel,
+  SendDma(sim::EngineRef engine, memsys::NodeMemory* memory, SendSide* channel,
           DmaTiming timing, ActiveCounter* active_counter = nullptr);
 
   /// Begin a transfer.  Completion (all words acknowledged by the remote
@@ -65,7 +65,7 @@ class SendDma {
   u64 transfers_started() const { return transfers_; }
 
  private:
-  sim::Engine* engine_;
+  sim::EngineRef engine_;
   memsys::NodeMemory* memory_;
   SendSide* channel_;
   DmaTiming timing_;
@@ -78,7 +78,7 @@ class SendDma {
 /// Receive engine for one link: lands arriving words into local memory.
 class RecvDma {
  public:
-  RecvDma(sim::Engine* engine, memsys::NodeMemory* memory, RecvSide* channel,
+  RecvDma(sim::EngineRef engine, memsys::NodeMemory* memory, RecvSide* channel,
           DmaTiming timing, ActiveCounter* active_counter = nullptr);
 
   /// Program the destination.  Until this is called the link sits in idle
@@ -95,7 +95,7 @@ class RecvDma {
  private:
   void on_word(u64 word);
 
-  sim::Engine* engine_;
+  sim::EngineRef engine_;
   memsys::NodeMemory* memory_;
   RecvSide* channel_;
   DmaTiming timing_;

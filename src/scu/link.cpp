@@ -8,7 +8,7 @@ namespace qcdoc::scu {
 // SendSide
 // ---------------------------------------------------------------------------
 
-SendSide::SendSide(sim::Engine* engine, hssl::Hssl* wire, LinkParams params,
+SendSide::SendSide(sim::EngineRef engine, hssl::Hssl* wire, LinkParams params,
                    sim::StatSet* stats)
     : engine_(engine), wire_(wire), params_(params), stats_(stats) {
   wire_->set_ready_callback([this] {
@@ -74,11 +74,11 @@ void SendSide::pump() {
   }
   if (sup_outstanding_ && sup_needs_send_) {
     sup_needs_send_ = false;
-    sup_sent_at_ = engine_->now();
+    sup_sent_at_ = engine_.now();
     transmit(Packet{PacketType::kSupervisor, sup_word_, sup_seq_});
     if (stats_) stats_->add("scu.sup_sent");
     // Backstop resend for a lost/corrupted supervisor frame or SupAck.
-    engine_->schedule(params_.resend_timeout_cycles,
+    engine_.schedule(params_.resend_timeout_cycles,
                       [this, sent_at = sup_sent_at_] {
                         if (sup_outstanding_ && sup_sent_at_ == sent_at) {
                           sup_needs_send_ = true;
@@ -111,7 +111,7 @@ void SendSide::pump() {
     data_queue_.pop_front();
     const u8 seq = next_seq_;
     next_seq_ = static_cast<u8>((next_seq_ + 1) & 0x3);
-    if (unacked_.empty()) oldest_unacked_since_ = engine_->now();
+    if (unacked_.empty()) oldest_unacked_since_ = engine_.now();
     unacked_.push_back(Pending{word, seq});
     send_cursor_ = unacked_.size();
     arm_timeout();
@@ -139,13 +139,13 @@ void SendSide::transmit(const Packet& p) {
 void SendSide::arm_timeout() {
   if (timeout_armed_) return;
   timeout_armed_ = true;
-  engine_->schedule(params_.resend_timeout_cycles, [this] { on_timeout(); });
+  engine_.schedule(params_.resend_timeout_cycles, [this] { on_timeout(); });
 }
 
 void SendSide::on_timeout() {
   timeout_armed_ = false;
   if (faulted_ || unacked_.empty()) return;
-  const Cycle age = engine_->now() - oldest_unacked_since_;
+  const Cycle age = engine_.now() - oldest_unacked_since_;
   if (age >= params_.resend_timeout_cycles) {
     // Lost/corrupted acknowledgement: go back and resend the window.  Count
     // consecutive no-progress rounds; a healthy link is repaired within one
@@ -157,7 +157,7 @@ void SendSide::on_timeout() {
     send_cursor_ = 0;
     resends_ += unacked_.size();
     if (stats_) stats_->add("scu.timeout_resends", unacked_.size());
-    oldest_unacked_since_ = engine_->now();
+    oldest_unacked_since_ = engine_.now();
     pump();
   }
   arm_timeout();
@@ -178,7 +178,7 @@ void SendSide::clear_fault() {
   // Anything still windowed must be resent from the start of the window.
   send_cursor_ = 0;
   if (!unacked_.empty()) {
-    oldest_unacked_since_ = engine_->now();
+    oldest_unacked_since_ = engine_.now();
     arm_timeout();
   }
   pump();
@@ -196,7 +196,7 @@ std::size_t SendSide::pop_acked_below(u8 expected) {
   for (std::size_t i = 0; i < d; ++i) unacked_.pop_front();
   send_cursor_ = send_cursor_ > d ? send_cursor_ - d : 0;
   if (d > 0) {
-    oldest_unacked_since_ = engine_->now();
+    oldest_unacked_since_ = engine_.now();
     consecutive_timeouts_ = 0;  // forward progress: the link is alive
     if (stats_) stats_->add("scu.acks", d);
     if (data_drained() && on_data_drained_) on_data_drained_();
@@ -239,7 +239,7 @@ void SendSide::on_sup_ack(u8 seq) {
 // RecvSide
 // ---------------------------------------------------------------------------
 
-RecvSide::RecvSide(sim::Engine* engine, LinkParams params, sim::StatSet* stats,
+RecvSide::RecvSide(sim::EngineRef engine, LinkParams params, sim::StatSet* stats,
                    Rng corruption_stream)
     : engine_(engine),
       params_(params),

@@ -48,7 +48,7 @@ class RecvSide;
 /// Transmit half of a directed link, owned by the sending node's SCU.
 class SendSide {
  public:
-  SendSide(sim::Engine* engine, hssl::Hssl* wire, LinkParams params,
+  SendSide(sim::EngineRef engine, hssl::Hssl* wire, LinkParams params,
            sim::StatSet* stats);
 
   /// The RecvSide on the *remote* node that this wire feeds.
@@ -113,7 +113,7 @@ class SendSide {
   void declare_fault();
   std::size_t pop_acked_below(u8 expected);
 
-  sim::Engine* engine_;
+  sim::EngineRef engine_;
   hssl::Hssl* wire_;
   LinkParams params_;
   sim::StatSet* stats_;
@@ -158,7 +158,7 @@ class SendSide {
 /// Receive half of a directed link, owned by the receiving node's SCU.
 class RecvSide {
  public:
-  RecvSide(sim::Engine* engine, LinkParams params, sim::StatSet* stats,
+  RecvSide(sim::EngineRef engine, LinkParams params, sim::StatSet* stats,
            Rng corruption_stream);
 
   /// `reverse` is the SendSide on *this* node facing the sender; it carries
@@ -203,7 +203,7 @@ class RecvSide {
  private:
   void accept_data(u64 word, u8 seq);
 
-  sim::Engine* engine_;
+  sim::EngineRef engine_;
   LinkParams params_;
   sim::StatSet* stats_;
   Rng corrupt_rng_;

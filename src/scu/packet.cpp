@@ -28,6 +28,8 @@ bool has_word_payload(PacketType t) {
 
 int frame_bits(PacketType t) { return has_word_payload(t) ? 72 : 16; }
 
+int min_frame_bits() { return frame_bits(PacketType::kAck); }
+
 void WireFrame::corrupt(int n, Rng& rng) {
   assert(n <= bits);
   // Choose n distinct positions by rejection; frames are tiny.

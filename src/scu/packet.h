@@ -41,6 +41,11 @@ bool has_word_payload(PacketType t);
 /// Number of frame bits for a packet of this type (header included).
 int frame_bits(PacketType t);
 
+/// The shortest possible frame (a 16-bit control packet).  Together with the
+/// HSSL wire delay this bounds how soon any transmission can reach the
+/// neighbouring node -- the lookahead of the parallel simulation engine.
+int min_frame_bits();
+
 /// The bits actually serialized onto the link.
 struct WireFrame {
   std::array<u8, 9> bytes{};  // header + up to 8 payload bytes

@@ -6,7 +6,7 @@ namespace qcdoc::scu {
 
 using torus::LinkIndex;
 
-Scu::Scu(sim::Engine* engine, memsys::NodeMemory* memory, ScuConfig cfg,
+Scu::Scu(sim::EngineRef engine, memsys::NodeMemory* memory, ScuConfig cfg,
          Rng rng, sim::StatSet* stats)
     : engine_(engine), memory_(memory), cfg_(cfg), rng_(rng), stats_(stats) {
   // Receive sides exist from power-on (they own the idle-receive registers);

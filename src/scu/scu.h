@@ -31,7 +31,7 @@ struct ScuConfig {
 
 class Scu {
  public:
-  Scu(sim::Engine* engine, memsys::NodeMemory* memory, ScuConfig cfg,
+  Scu(sim::EngineRef engine, memsys::NodeMemory* memory, ScuConfig cfg,
       Rng rng, sim::StatSet* stats);
 
   /// Attach the outgoing serial wire for link `l`; creates the send side and
@@ -85,11 +85,11 @@ class Scu {
 
   memsys::NodeMemory& memory() { return *memory_; }
   sim::StatSet& stats() { return *stats_; }
-  sim::Engine& engine() { return *engine_; }
+  sim::Engine& engine() { return *engine_.get(); }
   const ScuConfig& config() const { return cfg_; }
 
  private:
-  sim::Engine* engine_;
+  sim::EngineRef engine_;
   memsys::NodeMemory* memory_;
   ScuConfig cfg_;
   Rng rng_;

@@ -1,41 +1,106 @@
 #include "sim/engine.h"
 
-#include <cassert>
+#include <cstdlib>
 #include <utility>
 
 namespace qcdoc::sim {
 
-void Engine::schedule_at(Cycle t, Action fn) {
-  assert(t >= now_ && "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+namespace detail {
+
+ExecCtx& exec_ctx() {
+  thread_local ExecCtx ctx;
+  return ctx;
 }
 
-bool Engine::step() {
+}  // namespace detail
+
+void Engine::throw_past(Cycle t, Cycle now) {
+  throw std::invalid_argument(
+      "Engine::schedule_at: cannot schedule into the past (t=" +
+      std::to_string(t) + " < now=" + std::to_string(now) + ")");
+}
+
+int threads_from_env() {
+  const char* env = std::getenv("QCDOC_SIM_THREADS");
+  if (!env || !*env) return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  if (v <= 1) return 1;
+  return v > 256 ? 256 : static_cast<int>(v);
+}
+
+SerialEngine::Stream& SerialEngine::stream(u32 rank) {
+  if (streams_.size() <= rank) streams_.resize(rank + 1);
+  return streams_[rank];
+}
+
+void SerialEngine::schedule_at_on(Affinity dest, Cycle t, Action fn) {
+  const Cycle current = now();
+  if (t < current) throw_past(t, current);
+  const u32 src = detail::affinity_rank(current_affinity());
+  queue_.push(Event{t, detail::affinity_rank(dest), src,
+                    stream(src).scheduled++, std::move(fn)});
+}
+
+bool SerialEngine::step() {
   if (queue_.empty()) return false;
   // Moving out of a priority_queue requires const_cast; the element is popped
   // immediately afterwards so the broken ordering invariant is never observed.
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
-  assert(ev.time >= now_);
   now_ = ev.time;
+  Stream& dst = stream(ev.dest_rank);
+  dst.digest = detail::fnv1a(dst.digest, ev.time);
+  dst.digest = detail::fnv1a(dst.digest, (u64{ev.dest_rank} << 32) | ev.src_rank);
+  dst.digest = detail::fnv1a(dst.digest, ev.seq);
+  ++dst.executed;
+  ++events_;
+  const detail::ScopedExecCtx ctx(this, ev.time,
+                                  detail::rank_affinity(ev.dest_rank));
   ev.fn();
   return true;
 }
 
-Cycle Engine::run_until_idle() {
+Cycle SerialEngine::run_until_idle() {
   while (step()) {
   }
   return now_;
 }
 
-void Engine::run_until(Cycle t) {
+void SerialEngine::run_until(Cycle t) {
   while (!queue_.empty() && queue_.top().time <= t) step();
   if (t > now_) now_ = t;
 }
 
-void Engine::advance_to(Cycle t) {
-  assert(queue_.empty() || queue_.top().time >= t);
+void SerialEngine::advance_to(Cycle t) {
+  if (!queue_.empty() && queue_.top().time < t) {
+    throw std::logic_error("Engine::advance_to would skip pending events");
+  }
   if (t > now_) now_ = t;
+}
+
+bool SerialEngine::drain(const ActiveCounter& counter) {
+  while (counter.value() != 0) {
+    if (!step()) return false;  // stalled: no events but not done
+  }
+  return true;
+}
+
+u64 SerialEngine::trace_digest() const {
+  u64 h = detail::kFnvOffset;
+  for (u32 r = 0; r < streams_.size(); ++r) {
+    if (streams_[r].executed == 0) continue;
+    h = detail::fnv1a(h, r);
+    h = detail::fnv1a(h, streams_[r].executed);
+    h = detail::fnv1a(h, streams_[r].digest);
+  }
+  return h;
+}
+
+EngineReport SerialEngine::report() const {
+  EngineReport rep;
+  rep.kind = "serial";
+  rep.events = events_;
+  return rep;
 }
 
 }  // namespace qcdoc::sim

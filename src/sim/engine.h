@@ -2,64 +2,313 @@
 //
 // All timed behaviour in the machine model (serial-link bit timing, DMA
 // engines, memory controllers, the 40 MHz global clock) is expressed as
-// events on a single engine.  Events at equal timestamps fire in scheduling
-// order, which makes every simulation bit-reproducible -- mirroring the
-// paper's requirement that repeated runs of a physics evolution be identical
-// in all bits (Section 4).
+// events on one engine.  Two interchangeable implementations exist behind
+// the abstract `Engine` interface:
+//
+//   - SerialEngine: a single priority queue, the reference semantics.
+//   - ParallelEngine (parallel_engine.h): a conservative parallel executor
+//     that shards event queues per node and synchronizes in lookahead-sized
+//     time windows.
+//
+// Determinism is a correctness requirement, mirroring the paper's demand
+// that repeated runs of a physics evolution be identical in all bits
+// (Section 4).  Both engines therefore execute events in one well-defined
+// total order, keyed by
+//
+//     (time, destination rank, source rank, per-source sequence number)
+//
+// where the "rank" of an event is the node it acts on (the host controller
+// is rank 0 and fires first at equal timestamps; node i is rank i+1).  The
+// source rank is the rank that scheduled the event, and the sequence number
+// counts schedules per source.  This key is computable identically by both
+// engines -- unlike a global schedule counter, it does not depend on the
+// interleaving of independent nodes -- and it reduces to plain scheduling
+// order for events scheduled from one context at one timestamp.
+//
+// Every engine additionally maintains an order digest (FNV-1a over the key
+// tuples, folded per destination rank) so tests can assert that two runs --
+// or the two engine implementations -- executed the exact same events at the
+// exact same times.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <functional>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
 
 namespace qcdoc::sim {
 
+/// Which node's state an event acts on.  Used by the parallel engine to
+/// shard work; ignored (beyond tie-breaking) by the serial engine.
+using Affinity = u32;
+
+/// Affinity of host-controller events (boot, Ethernet, fault injection,
+/// partition-interrupt windows).  Host events execute before node events at
+/// equal timestamps and only ever run on the coordinating thread.
+inline constexpr Affinity kHostAffinity = 0xffffffffu;
+
+namespace detail {
+
+/// Total-order rank of an affinity: host first, then nodes in id order.
+inline u32 affinity_rank(Affinity a) {
+  return a == kHostAffinity ? 0u : a + 1u;
+}
+inline Affinity rank_affinity(u32 rank) {
+  return rank == 0 ? kHostAffinity : rank - 1;
+}
+
+inline constexpr u64 kFnvOffset = 1469598103934665603ull;
+inline constexpr u64 kFnvPrime = 1099511628211ull;
+
+/// Fold one 64-bit value into an FNV-1a digest, byte by byte.
+inline u64 fnv1a(u64 h, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xffu)) * kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+/// Per-thread execution context: which engine is running an event on this
+/// thread, at what time, on behalf of which node.  Lets now() and schedule()
+/// work unchanged from worker threads, and lets newly scheduled events
+/// inherit the scheduling node as their source rank.
+struct ExecCtx {
+  const void* engine = nullptr;
+  Cycle now = 0;
+  Affinity affinity = kHostAffinity;
+};
+
+ExecCtx& exec_ctx();
+
+/// Installs an event's context for the duration of its action and restores
+/// the previous one even when the action throws, so a failed event can never
+/// leave a dangling engine pointer in the thread-local context.
+class ScopedExecCtx {
+ public:
+  ScopedExecCtx(const void* engine, Cycle now, Affinity affinity)
+      : saved_(exec_ctx()) {
+    exec_ctx() = {engine, now, affinity};
+  }
+  ~ScopedExecCtx() { exec_ctx() = saved_; }
+  ScopedExecCtx(const ScopedExecCtx&) = delete;
+  ScopedExecCtx& operator=(const ScopedExecCtx&) = delete;
+
+ private:
+  ExecCtx saved_;
+};
+
+}  // namespace detail
+
+/// Shared count of in-flight activity (the mesh uses one for DMA transfers),
+/// used to detect quiescence in O(1) instead of scanning every link after
+/// every event.  Atomic so DMA completions on worker threads can decrement
+/// it; `last_zero_at` records the event time of the decrement that reached
+/// zero, which is where a drain stops the clock.
+class ActiveCounter {
+ public:
+  void increment() { count_.fetch_add(1, std::memory_order_relaxed); }
+  void decrement(Cycle at) {
+    if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      last_zero_at_.store(at, std::memory_order_release);
+    }
+  }
+  long value() const { return count_.load(std::memory_order_acquire); }
+  Cycle last_zero_at() const {
+    return last_zero_at_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<long> count_{0};
+  std::atomic<Cycle> last_zero_at_{0};
+};
+
+/// Execution statistics, for perf reports and the scaling bench.
+struct EngineReport {
+  std::string kind;      ///< "serial" or "parallel"
+  int threads = 1;
+  Cycle lookahead = 0;
+  u64 events = 0;
+  u64 windows_parallel = 0;          ///< windows run with workers engaged
+  u64 windows_serial = 0;            ///< windows run on the coordinator only
+  u64 cross_shard_events = 0;        ///< events exchanged at window barriers
+  double barrier_stall_seconds = 0;  ///< coordinator wall time at barriers
+  std::vector<u64> shard_events;     ///< events executed per shard
+};
+
+/// Abstract engine interface.  See the file comment for the execution-order
+/// contract shared by all implementations.
 class Engine {
  public:
   using Action = std::function<void()>;
 
-  /// Current simulated time in CPU cycles.
-  Cycle now() const { return now_; }
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  virtual ~Engine() = default;
 
-  /// Schedule `fn` to run `delay` cycles from now.
-  void schedule(Cycle delay, Action fn) { schedule_at(now_ + delay, std::move(fn)); }
+  /// Current simulated time in CPU cycles (valid from any thread running an
+  /// event of this engine; elsewhere it is the engine's global clock).
+  Cycle now() const {
+    const detail::ExecCtx& ctx = detail::exec_ctx();
+    return ctx.engine == this ? ctx.now : now_;
+  }
 
-  /// Schedule `fn` at absolute time `t` (must be >= now()).
-  void schedule_at(Cycle t, Action fn);
+  /// Schedule `fn` to run `delay` cycles from now on the current node (the
+  /// node whose event is executing, or the host outside event context).
+  void schedule(Cycle delay, Action fn) {
+    schedule_at_on(current_affinity(), now() + delay, std::move(fn));
+  }
 
-  /// Run the earliest pending event.  Returns false when no events remain.
-  bool step();
+  /// Schedule `fn` at absolute time `t` on the current node.  Throws
+  /// std::invalid_argument when `t < now()`.
+  void schedule_at(Cycle t, Action fn) {
+    schedule_at_on(current_affinity(), t, std::move(fn));
+  }
+
+  /// Schedule `fn` to run `delay` cycles from now on node `dest`.
+  void schedule_on(Affinity dest, Cycle delay, Action fn) {
+    schedule_at_on(dest, now() + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at absolute time `t` (>= now(), else throws
+  /// std::invalid_argument) acting on node `dest`.
+  virtual void schedule_at_on(Affinity dest, Cycle t, Action fn) = 0;
+
+  /// Run the globally earliest pending event.  Returns false when no events
+  /// remain.  Always executes exactly one event in total-key order, on the
+  /// calling thread -- so predicate-bounded loops behave identically on
+  /// every engine.
+  virtual bool step() = 0;
+
+  /// Step while `pred()` holds.  Returns false when the queue empties with
+  /// the predicate still true (a stall).
+  template <typename Pred>
+  bool run_while(Pred&& pred) {
+    while (pred()) {
+      if (!step()) return false;
+    }
+    return true;
+  }
 
   /// Run events until the queue drains.  Returns the final time.
-  Cycle run_until_idle();
+  virtual Cycle run_until_idle() = 0;
 
   /// Run events with timestamp <= t, then set now() = t.
-  void run_until(Cycle t);
+  virtual void run_until(Cycle t) = 0;
 
   /// Advance the clock with no event processing (used by the BSP runtime to
-  /// account for pure-compute phases).  `t` must be >= now().
-  void advance_to(Cycle t);
+  /// account for pure-compute phases).  `t` must be >= now() and no pending
+  /// event may be earlier than `t`.
+  virtual void advance_to(Cycle t) = 0;
 
-  std::size_t pending_events() const { return queue_.size(); }
+  /// Run until `counter` reads zero; now() ends at the time of the event
+  /// that zeroed it.  Returns false (stopping) if the queue empties first --
+  /// the signature of a stall.
+  virtual bool drain(const ActiveCounter& counter) = 0;
+
+  virtual std::size_t pending_events() const = 0;
+  virtual u64 events_executed() const = 0;
+
+  /// Order digest over every executed event's (time, dest, src, seq) key,
+  /// folded per destination rank so it is independent of how independent
+  /// nodes interleaved.  Equal digests => the engines executed the same
+  /// events at the same times in the same per-node order.
+  virtual u64 trace_digest() const = 0;
+
+  virtual EngineReport report() const = 0;
+
+ protected:
+  Affinity current_affinity() const {
+    const detail::ExecCtx& ctx = detail::exec_ctx();
+    return ctx.engine == this ? ctx.affinity : kHostAffinity;
+  }
+  [[noreturn]] static void throw_past(Cycle t, Cycle now);
+
+  Cycle now_ = 0;
+};
+
+/// A (engine, node) pair: the handle components hold so their schedules are
+/// attributed to the right node.  Implicitly constructible from a bare
+/// Engine* (host affinity) so host-side code and tests stay unchanged.
+class EngineRef {
+ public:
+  using Action = Engine::Action;
+
+  EngineRef() = default;
+  EngineRef(Engine* engine) : engine_(engine) {}  // NOLINT: implicit, host
+  EngineRef(Engine* engine, Affinity affinity)
+      : engine_(engine), affinity_(affinity) {}
+
+  Engine* get() const { return engine_; }
+  Affinity affinity() const { return affinity_; }
+  void set_affinity(Affinity a) { affinity_ = a; }
+
+  Cycle now() const { return engine_->now(); }
+  void schedule(Cycle delay, Action fn) const {
+    engine_->schedule_at_on(affinity_, engine_->now() + delay, std::move(fn));
+  }
+  void schedule_at(Cycle t, Action fn) const {
+    engine_->schedule_at_on(affinity_, t, std::move(fn));
+  }
+
+ private:
+  Engine* engine_ = nullptr;
+  Affinity affinity_ = kHostAffinity;
+};
+
+/// The reference implementation: one priority queue, one thread.
+class SerialEngine final : public Engine {
+ public:
+  void schedule_at_on(Affinity dest, Cycle t, Action fn) override;
+  bool step() override;
+  Cycle run_until_idle() override;
+  void run_until(Cycle t) override;
+  void advance_to(Cycle t) override;
+  bool drain(const ActiveCounter& counter) override;
+  std::size_t pending_events() const override { return queue_.size(); }
+  u64 events_executed() const override { return events_; }
+  u64 trace_digest() const override;
+  EngineReport report() const override;
 
  private:
   struct Event {
     Cycle time;
-    u64 seq;  // tie-breaker: schedule order
+    u32 dest_rank;
+    u32 src_rank;
+    u64 seq;
     Action fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.dest_rank != b.dest_rank) return a.dest_rank > b.dest_rank;
+      if (a.src_rank != b.src_rank) return a.src_rank > b.src_rank;
       return a.seq > b.seq;
     }
   };
+  /// Per-rank bookkeeping: schedule counter as a source, execution count and
+  /// order digest as a destination.
+  struct Stream {
+    u64 scheduled = 0;
+    u64 executed = 0;
+    u64 digest = detail::kFnvOffset;
+  };
 
-  Cycle now_ = 0;
-  u64 next_seq_ = 0;
+  Stream& stream(u32 rank);
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Stream> streams_;
+  u64 events_ = 0;
 };
+
+/// Worker-thread count from QCDOC_SIM_THREADS (default 1, clamped to
+/// [1, 256]); the knob every bench and example routes through.
+int threads_from_env();
 
 }  // namespace qcdoc::sim

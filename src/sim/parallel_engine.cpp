@@ -1,0 +1,374 @@
+#include "sim/parallel_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace qcdoc::sim {
+
+namespace {
+/// Set while a thread is executing inside a parallel window of some engine;
+/// routes that thread's schedules to its private outbox.
+thread_local ParallelEngine* t_window_engine = nullptr;
+thread_local void* t_slot = nullptr;
+}  // namespace
+
+ParallelEngine::ParallelEngine(ParallelConfig cfg) : cfg_(cfg) {
+  if (cfg_.threads < 1) cfg_.threads = 1;
+  if (cfg_.lookahead < 1) {
+    throw std::invalid_argument("ParallelEngine: lookahead must be >= 1");
+  }
+  if (cfg_.num_nodes < 0) {
+    throw std::invalid_argument("ParallelEngine: negative node count");
+  }
+  const u32 num_ranks = static_cast<u32>(cfg_.num_nodes) + 1;  // + host
+  ranks_.resize(num_ranks);
+  if (cfg_.threads > static_cast<int>(num_ranks)) {
+    cfg_.threads = static_cast<int>(num_ranks);
+  }
+  shard_begin_.resize(static_cast<std::size_t>(cfg_.threads) + 1);
+  for (int w = 0; w <= cfg_.threads; ++w) {
+    shard_begin_[static_cast<std::size_t>(w)] =
+        static_cast<u32>(static_cast<u64>(num_ranks) * static_cast<u64>(w) /
+                         static_cast<u64>(cfg_.threads));
+  }
+  slots_.resize(static_cast<std::size_t>(cfg_.threads));
+  for (auto& s : slots_) s.owner = this;
+  workers_.reserve(static_cast<std::size_t>(cfg_.threads - 1));
+  for (int w = 1; w < cfg_.threads; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  exit_.store(true, std::memory_order_relaxed);
+  go_gen_.fetch_add(1, std::memory_order_release);
+  go_gen_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ParallelEngine::worker_main(int w) {
+  u64 seen = 0;
+  for (;;) {
+    u64 g = go_gen_.load(std::memory_order_acquire);
+    while (g == seen) {
+      go_gen_.wait(seen, std::memory_order_acquire);
+      g = go_gen_.load(std::memory_order_acquire);
+    }
+    seen = g;
+    if (exit_.load(std::memory_order_relaxed)) return;
+    process_shard(w);
+    done_count_.fetch_add(1, std::memory_order_release);
+    done_count_.notify_one();
+  }
+}
+
+void ParallelEngine::check_not_in_event() const {
+  if (detail::exec_ctx().engine == this) {
+    throw std::logic_error(
+        "ParallelEngine: nested run call from inside an event");
+  }
+}
+
+Cycle ParallelEngine::global_min() const {
+  Cycle m = kNoEvent;
+  for (const RankQ& rq : ranks_) {
+    if (!rq.q.empty() && rq.q.top().time < m) m = rq.q.top().time;
+  }
+  return m;
+}
+
+void ParallelEngine::schedule_at_on(Affinity dest, Cycle t, Action fn) {
+  const u32 dest_rank = detail::affinity_rank(dest);
+  if (dest_rank >= ranks_.size()) {
+    throw std::invalid_argument(
+        "Engine::schedule_at_on: affinity " + std::to_string(dest) +
+        " out of range (machine has " + std::to_string(ranks_.size() - 1) +
+        " nodes)");
+  }
+  const Cycle current = now();
+  if (t < current) throw_past(t, current);
+  const u32 src = detail::affinity_rank(current_affinity());
+  if (t_window_engine == this) {
+    // Inside a parallel window: the seq counter of `src` belongs to the
+    // executing worker, as does the destination queue iff it is our own
+    // rank.  Everything else must clear the window (the lookahead
+    // guarantee) and goes through the outbox.
+    Event ev{t, src, ranks_[src].scheduled++, std::move(fn)};
+    if (dest_rank == src) {
+      ranks_[dest_rank].q.push(std::move(ev));
+      return;
+    }
+    if (t < win_end_) {
+      throw std::logic_error(
+          "ParallelEngine: cross-node event violates the lookahead window "
+          "(t=" + std::to_string(t) +
+          " < window end " + std::to_string(win_end_) + ")");
+    }
+    auto* slot = static_cast<WorkerSlot*>(t_slot);
+    slot->outbox.emplace_back(dest_rank, std::move(ev));
+    return;
+  }
+  push_serial(dest_rank, Event{t, src, ranks_[src].scheduled++, std::move(fn)});
+}
+
+void ParallelEngine::push_serial(u32 dest_rank, Event ev) {
+  RankQ& rq = ranks_[dest_rank];
+  const bool new_head = rq.q.empty() || Later{}(rq.q.top(), ev);
+  if (index_valid_ && new_head) {
+    index_.push(HeadRef{ev.time, dest_rank, ev.src_rank, ev.seq});
+  }
+  rq.q.push(std::move(ev));
+}
+
+void ParallelEngine::rebuild_index() {
+  index_ = {};
+  for (u32 r = 0; r < ranks_.size(); ++r) {
+    const RankQ& rq = ranks_[r];
+    if (rq.q.empty()) continue;
+    const Event& top = rq.q.top();
+    index_.push(HeadRef{top.time, r, top.src_rank, top.seq});
+  }
+  index_valid_ = true;
+}
+
+u32 ParallelEngine::pop_valid_head() {
+  while (!index_.empty()) {
+    const HeadRef h = index_.top();
+    const RankQ& rq = ranks_[h.dest_rank];
+    if (!rq.q.empty() && rq.q.top().time == h.time &&
+        rq.q.top().src_rank == h.src_rank && rq.q.top().seq == h.seq) {
+      return h.dest_rank;
+    }
+    index_.pop();  // stale: that event was executed or displaced
+  }
+  return static_cast<u32>(ranks_.size());
+}
+
+void ParallelEngine::exec_event(u32 rank, Event ev) {
+  RankQ& rq = ranks_[rank];
+  if (ev.time < rq.last_exec) {
+    throw std::logic_error(
+        "ParallelEngine: event order violation on rank " +
+        std::to_string(rank) + " (t=" + std::to_string(ev.time) +
+        " after t=" + std::to_string(rq.last_exec) + ")");
+  }
+  rq.last_exec = ev.time;
+  rq.digest = detail::fnv1a(rq.digest, ev.time);
+  rq.digest = detail::fnv1a(rq.digest, (u64{rank} << 32) | ev.src_rank);
+  rq.digest = detail::fnv1a(rq.digest, ev.seq);
+  ++rq.executed;
+  const detail::ScopedExecCtx ctx(this, ev.time, detail::rank_affinity(rank));
+  ev.fn();
+}
+
+bool ParallelEngine::step() {
+  check_not_in_event();
+  if (!index_valid_) rebuild_index();
+  const u32 rank = pop_valid_head();
+  if (rank >= ranks_.size()) return false;
+  index_.pop();
+  RankQ& rq = ranks_[rank];
+  Event ev = std::move(const_cast<Event&>(rq.q.top()));
+  rq.q.pop();
+  now_ = ev.time;
+  exec_event(rank, std::move(ev));
+  if (!rq.q.empty()) {
+    const Event& top = rq.q.top();
+    index_.push(HeadRef{top.time, rank, top.src_rank, top.seq});
+  }
+  return true;
+}
+
+void ParallelEngine::run_window(Cycle start, Cycle end,
+                                const ActiveCounter* stop) {
+  (void)start;
+  const RankQ& host = ranks_[0];
+  const bool host_in_window = !host.q.empty() && host.q.top().time < end;
+  if (cfg_.threads <= 1 || host_in_window) {
+    run_window_serial(end, stop);
+  } else {
+    run_window_parallel(end);
+  }
+}
+
+void ParallelEngine::run_window_serial(Cycle end, const ActiveCounter* stop) {
+  ++windows_serial_;
+  if (!index_valid_) rebuild_index();
+  for (;;) {
+    if (stop && stop->value() == 0) return;
+    const u32 rank = pop_valid_head();
+    if (rank >= ranks_.size()) return;
+    if (index_.top().time >= end) return;
+    index_.pop();
+    RankQ& rq = ranks_[rank];
+    Event ev = std::move(const_cast<Event&>(rq.q.top()));
+    rq.q.pop();
+    now_ = ev.time;
+    exec_event(rank, std::move(ev));
+    if (!rq.q.empty()) {
+      const Event& top = rq.q.top();
+      index_.push(HeadRef{top.time, rank, top.src_rank, top.seq});
+    }
+  }
+}
+
+void ParallelEngine::run_window_parallel(Cycle end) {
+  ++windows_parallel_;
+  index_valid_ = false;
+  win_end_ = end;
+  done_count_.store(0, std::memory_order_relaxed);
+  go_gen_.fetch_add(1, std::memory_order_release);
+  go_gen_.notify_all();
+  process_shard(0);
+
+  const int need = cfg_.threads - 1;
+  int done = done_count_.load(std::memory_order_acquire);
+  if (done < need) {
+    const auto wait_start = std::chrono::steady_clock::now();
+    // Brief spin: windows are short, so the workers usually finish within a
+    // few microseconds of the coordinator.
+    for (int i = 0; i < 4096 && done < need; ++i) {
+      done = done_count_.load(std::memory_order_acquire);
+    }
+    while (done < need) {
+      done_count_.wait(done, std::memory_order_acquire);
+      done = done_count_.load(std::memory_order_acquire);
+    }
+    barrier_stall_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wait_start)
+            .count();
+  }
+
+  for (WorkerSlot& slot : slots_) {
+    if (slot.error) {
+      const std::exception_ptr err = slot.error;
+      slot.error = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+  Cycle latest = now_;
+  for (WorkerSlot& slot : slots_) {
+    cross_shard_events_ += slot.outbox.size();
+    for (auto& [dest, ev] : slot.outbox) {
+      ranks_[dest].q.push(std::move(ev));
+    }
+    slot.outbox.clear();
+    if (slot.window_max > latest) latest = slot.window_max;
+  }
+  now_ = latest;
+}
+
+void ParallelEngine::process_shard(int w) {
+  WorkerSlot& slot = slots_[static_cast<std::size_t>(w)];
+  t_window_engine = this;
+  t_slot = &slot;
+  slot.window_max = 0;
+  try {
+    for (u32 r = shard_begin_[static_cast<std::size_t>(w)];
+         r < shard_begin_[static_cast<std::size_t>(w) + 1]; ++r) {
+      RankQ& rq = ranks_[r];
+      while (!rq.q.empty() && rq.q.top().time < win_end_) {
+        Event ev = std::move(const_cast<Event&>(rq.q.top()));
+        rq.q.pop();
+        exec_event(r, std::move(ev));
+      }
+      if (rq.executed > 0 && rq.last_exec > slot.window_max) {
+        slot.window_max = rq.last_exec;
+      }
+    }
+  } catch (...) {
+    slot.error = std::current_exception();
+  }
+  t_window_engine = nullptr;
+  t_slot = nullptr;
+}
+
+Cycle ParallelEngine::run_until_idle() {
+  check_not_in_event();
+  for (;;) {
+    const Cycle t = global_min();
+    if (t == kNoEvent) break;
+    run_window(t, t + cfg_.lookahead, nullptr);
+  }
+  return now_;
+}
+
+void ParallelEngine::run_until(Cycle t) {
+  check_not_in_event();
+  for (;;) {
+    const Cycle first = global_min();
+    if (first == kNoEvent || first > t) break;
+    run_window(first, std::min(first + cfg_.lookahead, t + 1), nullptr);
+  }
+  if (t > now_) now_ = t;
+}
+
+void ParallelEngine::advance_to(Cycle t) {
+  check_not_in_event();
+  if (global_min() < t) {
+    throw std::logic_error("Engine::advance_to would skip pending events");
+  }
+  if (t > now_) now_ = t;
+}
+
+bool ParallelEngine::drain(const ActiveCounter& counter) {
+  check_not_in_event();
+  while (counter.value() != 0) {
+    const Cycle t = global_min();
+    if (t == kNoEvent) return false;  // stalled: no events but not done
+    run_window(t, t + cfg_.lookahead, &counter);
+  }
+  // The serial engine stops on the exact event that zeroed the counter; a
+  // parallel window may run up to lookahead-1 cycles of trailing traffic
+  // (acks, landings already committed) past it.  The clock lands on the
+  // zero-crossing either way.
+  now_ = std::max(now_, counter.last_zero_at());
+  return true;
+}
+
+std::size_t ParallelEngine::pending_events() const {
+  std::size_t n = 0;
+  for (const RankQ& rq : ranks_) n += rq.q.size();
+  return n;
+}
+
+u64 ParallelEngine::events_executed() const {
+  u64 n = 0;
+  for (const RankQ& rq : ranks_) n += rq.executed;
+  return n;
+}
+
+u64 ParallelEngine::trace_digest() const {
+  u64 h = detail::kFnvOffset;
+  for (u32 r = 0; r < ranks_.size(); ++r) {
+    if (ranks_[r].executed == 0) continue;
+    h = detail::fnv1a(h, r);
+    h = detail::fnv1a(h, ranks_[r].executed);
+    h = detail::fnv1a(h, ranks_[r].digest);
+  }
+  return h;
+}
+
+EngineReport ParallelEngine::report() const {
+  EngineReport rep;
+  rep.kind = "parallel";
+  rep.threads = cfg_.threads;
+  rep.lookahead = cfg_.lookahead;
+  rep.events = events_executed();
+  rep.windows_parallel = windows_parallel_;
+  rep.windows_serial = windows_serial_;
+  rep.cross_shard_events = cross_shard_events_;
+  rep.barrier_stall_seconds = barrier_stall_seconds_;
+  rep.shard_events.resize(static_cast<std::size_t>(cfg_.threads), 0);
+  for (int w = 0; w < cfg_.threads; ++w) {
+    for (u32 r = shard_begin_[static_cast<std::size_t>(w)];
+         r < shard_begin_[static_cast<std::size_t>(w) + 1]; ++r) {
+      rep.shard_events[static_cast<std::size_t>(w)] += ranks_[r].executed;
+    }
+  }
+  return rep;
+}
+
+}  // namespace qcdoc::sim

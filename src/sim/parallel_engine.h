@@ -1,0 +1,151 @@
+// Conservative parallel discrete-event engine (see engine.h for the shared
+// execution-order contract).
+//
+// Nodes of the 6-d torus are sharded across worker threads, each owning a
+// contiguous block of per-node event queues.  Execution proceeds in time
+// windows of `lookahead` cycles: within [T, T + L) every worker runs its own
+// nodes' events in (time, src, seq) order with no synchronization, because
+// the model guarantees no event can affect another node sooner than L cycles
+// after it was scheduled.  The lookahead comes from the HSSL physics: the
+// only cross-node interaction is a frame delivery, scheduled a full
+// serialization (>= the 16-bit minimum frame) plus the wire time-of-flight
+// after the send -- so L = min_frame_bits + wire_delay_cycles.
+//
+// Cross-node schedules made inside a window (deliveries into the next
+// window) are buffered in per-worker outboxes and merged into the
+// destination queues at the window barrier; because every queue orders by
+// the deterministic key, the merge order is irrelevant and the execution
+// order is bit-identical to the serial engine's.
+//
+// Host events (rank 0) are the one exception to the no-interaction rule:
+// boot, fault injection and interrupt-window code may touch any node.  A
+// window whose range contains a host event therefore runs serially on the
+// coordinator, in exact global key order, with all workers parked -- which
+// also makes single `step()` calls (and thus every predicate-bounded
+// `run_while` loop) behave exactly like the serial engine.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace qcdoc::sim {
+
+struct ParallelConfig {
+  int threads = 2;     ///< total, including the coordinating caller
+  Cycle lookahead = 1; ///< window length; no cross-node effect sooner
+  int num_nodes = 0;   ///< valid node affinities are [0, num_nodes)
+};
+
+class ParallelEngine final : public Engine {
+ public:
+  explicit ParallelEngine(ParallelConfig cfg);
+  ~ParallelEngine() override;
+
+  void schedule_at_on(Affinity dest, Cycle t, Action fn) override;
+  bool step() override;
+  Cycle run_until_idle() override;
+  void run_until(Cycle t) override;
+  void advance_to(Cycle t) override;
+  bool drain(const ActiveCounter& counter) override;
+  std::size_t pending_events() const override;
+  u64 events_executed() const override;
+  u64 trace_digest() const override;
+  EngineReport report() const override;
+
+  int threads() const { return cfg_.threads; }
+  Cycle lookahead() const { return cfg_.lookahead; }
+
+ private:
+  static constexpr Cycle kNoEvent = ~Cycle{0};
+
+  struct Event {
+    Cycle time;
+    u32 src_rank;
+    u64 seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.src_rank != b.src_rank) return a.src_rank > b.src_rank;
+      return a.seq > b.seq;
+    }
+  };
+  /// One rank's event queue plus its bookkeeping.  During a parallel window
+  /// each RankQ is touched only by its owning worker; outside windows only
+  /// the coordinator runs.
+  struct RankQ {
+    std::priority_queue<Event, std::vector<Event>, Later> q;
+    u64 scheduled = 0;  ///< seq counter for events *sourced* by this rank
+    u64 executed = 0;
+    u64 digest = detail::kFnvOffset;
+    Cycle last_exec = 0;  ///< monotonicity check: catches ordering bugs loudly
+  };
+  /// Reference to a rank queue's head, kept in the coordinator's lazy global
+  /// index for serial execution.  Entries are validated against the live
+  /// queue head on pop; stale ones are discarded.
+  struct HeadRef {
+    Cycle time;
+    u32 dest_rank;
+    u32 src_rank;
+    u64 seq;
+  };
+  struct HeadLater {
+    bool operator()(const HeadRef& a, const HeadRef& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.dest_rank != b.dest_rank) return a.dest_rank > b.dest_rank;
+      if (a.src_rank != b.src_rank) return a.src_rank > b.src_rank;
+      return a.seq > b.seq;
+    }
+  };
+  struct alignas(64) WorkerSlot {
+    ParallelEngine* owner = nullptr;
+    std::vector<std::pair<u32, Event>> outbox;
+    Cycle window_max = 0;  ///< latest event time executed this window
+    std::exception_ptr error;
+  };
+
+  void check_not_in_event() const;
+  Cycle global_min() const;
+  void run_window(Cycle start, Cycle end, const ActiveCounter* stop);
+  void run_window_serial(Cycle end, const ActiveCounter* stop);
+  void run_window_parallel(Cycle end);
+  void process_shard(int w);
+  void exec_event(u32 rank, Event ev);
+  void push_serial(u32 dest_rank, Event ev);
+  void rebuild_index();
+  /// Pop index entries until one matches a live queue head; returns the
+  /// destination rank or kNoEvent-like sentinel (ranks_.size()) when empty.
+  u32 pop_valid_head();
+  void worker_main(int w);
+
+  ParallelConfig cfg_;
+  std::vector<RankQ> ranks_;
+  std::vector<u32> shard_begin_;  ///< shard w owns ranks [w, w+1) bounds
+
+  // Coordinator-side lazy index over rank-queue heads, used whenever events
+  // must run in exact global order (step(), serial windows).  Invalidated by
+  // parallel windows, rebuilt on demand.
+  std::priority_queue<HeadRef, std::vector<HeadRef>, HeadLater> index_;
+  bool index_valid_ = false;
+
+  // Window state, written by the coordinator before releasing a generation.
+  Cycle win_end_ = 0;
+
+  std::vector<WorkerSlot> slots_;
+  std::vector<std::thread> workers_;
+  std::atomic<u64> go_gen_{0};
+  std::atomic<int> done_count_{0};
+  std::atomic<bool> exit_{false};
+
+  u64 windows_parallel_ = 0;
+  u64 windows_serial_ = 0;
+  u64 cross_shard_events_ = 0;
+  double barrier_stall_seconds_ = 0;
+};
+
+}  // namespace qcdoc::sim

@@ -1,6 +1,7 @@
 // Fault injection, health monitoring and recovery (paper Sections 2.3, 4).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -310,15 +311,28 @@ struct CampaignOutcome {
   double residual = 0;
   double check_residual = 0;
   Cycle end_cycle = 0;
+  u64 field_checksum = 0;  ///< FNV over every bit of the solution field
+  u64 trace_digest = 0;    ///< the engine's event-order digest
 
   friend bool operator==(const CampaignOutcome&, const CampaignOutcome&) =
       default;
 };
 
-CampaignOutcome run_campaign() {
+u64 field_bits_fnv(const DistField& f) {
+  u64 h = sim::detail::kFnvOffset;
+  for (int r = 0; r < f.ranks(); ++r) {
+    for (const double v : f.data(r)) {
+      h = sim::detail::fnv1a(h, std::bit_cast<u64>(v));
+    }
+  }
+  return h;
+}
+
+CampaignOutcome run_campaign(int sim_threads = 1) {
   CampaignOutcome out;
   machine::MachineConfig cfg;
   cfg.shape.extent = {2, 2, 2, 2, 2, 2};  // the full 64-node test mesh
+  cfg.sim_threads = sim_threads;
   machine::Machine m(cfg);
   host::Qdaemon qd(&m);
   qd.boot();
@@ -408,10 +422,12 @@ CampaignOutcome run_campaign() {
         out.audit_failures = r.audit_failures;
         out.residual = r.relative_residual;
         out.check_residual = true_residual(op, x, b);
+        out.field_checksum = field_bits_fnv(x);
         log.push_back("cg restarts: " + std::to_string(r.restarts));
       });
   out.job_ok = job.ok;
   out.end_cycle = m.engine().now();
+  out.trace_digest = m.engine().trace_digest();
   return out;
 }
 
@@ -436,6 +452,23 @@ TEST(FaultCampaign, WholeCampaignIsBitReproducible) {
   EXPECT_TRUE(a == b);
   EXPECT_EQ(a.residual, b.residual);
   EXPECT_EQ(a.end_cycle, b.end_cycle);
+  EXPECT_EQ(a.field_checksum, b.field_checksum);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+// The same campaign on the parallel engine: faults, health verdicts, CG
+// rollbacks, the solution field and the event-order digest must all be
+// bit-identical to the serial run at every thread count.
+TEST(FaultCampaign, WholeCampaignIsBitIdenticalAcrossEngines) {
+  const CampaignOutcome serial = run_campaign(1);
+  for (const int threads : {2, 4}) {
+    const CampaignOutcome par = run_campaign(threads);
+    EXPECT_TRUE(par == serial) << threads << " threads";
+    EXPECT_EQ(par.trace_digest, serial.trace_digest) << threads << " threads";
+    EXPECT_EQ(par.field_checksum, serial.field_checksum)
+        << threads << " threads";
+    EXPECT_EQ(par.end_cycle, serial.end_cycle) << threads << " threads";
+  }
 }
 
 }  // namespace

@@ -12,7 +12,7 @@ namespace qcdoc::hssl {
 namespace {
 
 struct Wire {
-  sim::Engine engine;
+  sim::SerialEngine engine;
   sim::StatSet stats;
   HsslConfig cfg;
   std::unique_ptr<Hssl> link;

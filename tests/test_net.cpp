@@ -15,7 +15,7 @@ MeshConfig small_mesh(std::array<int, 6> extents) {
 }
 
 TEST(MeshNet, AllLinksTrainAfterPowerOn) {
-  sim::Engine engine;
+  sim::SerialEngine engine;
   MeshNet mesh(&engine, small_mesh({2, 2, 2, 1, 1, 1}));
   EXPECT_FALSE(mesh.all_trained());
   mesh.power_on();
@@ -25,7 +25,7 @@ TEST(MeshNet, AllLinksTrainAfterPowerOn) {
 }
 
 TEST(MeshNet, SupervisorPacketCrossesTheMesh) {
-  sim::Engine engine;
+  sim::SerialEngine engine;
   MeshNet mesh(&engine, small_mesh({2, 2, 1, 1, 1, 1}));
   mesh.power_on();
   engine.run_until_idle();
@@ -47,7 +47,7 @@ TEST(MeshNet, SupervisorPacketCrossesTheMesh) {
 }
 
 TEST(MeshNet, DmaBetweenNeighborsThroughTheTorus) {
-  sim::Engine engine;
+  sim::SerialEngine engine;
   MeshNet mesh(&engine, small_mesh({4, 2, 1, 1, 1, 1}));
   mesh.power_on();
   engine.run_until_idle();
@@ -70,7 +70,7 @@ TEST(MeshNet, DmaBetweenNeighborsThroughTheTorus) {
 }
 
 TEST(MeshNet, ChecksumVerificationDetectsTampering) {
-  sim::Engine engine;
+  sim::SerialEngine engine;
   MeshNet mesh(&engine, small_mesh({2, 1, 1, 1, 1, 1}));
   mesh.power_on();
   engine.run_until_idle();
@@ -107,7 +107,7 @@ TEST(MeshNet, ChecksumVerificationDetectsTampering) {
 }
 
 TEST(MeshNet, PartitionInterruptFloodsWholeMachine) {
-  sim::Engine engine;
+  sim::SerialEngine engine;
   auto cfg = small_mesh({2, 2, 2, 2, 1, 1});
   cfg.pirq_window_cycles = 4096;
   MeshNet mesh(&engine, cfg);
@@ -127,7 +127,7 @@ TEST(MeshNet, PartitionInterruptFloodsWholeMachine) {
 }
 
 TEST(MeshNet, PartitionInterruptDeliveredWithinWindows) {
-  sim::Engine engine;
+  sim::SerialEngine engine;
   auto cfg = small_mesh({2, 2, 2, 1, 1, 1});
   cfg.pirq_window_cycles = 8192;
   MeshNet mesh(&engine, cfg);
@@ -149,7 +149,7 @@ TEST(MeshNet, PartitionInterruptDeliveredWithinWindows) {
 }
 
 TEST(EthernetTree, PacketDeliveryAndAccounting) {
-  sim::Engine engine;
+  sim::SerialEngine engine;
   EthernetConfig cfg;
   EthernetTree eth(&engine, cfg, 4);
   int delivered = 0;
@@ -165,7 +165,7 @@ TEST(EthernetTree, PacketDeliveryAndAccounting) {
 }
 
 TEST(EthernetTree, HostLinkIsSharedNodeLinksAreNot) {
-  sim::Engine engine;
+  sim::SerialEngine engine;
   EthernetConfig cfg;
   cfg.host_links = 1;
   EthernetTree eth(&engine, cfg, 2);
@@ -213,7 +213,7 @@ namespace qcdoc::net {
 namespace {
 
 TEST(MeshNet, QuiescenceCounterMatchesExhaustiveScan) {
-  sim::Engine engine;
+  sim::SerialEngine engine;
   MeshNet mesh(&engine, small_mesh({2, 2, 1, 1, 1, 1}));
   mesh.power_on();
   engine.run_until_idle();
@@ -242,7 +242,7 @@ class ErrorRateSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(ErrorRateSweep, DataIntegrityOrChecksumMismatch) {
   const double ber = GetParam();
-  sim::Engine engine;
+  sim::SerialEngine engine;
   auto cfg = small_mesh({2, 1, 1, 1, 1, 1});
   cfg.hssl.bit_error_rate = ber;
   MeshNet mesh(&engine, cfg);

@@ -1,0 +1,228 @@
+// Contract tests for the parallel simulation engine: bit-identical order
+// with the serial engine, loud failure on lookahead violations, and the
+// drain/step/advance semantics both engines must share (engine.h's
+// execution-order contract).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "machine/machine.h"
+#include "sim/engine.h"
+#include "sim/parallel_engine.h"
+
+namespace qcdoc::sim {
+namespace {
+
+constexpr Cycle kLookahead = 20;
+
+// A synthetic multi-node workload: every node keeps a private counter, each
+// event re-arms itself on its own node (any delay is legal) and pokes the
+// next node no sooner than the lookahead (the only legal cross-node delay,
+// mirroring the HSSL's serialization + wire time).
+struct Workload {
+  Engine* e;
+  int n;
+  std::vector<u64> hits;  // per node; only that node's events touch it
+
+  explicit Workload(Engine* engine, int nodes)
+      : e(engine), n(nodes), hits(static_cast<std::size_t>(nodes), 0) {}
+
+  void fire(int node, int depth) {
+    hits[static_cast<std::size_t>(node)] += static_cast<u64>(depth) + 1;
+    if (depth == 0) return;
+    e->schedule(3 + static_cast<Cycle>(depth % 4),
+                [this, node, depth] { fire(node, depth - 1); });
+    const int next = (node + 1) % n;
+    e->schedule_on(static_cast<Affinity>(next),
+                   kLookahead + static_cast<Cycle>(depth % 3),
+                   [this, next, depth] { fire(next, depth - 1); });
+  }
+
+  void seed_and_run() {
+    for (int i = 0; i < n; ++i) {
+      e->schedule_on(static_cast<Affinity>(i), static_cast<Cycle>(i % 5),
+                     [this, i] { fire(i, 6); });
+    }
+    e->run_until_idle();
+  }
+};
+
+struct RunResult {
+  u64 digest;
+  u64 events;
+  Cycle end;
+  std::vector<u64> hits;
+};
+
+RunResult run_workload(Engine& e, int nodes) {
+  Workload w(&e, nodes);
+  w.seed_and_run();
+  return {e.trace_digest(), e.events_executed(), e.now(), w.hits};
+}
+
+TEST(ParallelEngine, BitIdenticalToSerialOnSyntheticWorkload) {
+  SerialEngine serial;
+  const RunResult ref = run_workload(serial, 8);
+  ASSERT_GT(ref.events, 100u);
+
+  for (const int threads : {1, 2, 4}) {
+    ParallelEngine par(ParallelConfig{threads, kLookahead, 8});
+    const RunResult got = run_workload(par, 8);
+    EXPECT_EQ(got.digest, ref.digest) << threads << " threads";
+    EXPECT_EQ(got.events, ref.events) << threads << " threads";
+    EXPECT_EQ(got.end, ref.end) << threads << " threads";
+    EXPECT_EQ(got.hits, ref.hits) << threads << " threads";
+  }
+}
+
+TEST(ParallelEngine, StepByStepMatchesSerialEngine) {
+  SerialEngine serial;
+  ParallelEngine par(ParallelConfig{2, kLookahead, 4});
+  for (Engine* e : {static_cast<Engine*>(&serial), static_cast<Engine*>(&par)}) {
+    for (int i = 3; i >= 0; --i) {
+      e->schedule_on(static_cast<Affinity>(i), static_cast<Cycle>(10 * i), [] {});
+    }
+  }
+  // step() must execute exactly one event in global key order on any engine.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(par.step());
+    EXPECT_TRUE(serial.step());
+    EXPECT_EQ(par.now(), serial.now());
+    EXPECT_EQ(par.trace_digest(), serial.trace_digest());
+  }
+  EXPECT_FALSE(par.step());
+  EXPECT_FALSE(serial.step());
+}
+
+TEST(ParallelEngine, CrossNodeScheduleInsideLookaheadThrows) {
+  ParallelEngine e(ParallelConfig{2, 10, 2});
+  // Node 0 tries to poke node 1 after a single cycle -- faster than any
+  // frame could physically arrive, and inside the current window.  The
+  // engine must fail loudly rather than silently diverge from serial order.
+  e.schedule_on(0, 0, [&e] { e.schedule_on(1, 1, [] {}); });
+  EXPECT_THROW(e.run_until_idle(), std::logic_error);
+}
+
+TEST(ParallelEngine, AffinityOutOfRangeThrows) {
+  ParallelEngine e(ParallelConfig{2, 10, 2});
+  EXPECT_THROW(e.schedule_on(2, 0, [] {}), std::invalid_argument);
+  EXPECT_THROW(e.schedule_on(17, 0, [] {}), std::invalid_argument);
+  e.schedule_on(kHostAffinity, 0, [] {});  // host is always valid
+  e.schedule_on(1, 0, [] {});
+  e.run_until_idle();
+  EXPECT_EQ(e.events_executed(), 2u);
+}
+
+TEST(ParallelEngine, ReentrantSteppingThrows) {
+  ParallelEngine e(ParallelConfig{2, 10, 2});
+  e.schedule_on(kHostAffinity, 0, [&e] { e.step(); });
+  EXPECT_THROW(e.run_until_idle(), std::logic_error);
+}
+
+// Satellite contract: schedule_at into the past must be rejected with a
+// clear error on every engine, instead of corrupting the event order.
+TEST(EngineContract, ScheduleAtPastThrowsOnBothEngines) {
+  SerialEngine serial;
+  ParallelEngine par(ParallelConfig{2, 10, 2});
+  for (Engine* e : {static_cast<Engine*>(&serial), static_cast<Engine*>(&par)}) {
+    e->schedule_at(100, [] {});
+    e->run_until_idle();
+    ASSERT_EQ(e->now(), 100u);
+    EXPECT_THROW(e->schedule_at(50, [] {}), std::invalid_argument);
+    try {
+      e->schedule_at(50, [] {});
+      FAIL() << "no exception";
+    } catch (const std::invalid_argument& ex) {
+      EXPECT_NE(std::string(ex.what()).find("past"), std::string::npos);
+      EXPECT_NE(std::string(ex.what()).find("t=50"), std::string::npos);
+    }
+    // t == now() is legal (zero-delay events are common in the SCU model).
+    e->schedule_at(100, [] {});
+    e->run_until_idle();
+  }
+}
+
+TEST(EngineContract, DrainStopsTheClockAtTheZeroingEvent) {
+  SerialEngine serial;
+  ParallelEngine par(ParallelConfig{2, 10, 2});
+  for (Engine* e : {static_cast<Engine*>(&serial), static_cast<Engine*>(&par)}) {
+    ActiveCounter c;
+    c.increment();
+    e->schedule_on(0, 50, [&] { c.decrement(e->now()); });
+    e->schedule_on(1, 80, [] {});  // must stay pending
+    EXPECT_TRUE(e->drain(c));
+    EXPECT_EQ(e->now(), 50u);
+    EXPECT_EQ(c.last_zero_at(), 50u);
+    EXPECT_EQ(e->pending_events(), 1u);
+    e->run_until_idle();
+  }
+}
+
+TEST(EngineContract, DrainReportsStallWhenQueueEmptiesFirst) {
+  SerialEngine serial;
+  ParallelEngine par(ParallelConfig{2, 10, 2});
+  for (Engine* e : {static_cast<Engine*>(&serial), static_cast<Engine*>(&par)}) {
+    ActiveCounter c;
+    c.increment();
+    e->schedule_on(0, 5, [] {});
+    EXPECT_FALSE(e->drain(c));  // counter never reaches zero: a stall
+  }
+}
+
+TEST(EngineContract, AdvanceToRefusesToSkipPendingEvents) {
+  SerialEngine serial;
+  ParallelEngine par(ParallelConfig{2, 10, 2});
+  for (Engine* e : {static_cast<Engine*>(&serial), static_cast<Engine*>(&par)}) {
+    e->schedule_at(10, [] {});
+    EXPECT_THROW(e->advance_to(20), std::logic_error);
+    e->run_until_idle();
+    e->advance_to(200);
+    EXPECT_EQ(e->now(), 200u);
+  }
+}
+
+TEST(ParallelEngine, ReportCountsWindowsAndShards) {
+  ParallelEngine e(ParallelConfig{2, kLookahead, 8});
+  run_workload(e, 8);
+  const EngineReport r = e.report();
+  EXPECT_EQ(r.kind, "parallel");
+  EXPECT_EQ(r.threads, 2);
+  EXPECT_EQ(r.lookahead, kLookahead);
+  EXPECT_GT(r.windows_parallel, 0u);
+  EXPECT_GT(r.cross_shard_events, 0u);
+  u64 total = 0;
+  for (const u64 s : r.shard_events) total += s;
+  EXPECT_EQ(total, r.events);
+  EXPECT_EQ(r.events, e.events_executed());
+}
+
+// End to end: a whole machine boot must produce the same event-order digest,
+// clock and event count whether simulated serially or on worker threads.
+TEST(ParallelEngine, MachineBootIsBitIdenticalAcrossThreadCounts) {
+  struct Boot {
+    u64 digest;
+    u64 events;
+    Cycle end;
+  };
+  auto boot = [](int threads) {
+    machine::MachineConfig cfg;
+    cfg.shape.extent = {2, 2, 1, 1, 1, 1};
+    cfg.sim_threads = threads;
+    machine::Machine m(cfg);
+    m.power_on();
+    return Boot{m.engine().trace_digest(), m.engine().events_executed(),
+                m.engine().now()};
+  };
+  const Boot ref = boot(1);
+  for (const int threads : {2, 4}) {
+    const Boot got = boot(threads);
+    EXPECT_EQ(got.digest, ref.digest) << threads << " threads";
+    EXPECT_EQ(got.events, ref.events) << threads << " threads";
+    EXPECT_EQ(got.end, ref.end) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace qcdoc::sim

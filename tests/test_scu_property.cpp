@@ -1,0 +1,125 @@
+// Property tests for the SCU packet format (paper Section 2.2).
+//
+// The format's design claim is that "a single bit error will not cause a
+// packet to be misinterpreted": type codes sit at pairwise Hamming distance
+// >= 2 and two parity bits cover the payload halves.  These tests drive
+// encode/decode with large randomized batches instead of hand-picked cases:
+// every random packet must round-trip exactly, every single-bit flip must be
+// detected (or land in the link-sequence field, which the ACK protocol
+// catches), and no corruption of any weight may silently decode back to the
+// original packet.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+
+#include "common/rng.h"
+#include "scu/packet.h"
+
+namespace qcdoc::scu {
+namespace {
+
+constexpr std::array<PacketType, 6> kAllTypes = {
+    PacketType::kData, PacketType::kSupervisor, PacketType::kPartitionIrq,
+    PacketType::kAck,  PacketType::kNack,       PacketType::kSupAck,
+};
+
+Packet random_packet(Rng& rng) {
+  Packet p;
+  p.type = kAllTypes[rng.next_below(kAllTypes.size())];
+  p.payload = rng.next_u64();
+  if (!has_word_payload(p.type)) p.payload &= 0xff;
+  p.seq = static_cast<u8>(rng.next_below(4));
+  return p;
+}
+
+bool same_packet(const Packet& a, const Packet& b) {
+  return a.type == b.type && a.payload == b.payload && a.seq == b.seq;
+}
+
+int bits_flipped(const WireFrame& a, const WireFrame& b) {
+  int n = 0;
+  for (std::size_t i = 0; i < a.bytes.size(); ++i) {
+    n += std::popcount(static_cast<unsigned>(a.bytes[i] ^ b.bytes[i]));
+  }
+  return n;
+}
+
+TEST(ScuPacketProperty, RandomPayloadsRoundTripExactly) {
+  Rng rng(0x5c0de);
+  for (int i = 0; i < 20000; ++i) {
+    const Packet p = random_packet(rng);
+    const WireFrame f = encode(p);
+    EXPECT_EQ(f.bits, frame_bits(p.type));
+    const auto d = decode(f);
+    ASSERT_TRUE(d.has_value()) << "iteration " << i;
+    EXPECT_TRUE(same_packet(p, *d)) << "iteration " << i;
+  }
+}
+
+// Exhaustive over bit positions, randomized over packet contents: a single
+// flipped wire bit is either rejected by decode (type-code distance or
+// parity) or changes only the 2-bit link sequence number -- which the
+// link-level ACK/NACK protocol rejects as out of sequence.  It must never
+// alter the type or payload of an accepted packet.
+TEST(ScuPacketProperty, SingleBitFlipNeverMisinterpretsTypeOrPayload) {
+  Rng rng(0xbadb17);
+  for (int i = 0; i < 500; ++i) {
+    const Packet p = random_packet(rng);
+    const WireFrame f = encode(p);
+    for (int pos = 0; pos < f.bits; ++pos) {
+      WireFrame g = f;
+      g.bytes[static_cast<std::size_t>(pos / 8)] ^=
+          static_cast<u8>(1u << (pos % 8));
+      const auto d = decode(g);
+      if (!d.has_value()) continue;  // detected: resend requested
+      EXPECT_EQ(d->type, p.type) << "bit " << pos;
+      EXPECT_EQ(d->payload, p.payload) << "bit " << pos;
+      EXPECT_NE(d->seq, p.seq) << "bit " << pos;
+    }
+  }
+}
+
+// corrupt(n) must flip exactly n distinct bit positions, all inside the
+// frame -- the error-injection model the link simulation relies on.
+TEST(ScuPacketProperty, CorruptFlipsExactlyNDistinctBitsInsideTheFrame) {
+  Rng rng(0xf11b);
+  for (int i = 0; i < 2000; ++i) {
+    const Packet p = random_packet(rng);
+    const WireFrame f = encode(p);
+    const int n = 1 + static_cast<int>(rng.next_below(8));
+    WireFrame g = f;
+    g.corrupt(n, rng);
+    EXPECT_EQ(bits_flipped(f, g), n);
+    // No byte beyond the frame's bit length may change.
+    for (std::size_t b = static_cast<std::size_t>((f.bits + 7) / 8);
+         b < f.bytes.size(); ++b) {
+      EXPECT_EQ(f.bytes[b], g.bytes[b]);
+    }
+  }
+}
+
+// No corruption of any weight may silently decode back to the original
+// packet: every frame bit feeds either a decoded field or a parity check, so
+// an accepted-but-wrong packet must differ from what was sent (and is then
+// caught by the end-to-end link checksums, as on the hardware).
+TEST(ScuPacketProperty, CorruptionNeverDecodesBackToTheOriginal) {
+  Rng rng(0xc0ffee);
+  int accepted_but_wrong = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Packet p = random_packet(rng);
+    WireFrame g = encode(p);
+    g.corrupt(1 + static_cast<int>(rng.next_below(4)), rng);
+    const auto d = decode(g);
+    if (!d.has_value()) continue;
+    EXPECT_FALSE(same_packet(p, *d)) << "iteration " << i;
+    ++accepted_but_wrong;
+  }
+  // Multi-bit errors do slip past the header checks sometimes; the property
+  // above (never equal to the original) is what protects correctness.  Make
+  // sure the test actually exercised that path.
+  EXPECT_GT(accepted_but_wrong, 0);
+}
+
+}  // namespace
+}  // namespace qcdoc::scu

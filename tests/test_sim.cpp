@@ -10,7 +10,7 @@ namespace qcdoc::sim {
 namespace {
 
 TEST(Engine, RunsEventsInTimeOrder) {
-  Engine e;
+  SerialEngine e;
   std::vector<int> order;
   e.schedule(30, [&] { order.push_back(3); });
   e.schedule(10, [&] { order.push_back(1); });
@@ -21,7 +21,7 @@ TEST(Engine, RunsEventsInTimeOrder) {
 }
 
 TEST(Engine, EqualTimestampsFireInScheduleOrder) {
-  Engine e;
+  SerialEngine e;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     e.schedule(5, [&order, i] { order.push_back(i); });
@@ -31,7 +31,7 @@ TEST(Engine, EqualTimestampsFireInScheduleOrder) {
 }
 
 TEST(Engine, EventsMayScheduleMoreEvents) {
-  Engine e;
+  SerialEngine e;
   int fired = 0;
   std::function<void()> chain = [&] {
     ++fired;
@@ -44,7 +44,7 @@ TEST(Engine, EventsMayScheduleMoreEvents) {
 }
 
 TEST(Engine, RunUntilStopsAtBoundary) {
-  Engine e;
+  SerialEngine e;
   int fired = 0;
   e.schedule(10, [&] { ++fired; });
   e.schedule(20, [&] { ++fired; });
@@ -56,13 +56,13 @@ TEST(Engine, RunUntilStopsAtBoundary) {
 }
 
 TEST(Engine, RunUntilAdvancesTimeWithNoEvents) {
-  Engine e;
+  SerialEngine e;
   e.run_until(1000);
   EXPECT_EQ(e.now(), 1000u);
 }
 
 TEST(Engine, StepReturnsFalseWhenEmpty) {
-  Engine e;
+  SerialEngine e;
   EXPECT_FALSE(e.step());
   e.schedule(1, [] {});
   EXPECT_TRUE(e.step());
@@ -70,12 +70,56 @@ TEST(Engine, StepReturnsFalseWhenEmpty) {
 }
 
 TEST(Engine, PendingEventsCount) {
-  Engine e;
+  SerialEngine e;
   e.schedule(1, [] {});
   e.schedule(2, [] {});
   EXPECT_EQ(e.pending_events(), 2u);
   e.run_until_idle();
   EXPECT_EQ(e.pending_events(), 0u);
+}
+
+// Contract: scheduling into the past is a model bug and must be rejected
+// loudly, never silently reordered (it used to corrupt the queue order).
+TEST(Engine, ScheduleAtRejectsThePast) {
+  SerialEngine e;
+  e.schedule_at(100, [] {});
+  e.run_until_idle();
+  ASSERT_EQ(e.now(), 100u);
+  EXPECT_THROW(e.schedule_at(99, [] {}), std::invalid_argument);
+  // t == now() stays legal: zero-delay events are idiomatic in the model.
+  e.schedule_at(100, [] {});
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run_until_idle();
+}
+
+TEST(Engine, ScheduleAtRejectsThePastFromInsideAnEvent) {
+  SerialEngine e;
+  bool threw = false;
+  e.schedule(50, [&] {
+    try {
+      e.schedule_at(10, [] {});
+    } catch (const std::invalid_argument& ex) {
+      threw = true;
+      EXPECT_NE(std::string(ex.what()).find("past"), std::string::npos);
+    }
+  });
+  e.run_until_idle();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(e.events_executed(), 1u);
+}
+
+TEST(Engine, OrderDigestDetectsDifferentSchedules) {
+  SerialEngine a, b, c;
+  for (SerialEngine* e : {&a, &b}) {
+    e->schedule(10, [] {});
+    e->schedule(20, [] {});
+    e->run_until_idle();
+  }
+  c.schedule(10, [] {});
+  c.schedule(21, [] {});
+  c.run_until_idle();
+  EXPECT_EQ(a.trace_digest(), b.trace_digest());
+  EXPECT_NE(a.trace_digest(), c.trace_digest());
 }
 
 TEST(Stats, AccumulatesAndSnapshots) {
