@@ -32,7 +32,10 @@ int main() {
   const Cycle start = m.engine().now();
   m.scu(a).send_dma(link).start(
       scu::DmaDescriptor{src.word_addr, static_cast<u32>(words), 1, 0});
-  m.mesh().drain();
+  if (!m.mesh().drain()) {
+    std::fprintf(stderr, "stalled link: transfer never completed\n");
+    return 1;
+  }
   const double seconds = m.seconds(m.engine().now() - start);
   const double link_Bps = static_cast<double>(words * 8) / seconds;
   const double aggregate_GBps = link_Bps * 24 / 1e9;

@@ -35,7 +35,10 @@ int main() {
   recv.start(scu::DmaDescriptor{dst.word_addr, 24, 1, 0});
   const Cycle start = m.engine().now();
   m.scu(a).send_dma(link).start(scu::DmaDescriptor{src.word_addr, 24, 1, 0});
-  m.mesh().drain();
+  if (!m.mesh().drain()) {
+    std::fprintf(stderr, "stalled link: transfer never completed\n");
+    return 1;
+  }
 
   const double first_us = m.microseconds(recv.first_word_landed_at() - start);
   const double rest_us =

@@ -10,10 +10,21 @@
 
 namespace qcdoc::bench {
 
+// Which sanitizers this binary was built with (set by the top-level
+// CMakeLists from QCDOC_SANITIZE / QCDOC_TSAN / QCDOC_UBSAN).
+#ifndef QCDOC_SANITIZER_TAG
+#define QCDOC_SANITIZER_TAG "none"
+#endif
+
+inline const char* sanitizer_tag() { return QCDOC_SANITIZER_TAG; }
+
 inline void print_header(const char* experiment, const char* claim) {
   std::printf("==============================================================\n");
   std::printf("%s\n", experiment);
   std::printf("paper: %s\n", claim);
+  // Machine-readable build provenance: numbers measured under a sanitizer
+  // are an order of magnitude off and must never be quoted as real perf.
+  std::printf("{\"bench_env\": {\"sanitizer\": \"%s\"}}\n", sanitizer_tag());
   std::printf("==============================================================\n");
 }
 

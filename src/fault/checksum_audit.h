@@ -28,7 +28,8 @@ class ChecksumAuditor {
   /// show up as spurious mismatches.  Re-baselines unconditionally, so a
   /// dirty interval is consumed: the caller rolls back, and the next audit
   /// starts clean.  Optionally reports the mismatching edges.
-  bool clean_since_last(std::vector<std::string>* mismatches = nullptr);
+  [[nodiscard]] bool clean_since_last(
+      std::vector<std::string>* mismatches = nullptr);
 
   u64 audits() const { return audits_; }
   u64 failures() const { return failures_; }

@@ -128,10 +128,13 @@ FaultInjector::FaultInjector(net::MeshNet* mesh, sim::StatSet* stats)
     : mesh_(mesh), stats_(stats) {}
 
 void FaultInjector::arm(const FaultPlan& plan) {
-  sim::Engine& engine = mesh_->engine();
+  // Injection is a host action (the campaign driver lives outside the
+  // machine), so fault events carry host affinity and serialize before node
+  // events at equal timestamps on every engine.
+  const sim::EngineRef host(&mesh_->engine());
   for (const FaultEvent& e : plan.events()) {
-    const Cycle at = std::max(e.at, engine.now());
-    engine.schedule_at(at, [this, e] { apply(e); });
+    const Cycle at = std::max(e.at, host.now());
+    host.schedule_at(at, [this, e] { apply(e); });
   }
 }
 
@@ -150,7 +153,8 @@ void FaultInjector::apply(const FaultEvent& e) {
       const double previous = wire.bit_error_rate();
       wire.set_bit_error_rate(e.bit_error_rate);
       if (e.duration > 0) {
-        mesh_->engine().schedule(e.duration, [this, e, previous] {
+        const sim::EngineRef host(&mesh_->engine());
+        host.schedule(e.duration, [this, e, previous] {
           mesh_->wire(e.node, e.link).set_bit_error_rate(previous);
         });
       }

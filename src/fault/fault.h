@@ -57,7 +57,7 @@ class FaultPlan {
                              int count);
 
   const std::vector<FaultEvent>& events() const { return events_; }
-  bool empty() const { return events_.empty(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
 
   /// A seed-deterministic soak campaign: `n` events of mixed kinds spread

@@ -37,7 +37,8 @@ void BootSequencer::load_boot_kernel(NodeId n) {
                          // Boot kernel now in the instruction cache: run the
                          // basic hardware tests, then fetch the run kernel.
                          states_[n.value] = NodeBootState::kHardwareTest;
-                         machine_->engine().schedule(
+                         const sim::EngineRef host(&machine_->engine());
+                         host.schedule(
                              params_.hw_test_cycles, [this, n] {
                                for (const auto bad : params_.failing_nodes) {
                                  if (bad == n) {
@@ -61,7 +62,8 @@ void BootSequencer::load_run_kernel(NodeId n) {
                        [this, n] {
                          if (--packets_pending_[n.value] > 0) return;
                          states_[n.value] = NodeBootState::kScuInit;
-                         machine_->engine().schedule(
+                         const sim::EngineRef host(&machine_->engine());
+                         host.schedule(
                              params_.scu_init_cycles, [this, n] {
                                states_[n.value] = NodeBootState::kReady;
                                ++nodes_ready_;

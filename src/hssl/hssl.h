@@ -66,8 +66,8 @@ class Hssl {
 
   /// Begin the training sequence; the link carries data only once trained.
   void power_on();
-  bool trained() const { return state_ == LinkState::kTrained; }
-  bool failed() const { return state_ == LinkState::kFailed; }
+  [[nodiscard]] bool trained() const { return state_ == LinkState::kTrained; }
+  [[nodiscard]] bool failed() const { return state_ == LinkState::kFailed; }
   LinkState state() const { return state_; }
   Cycle trained_at() const { return trained_at_; }
 
@@ -91,7 +91,7 @@ class Hssl {
   /// decision per frame instead of queueing ahead.
   void set_ready_callback(std::function<void()> fn) { on_ready_ = std::move(fn); }
 
-  bool busy() const { return busy_; }
+  [[nodiscard]] bool busy() const { return busy_; }
   /// Cycles this link spent sending idle bytes (trained but no payload).
   Cycle idle_cycles() const;
 

@@ -5,7 +5,7 @@
 
 namespace qcdoc::net {
 
-EthernetTree::EthernetTree(sim::Engine* engine, EthernetConfig cfg,
+EthernetTree::EthernetTree(sim::EngineRef engine, EthernetConfig cfg,
                            int num_nodes)
     : engine_(engine), cfg_(cfg) {
   assert(cfg_.host_links >= 1);
@@ -22,7 +22,7 @@ void EthernetTree::host_to_node(NodeId node, std::size_t payload_bytes,
   auto& node_free = node_link_free_[node.value];
 
   // Host link serialization (shared among the nodes behind this link).
-  const Cycle host_start = std::max(engine_->now(), host_free);
+  const Cycle host_start = std::max(engine_.now(), host_free);
   const Cycle host_done = host_start + serialize(cfg_.host_link_bps, frame);
   host_free = host_done;
   // Hub hops: store-and-forward latency each.
@@ -40,7 +40,7 @@ void EthernetTree::host_to_node(NodeId node, std::size_t payload_bytes,
     ++jtag_packets_;
     stats_.add("eth.jtag_packets");
   }
-  engine_->schedule_at(node_done, [fn = std::move(on_delivered)] {
+  engine_.schedule_at(node_done, [fn = std::move(on_delivered)] {
     if (fn) fn();
   });
 }
@@ -52,7 +52,7 @@ void EthernetTree::node_to_host(NodeId node, std::size_t payload_bytes,
   auto& host_free =
       host_link_free_[node.value % static_cast<u32>(cfg_.host_links)];
 
-  const Cycle node_start = std::max(engine_->now(), node_free);
+  const Cycle node_start = std::max(engine_.now(), node_free);
   const Cycle node_done = node_start + serialize(cfg_.node_link_bps, frame);
   node_free = node_done;
   const Cycle hubs_done =
@@ -64,7 +64,7 @@ void EthernetTree::node_to_host(NodeId node, std::size_t payload_bytes,
   ++packets_delivered_;
   stats_.add("eth.node_to_host_packets");
   stats_.add("eth.node_to_host_bytes", frame);
-  engine_->schedule_at(host_done, [fn = std::move(on_delivered)] {
+  engine_.schedule_at(host_done, [fn = std::move(on_delivered)] {
     if (fn) fn();
   });
 }

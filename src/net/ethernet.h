@@ -38,7 +38,10 @@ enum class EthKind { kJtag, kUdp };
 
 class EthernetTree {
  public:
-  EthernetTree(sim::Engine* engine, EthernetConfig cfg, int num_nodes);
+  /// The Ethernet tree is host-side plumbing (boot streams, RPC, NFS), so
+  /// deliveries are scheduled with host affinity: a bare Engine* converts
+  /// to a host-affinity sim::EngineRef.
+  EthernetTree(sim::EngineRef engine, EthernetConfig cfg, int num_nodes);
 
   /// Send one UDP packet of `payload_bytes` from the host to `node`;
   /// `on_delivered` fires when the last byte reaches the node.  Nodes are
@@ -62,7 +65,7 @@ class EthernetTree {
     return cycles(static_cast<double>(bytes) * 8.0 / bps);
   }
 
-  sim::Engine* engine_;
+  sim::EngineRef engine_;
   EthernetConfig cfg_;
   // Earliest free time per shared resource.
   std::vector<Cycle> host_link_free_;

@@ -61,7 +61,7 @@ class MeshNet {
 
   /// Power on every HSSL; links train and then exchange idle bytes.
   void power_on();
-  bool all_trained() const;
+  [[nodiscard]] bool all_trained() const;
   /// Every outgoing wire that is not currently in the trained state.
   std::vector<LinkRef> untrained_links() const;
   /// Every outgoing link whose send side has declared a fault.
@@ -78,22 +78,25 @@ class MeshNet {
 
   /// Compare the send/receive checksums of every directed link; the paper's
   /// end-of-calculation confirmation that no erroneous data was exchanged.
-  bool verify_link_checksums(std::vector<std::string>* mismatches = nullptr) const;
+  [[nodiscard]] bool verify_link_checksums(
+      std::vector<std::string>* mismatches = nullptr) const;
 
   /// Sum a named statistic across all nodes.
   u64 total_stat(const std::string& name) const;
 
   /// True when no data transfer is in progress anywhere in the machine
   /// (O(1): the DMA engines maintain a shared in-flight counter).
-  bool quiescent() const { return active_transfers_.value() == 0; }
+  [[nodiscard]] bool quiescent() const {
+    return active_transfers_.value() == 0;
+  }
   /// Exhaustive per-link check (used by tests to validate the counter).
-  bool quiescent_slow() const;
+  [[nodiscard]] bool quiescent_slow() const;
 
   /// Run the event engine until the mesh is quiescent.  Returns false (and
   /// stops) if the event queue empties while transfers are still pending --
   /// the signature of a stalled link, which on the real machine blocks the
   /// whole self-synchronizing calculation.
-  bool drain();
+  [[nodiscard]] bool drain();
 
  private:
   sim::Engine* engine_;

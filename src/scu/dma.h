@@ -61,7 +61,7 @@ class SendDma {
   /// SCU) is reported through `on_complete`.
   void start(const DmaDescriptor& desc, std::function<void()> on_complete = {});
 
-  bool active() const { return active_; }
+  [[nodiscard]] bool active() const { return active_; }
   u64 transfers_started() const { return transfers_; }
 
  private:
@@ -85,7 +85,7 @@ class RecvDma {
   /// receive; calling it drains any held words immediately.
   void start(const DmaDescriptor& desc, std::function<void()> on_complete = {});
 
-  bool active() const { return active_; }
+  [[nodiscard]] bool active() const { return active_; }
   u64 words_landed() const { return landed_; }
   /// Simulated time the first word of the current/last transfer reached
   /// memory (for latency measurements).

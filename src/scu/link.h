@@ -73,8 +73,10 @@ class SendSide {
   void on_sup_ack(u8 seq);
 
   /// All data handed in so far has been sent and acknowledged.
-  bool data_drained() const { return data_queue_.empty() && unacked_.empty(); }
-  bool supervisor_drained() const {
+  [[nodiscard]] bool data_drained() const {
+    return data_queue_.empty() && unacked_.empty();
+  }
+  [[nodiscard]] bool supervisor_drained() const {
     return !sup_outstanding_ && sup_queue_.empty();
   }
 
@@ -90,7 +92,7 @@ class SendSide {
   }
   /// The send side gave up: either the wire rejected a frame outright or
   /// `fault_timeout_rounds` consecutive timeout resends made no progress.
-  bool faulted() const { return faulted_; }
+  [[nodiscard]] bool faulted() const { return faulted_; }
 
   /// Fault injection: silently discard the next `n` ACK/NACK notifications
   /// from the remote receiver, forcing the timeout/go-back machinery to
@@ -176,7 +178,7 @@ class RecvSide {
   /// link is in idle receive.
   void set_data_sink(std::function<void(u64)> sink);
   void clear_data_sink();
-  bool in_idle_receive() const { return !data_sink_; }
+  [[nodiscard]] bool in_idle_receive() const { return !data_sink_; }
 
   /// Supervisor packets raise an interrupt at the receiving CPU.
   void set_supervisor_handler(std::function<void(u64)> fn) {

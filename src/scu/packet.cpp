@@ -32,13 +32,16 @@ int min_frame_bits() { return frame_bits(PacketType::kAck); }
 
 void WireFrame::corrupt(int n, Rng& rng) {
   assert(n <= bits);
-  // Choose n distinct positions by rejection; frames are tiny.
-  u64 chosen = 0;
+  // Choose n distinct positions by rejection; frames are tiny.  A data
+  // frame is 72 bits, so the mask needs two words: shifting one u64 by
+  // pos >= 64 is undefined and aliased positions 64..71 onto 0..7.
+  u64 chosen[2] = {0, 0};
   int done = 0;
   while (done < n) {
     const int pos = static_cast<int>(rng.next_below(static_cast<u64>(bits)));
-    if (chosen & (1ull << pos)) continue;
-    chosen |= 1ull << pos;
+    const u64 bit = 1ull << (pos % 64);
+    if (chosen[pos / 64] & bit) continue;
+    chosen[pos / 64] |= bit;
     bytes[static_cast<std::size_t>(pos / 8)] ^= static_cast<u8>(1u << (pos % 8));
     ++done;
   }

@@ -36,7 +36,7 @@ enum class PacketType : u8 {
 };
 
 /// Is this one of the long (64-bit payload) packet types?
-bool has_word_payload(PacketType t);
+[[nodiscard]] bool has_word_payload(PacketType t);
 
 /// Number of frame bits for a packet of this type (header included).
 int frame_bits(PacketType t);

@@ -4,7 +4,7 @@
 
 namespace qcdoc::scu {
 
-PirqDomain::PirqDomain(sim::Engine* engine, Cycle window_cycles)
+PirqDomain::PirqDomain(sim::EngineRef engine, Cycle window_cycles)
     : engine_(engine), window_cycles_(window_cycles) {
   assert(window_cycles_ > 0);
 }
@@ -52,9 +52,9 @@ void PirqDomain::ensure_clock() {
   if (clock_running_) return;
   clock_running_ = true;
   // Align to the next global-clock window boundary.
-  const Cycle phase = engine_->now() % window_cycles_;
+  const Cycle phase = engine_.now() % window_cycles_;
   const Cycle wait = phase == 0 ? 0 : window_cycles_ - phase;
-  engine_->schedule(wait, [this] { window_boundary(); });
+  engine_.schedule(wait, [this] { window_boundary(); });
 }
 
 bool PirqDomain::any_activity() const {
@@ -84,7 +84,7 @@ void PirqDomain::window_boundary() {
     }
   }
   if (flooded || any_activity()) {
-    engine_->schedule(window_cycles_, [this] { window_boundary(); });
+    engine_.schedule(window_cycles_, [this] { window_boundary(); });
   } else {
     clock_running_ = false;
   }

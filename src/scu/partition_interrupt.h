@@ -31,7 +31,9 @@ class PirqDomain {
  public:
   /// `window_cycles` is the transmit-window length in CPU cycles (a multiple
   /// of the global-clock period; must exceed the partition's flood time).
-  PirqDomain(sim::Engine* engine, Cycle window_cycles);
+  /// The window clock is a machine-global construct, so the domain schedules
+  /// with host affinity: a bare Engine* converts to a host-affinity ref.
+  PirqDomain(sim::EngineRef engine, Cycle window_cycles);
 
   /// Add a node; `flood_links` are the links its SCU forwards interrupt
   /// packets over (the links internal to the partition).
@@ -63,9 +65,9 @@ class PirqDomain {
   void flood_from(NodeId node, u8 bits);
   void ensure_clock();
   void window_boundary();
-  bool any_activity() const;
+  [[nodiscard]] bool any_activity() const;
 
-  sim::Engine* engine_;
+  sim::EngineRef engine_;
   Cycle window_cycles_;
   std::map<u32, NodeState> nodes_;
   std::function<void(NodeId, u8)> handler_;

@@ -47,7 +47,7 @@ class Scu {
   RecvSide& recv_side(torus::LinkIndex l);
   SendDma& send_dma(torus::LinkIndex l);
   RecvDma& recv_dma(torus::LinkIndex l);
-  bool has_link(torus::LinkIndex l) const {
+  [[nodiscard]] bool has_link(torus::LinkIndex l) const {
     return send_[static_cast<std::size_t>(l.value)] != nullptr;
   }
 
@@ -81,7 +81,7 @@ class Scu {
   u64 recv_checksum(torus::LinkIndex l);
 
   /// True when no transfer is in progress on any link.
-  bool quiescent() const;
+  [[nodiscard]] bool quiescent() const;
 
   memsys::NodeMemory& memory() { return *memory_; }
   sim::StatSet& stats() { return *stats_; }

@@ -8,6 +8,8 @@ namespace qcdoc::sim {
 namespace detail {
 
 ExecCtx& exec_ctx() {
+  // Saved and restored around every event by ScopedExecCtx.
+  // qcdoc-lint: allow(mutable-static) per-thread ctx, never crosses events
   thread_local ExecCtx ctx;
   return ctx;
 }

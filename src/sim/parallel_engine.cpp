@@ -8,8 +8,12 @@ namespace qcdoc::sim {
 
 namespace {
 /// Set while a thread is executing inside a parallel window of some engine;
-/// routes that thread's schedules to its private outbox.
+/// routes that thread's schedules to its private outbox.  Written on window
+/// entry, cleared on exit; the window barriers order every access, so no
+/// state leaks across runs.
+// qcdoc-lint: allow(mutable-static) window-scoped worker routing, see above
 thread_local ParallelEngine* t_window_engine = nullptr;
+// qcdoc-lint: allow(mutable-static) window-scoped worker routing, see above
 thread_local void* t_slot = nullptr;
 }  // namespace
 
@@ -225,6 +229,7 @@ void ParallelEngine::run_window_parallel(Cycle end) {
   const int need = cfg_.threads - 1;
   int done = done_count_.load(std::memory_order_acquire);
   if (done < need) {
+    // qcdoc-lint: allow(wall-clock) coordinator-stall perf accounting only
     const auto wait_start = std::chrono::steady_clock::now();
     // Brief spin: windows are short, so the workers usually finish within a
     // few microseconds of the coordinator.
@@ -236,6 +241,7 @@ void ParallelEngine::run_window_parallel(Cycle end) {
       done = done_count_.load(std::memory_order_acquire);
     }
     barrier_stall_seconds_ +=
+        // qcdoc-lint: allow(wall-clock) perf accounting only, as above.
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wait_start)
             .count();

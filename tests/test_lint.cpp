@@ -1,0 +1,336 @@
+// Fixture tests for qcdoc-lint (tools/lint): every rule R1..R6 is exercised
+// with a positive hit, a clean pass, and an annotated suppression, all via
+// lint_source() under virtual paths so directory scoping is tested without
+// touching the filesystem.  The final test lints the real src/ tree and
+// requires zero findings -- the same gate CI runs, pinned here so a
+// determinism-contract regression fails tier-1 locally too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace qcdoc::lint {
+namespace {
+
+std::vector<Finding> run(const std::string& path, const std::string& src) {
+  return lint_source(path, src);
+}
+
+int count_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(fs.begin(), fs.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+std::string dump(const std::vector<Finding>& fs) {
+  std::string out;
+  for (const auto& f : fs) out += format(f) + "\n";
+  return out;
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(LintRegistry, AllSixRulesPlusSuppressionMetaRule) {
+  const auto infos = rule_infos();
+  ASSERT_EQ(infos.size(), 7u);
+  EXPECT_EQ(infos[0].id, "wall-clock");
+  EXPECT_EQ(infos[1].id, "unordered-container");
+  EXPECT_EQ(infos[2].id, "raw-engine");
+  EXPECT_EQ(infos[3].id, "mutable-static");
+  EXPECT_EQ(infos[4].id, "nodiscard-status");
+  EXPECT_EQ(infos[5].id, "cycle-narrow");
+  EXPECT_EQ(infos[6].id, "suppression");
+  for (const auto& r : infos) EXPECT_FALSE(r.summary.empty()) << r.id;
+}
+
+TEST(LintRegistry, FormatIsFileLineRuleMessage) {
+  const Finding f{"src/scu/link.h", 42, "wall-clock", "boom"};
+  EXPECT_EQ(format(f), "src/scu/link.h:42: [wall-clock] boom");
+}
+
+// --- R1: wall-clock ------------------------------------------------------
+
+TEST(LintWallClock, FlagsEntropySourcesInSimCriticalCode) {
+  const auto fs = run("src/scu/fixture.cpp", R"cc(
+    int jitter() { return rand() % 8; }
+    long stamp() { return time(nullptr); }
+    void seed() { std::random_device rd; }
+    void wall() { auto t = std::chrono::system_clock::now(); }
+  )cc");
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 4) << dump(fs);
+}
+
+TEST(LintWallClock, CleanOutsideScopedDirsAndForSimulatedTime) {
+  // Same entropy calls outside the sim-critical tree: out of scope.
+  EXPECT_TRUE(run("src/lattice/fixture.cpp",
+                  "int j() { return rand(); }").empty());
+  // Engine-clock reads, member `.time` accesses and foreign `x::time()`
+  // qualifications are all fine inside scope.
+  const auto fs = run("src/hssl/fixture.cpp", R"cc(
+    Cycle now_reads(sim::EngineRef e) { return e.now(); }
+    Cycle member(const Event& ev) { return ev.time; }
+    Cycle other() { return frame::time(3); }
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+TEST(LintWallClock, SuppressedWithAnnotatedReason) {
+  const auto fs = run("src/sim/fixture.cpp", R"cc(
+    // qcdoc-lint: allow(wall-clock) perf accounting only, never in the trace
+    auto t0 = std::chrono::steady_clock::now();
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// --- R2: unordered-container ---------------------------------------------
+
+TEST(LintUnordered, FlagsUnorderedContainersAndPointerKeys) {
+  const auto fs = run("src/net/fixture.cpp", R"cc(
+    std::unordered_map<u32, int> inflight;
+    std::unordered_set<std::string> seen;
+    std::map<Node*, int> by_addr;
+  )cc");
+  EXPECT_EQ(count_rule(fs, "unordered-container"), 3) << dump(fs);
+}
+
+TEST(LintUnordered, CleanForOrderedValueKeyedContainers) {
+  const auto fs = run("src/machine/fixture.cpp", R"cc(
+    std::map<u32, int> by_rank;
+    std::set<std::string> names;
+    std::map<std::pair<u32, u32>, Wire*> wires;  // pointer VALUES are fine
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+  // Out of digest-affecting scope entirely.
+  EXPECT_TRUE(run("tools/lint/fixture.cpp",
+                  "std::unordered_map<int, int> cache;").empty());
+}
+
+TEST(LintUnordered, SuppressedWithAnnotatedReason) {
+  const auto fs = run("src/comms/fixture.cpp", R"cc(
+    // qcdoc-lint: allow(unordered-container) lookup only, never iterated
+    std::unordered_map<u64, Handler> handlers;
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// --- R3: raw-engine ------------------------------------------------------
+
+TEST(LintRawEngine, FlagsRawPointerTemporaryAndInternalPrimitive) {
+  const auto fs = run("src/scu/fixture.cpp", R"cc(
+    void a(sim::Engine* e) { e->schedule(5, [] {}); }
+    void b(Scu& s) { s.engine().schedule_at(9, [] {}); }
+    void c() { schedule_at_on(aff, 3, [] {}); }
+  )cc");
+  EXPECT_EQ(count_rule(fs, "raw-engine"), 3) << dump(fs);
+}
+
+TEST(LintRawEngine, CleanForNamedEngineRefAndInsideSrcSim) {
+  const auto fs = run("src/fault/fixture.cpp", R"cc(
+    void ok(sim::EngineRef host) { host.schedule(5, [] {}); }
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+  // The engine's own implementation is exempt: it IS the primitive.
+  EXPECT_TRUE(run("src/sim/fixture.cpp",
+                  "void f(Engine* e) { e->schedule(1, [] {}); }").empty());
+}
+
+TEST(LintRawEngine, SuppressedWithAnnotatedReason) {
+  const auto fs = run("src/net/fixture.cpp", R"cc(
+    // qcdoc-lint: allow(raw-engine) build-time wiring, no events in flight
+    void wire(sim::Engine* e) { e->schedule(0, [] {}); }
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// --- R4: mutable-static --------------------------------------------------
+
+TEST(LintMutableStatic, FlagsMutableStaticAndThreadLocalState) {
+  const auto fs = run("src/hssl/fixture.cpp", R"cc(
+    static int frames_sent = 0;
+    thread_local Cache warm_cache;
+    static std::vector<int> pool{};
+  )cc");
+  EXPECT_EQ(count_rule(fs, "mutable-static"), 3) << dump(fs);
+}
+
+TEST(LintMutableStatic, CleanForConstantsAndFunctionDeclarations) {
+  const auto fs = run("src/scu/fixture.cpp", R"cc(
+    static const int kMaxRetries = 4;
+    static constexpr Cycle kWireDelay = 2;
+    static void helper(int x);
+    static std::vector<int> make_table();
+    int once() { static thread_local const int kSeed = 7; return kSeed; }
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+  // Out of the sim-critical tree: statics are the caller's business.
+  EXPECT_TRUE(run("src/host/fixture.cpp", "static int calls = 0;").empty());
+}
+
+TEST(LintMutableStatic, SuppressedWithAnnotatedReason) {
+  const auto fs = run("src/sim/fixture.cpp", R"cc(
+    // qcdoc-lint: allow(mutable-static) per-thread ctx, reset around events
+    thread_local ExecCtx ctx;
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// --- R5: nodiscard-status ------------------------------------------------
+
+TEST(LintNodiscard, FlagsBoolStatusApisWithoutNodiscard) {
+  const auto fs = run("src/scu/fixture.h", R"cc(
+    class Link {
+     public:
+      bool drained() const;
+      virtual bool faulted();
+    };
+  )cc");
+  EXPECT_EQ(count_rule(fs, "nodiscard-status"), 2) << dump(fs);
+}
+
+TEST(LintNodiscard, CleanForAnnotatedApisParamsOperatorsAndNonHeaders) {
+  const auto fs = run("src/hssl/fixture.h", R"cc(
+    class Hssl {
+     public:
+      [[nodiscard]] bool trained() const;
+      [[nodiscard]] inline virtual bool busy();
+      void set_flag(bool enabled);
+      bool operator==(const Hssl& o) const;
+    };
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+  // Definitions in .cpp files are not the API surface; headers are.
+  EXPECT_TRUE(run("src/fault/fixture.cpp",
+                  "bool FaultPlan::empty() const { return true; }").empty());
+  // Headers outside scu/hssl/fault carry no status contract.
+  EXPECT_TRUE(run("src/sim/fixture.h", "bool step();").empty());
+}
+
+TEST(LintNodiscard, SuppressedWithAnnotatedReason) {
+  const auto fs = run("src/fault/fixture.h", R"cc(
+    // qcdoc-lint: allow(nodiscard-status) predicate used only in logging
+    bool verbose() const;
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// --- R6: cycle-narrow ----------------------------------------------------
+
+TEST(LintCycleNarrow, FlagsCastsAndDeclarationsNarrowingCycleCounts) {
+  const auto fs = run("src/machine/fixture.cpp", R"cc(
+    u32 a(sim::EngineRef e) { return static_cast<u32>(e.now()); }
+    int b() { return static_cast<int>(elapsed_cycles_); }
+    void d() { u32 deadline = start_cycles_ + 500; }
+  )cc");
+  EXPECT_EQ(count_rule(fs, "cycle-narrow"), 3) << dump(fs);
+}
+
+TEST(LintCycleNarrow, CleanForWideTypesAndNonCycleQuantities) {
+  const auto fs = run("src/host/fixture.cpp", R"cc(
+    Cycle t(sim::EngineRef e) { return e.now(); }
+    u64 wide(Cycle c) { return static_cast<u64>(c); }
+    u32 rank(NodeId n) { return static_cast<u32>(n.value); }
+    u32 words = payload_bytes / 4;
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+  EXPECT_TRUE(run("bench/fixture.cpp",
+                  "u32 t = static_cast<u32>(e.now());").empty());
+}
+
+TEST(LintCycleNarrow, SuppressedWithAnnotatedReason) {
+  const auto fs = run("src/scu/fixture.cpp", R"cc(
+    // qcdoc-lint: allow(cycle-narrow) header field is 16 bits on the wire
+    u16 stamp = static_cast<u16>(now_cycles & 0xffff);
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// --- suppression meta-rule -----------------------------------------------
+
+TEST(LintSuppression, MissingReasonIsItselfAFindingAndDoesNotSuppress) {
+  const auto fs = run("src/scu/fixture.cpp", R"cc(
+    // qcdoc-lint: allow(wall-clock)
+    int j = rand();
+  )cc");
+  EXPECT_EQ(count_rule(fs, "suppression"), 1) << dump(fs);
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 1) << dump(fs);
+}
+
+TEST(LintSuppression, UnknownRuleIdIsAFinding) {
+  const auto fs = run("src/net/fixture.cpp",
+                      "// qcdoc-lint: allow(no-such-rule) because reasons\n");
+  EXPECT_EQ(count_rule(fs, "suppression"), 1) << dump(fs);
+}
+
+TEST(LintSuppression, MalformedAnnotationIsAFinding) {
+  const auto fs = run("src/net/fixture.cpp",
+                      "// qcdoc-lint: disable wall-clock\n");
+  EXPECT_EQ(count_rule(fs, "suppression"), 1) << dump(fs);
+}
+
+TEST(LintSuppression, CoversOwnLineAndNextLineOnly) {
+  // Two lines below the annotation: out of the suppression window.
+  const auto fs = run("src/scu/fixture.cpp", R"cc(
+    // qcdoc-lint: allow(wall-clock) documented exemption
+    int fine = rand();
+    int still_flagged = rand();
+  )cc");
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 1) << dump(fs);
+}
+
+TEST(LintSuppression, OneAnnotationMaySuppressMultipleRules) {
+  const auto fs = run("src/scu/fixture.cpp", R"cc(
+    // qcdoc-lint: allow(wall-clock, cycle-narrow) replaying captured trace
+    u32 t = static_cast<u32>(rand() + now_cycles);
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// --- lexer robustness ----------------------------------------------------
+
+TEST(LintLexer, StringLiteralsAndCommentsDoNotTrigger) {
+  const auto fs = run("src/scu/fixture.cpp", R"cc(
+    const char* kMsg = "call rand() and time() for fun";
+    // a comment mentioning rand() and std::unordered_map
+    const char* kRaw = R"(schedule_at_on inside a raw string)";
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// --- options & driver ----------------------------------------------------
+
+TEST(LintOptions, OnlyFilterRestrictsRulesButKeepsSuppressionChecks) {
+  Options only_r1;
+  only_r1.only = {"wall-clock"};
+  const auto fs = lint_source("src/scu/fixture.cpp", R"cc(
+    int j = rand();
+    static int counter = 0;
+    // qcdoc-lint: allow(wall-clock)
+  )cc",
+                              only_r1);
+  EXPECT_EQ(count_rule(fs, "wall-clock"), 1) << dump(fs);
+  EXPECT_EQ(count_rule(fs, "mutable-static"), 0) << dump(fs);
+  // Broken annotations are reported even under a rule filter.
+  EXPECT_EQ(count_rule(fs, "suppression"), 1) << dump(fs);
+}
+
+TEST(LintPaths, MissingPathYieldsIoFinding) {
+  const auto fs = lint_paths({"no/such/dir-xyzzy"});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "io");
+}
+
+// --- the real tree -------------------------------------------------------
+
+// The gate CI enforces, pinned locally: the shipped src/ tree has zero
+// unsuppressed findings.  If a rule or the tree changes, this fails tier-1
+// before the CI lint job ever runs.
+TEST(LintTree, ShippedSourceTreeIsClean) {
+  const auto fs = lint_paths({QCDOC_SOURCE_DIR "/src"});
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+}  // namespace
+}  // namespace qcdoc::lint

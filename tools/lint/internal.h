@@ -1,0 +1,82 @@
+// Internals shared between the lint driver and the rule implementations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/lint.h"
+
+namespace qcdoc::lint {
+
+/// One parsed translation unit plus its suppression annotations.
+struct SourceFile {
+  std::string path;  ///< normalized to forward slashes
+  std::vector<Token> tokens;
+  std::vector<Token> comments;
+
+  struct Suppression {
+    int line = 0;
+    std::vector<std::string> rules;
+    bool has_reason = false;
+  };
+  std::vector<Suppression> suppressions;
+
+  /// Directory scoping by path substring: in_dir("src/scu/") is true for
+  /// "src/scu/link.h" and "/root/repo/src/scu/link.h" alike.
+  bool in_dir(const char* dir) const {
+    return path.find(dir) != std::string::npos;
+  }
+  bool in_any(const std::vector<const char*>& dirs) const {
+    for (const char* d : dirs) {
+      if (in_dir(d)) return true;
+    }
+    return false;
+  }
+  bool is_header() const { return path.size() >= 2 && path.ends_with(".h"); }
+};
+
+/// The directories whose event scheduling and state feed the engine's order
+/// digest.  Wall-clock entropy, hidden statics or unordered iteration here
+/// change the golden trace.
+inline const std::vector<const char*>& sim_critical_dirs() {
+  static const std::vector<const char*> dirs = {
+      "src/sim/", "src/scu/", "src/hssl/", "src/net/", "src/fault/"};
+  return dirs;
+}
+
+/// Superset of sim_critical_dirs(): code whose data ordering reaches the
+/// digest indirectly (host sequencing, machine assembly, reduction order).
+inline const std::vector<const char*>& digest_affecting_dirs() {
+  static const std::vector<const char*> dirs = {
+      "src/sim/",   "src/scu/",     "src/hssl/",  "src/net/",
+      "src/fault/", "src/machine/", "src/comms/", "src/host/"};
+  return dirs;
+}
+
+/// Directories whose status-returning APIs must be [[nodiscard]].
+inline const std::vector<const char*>& status_api_dirs() {
+  static const std::vector<const char*> dirs = {"src/scu/", "src/hssl/",
+                                                "src/fault/"};
+  return dirs;
+}
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* id() const = 0;
+  virtual const char* summary() const = 0;
+  virtual void check(const SourceFile& f, std::vector<Finding>* out) const = 0;
+
+ protected:
+  void add(const SourceFile& f, int line, std::string message,
+           std::vector<Finding>* out) const {
+    out->push_back({f.path, line, id(), std::move(message)});
+  }
+};
+
+/// The R1..R6 registry, in order.
+const std::vector<std::unique_ptr<Rule>>& rules();
+
+}  // namespace qcdoc::lint

@@ -1,0 +1,155 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace qcdoc::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+LexResult lex(const std::string& src) {
+  LexResult out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      const int start_line = line;
+      std::size_t j = i;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back(
+          {TokKind::kComment, src.substr(i, j - i), start_line});
+      i = j;
+      continue;
+    }
+    // Block comment (may span lines; attributed to its first line, and also
+    // registered once per contained line so suppressions inside multi-line
+    // comments still anchor correctly -- one entry is enough in practice).
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      j = j + 1 < n ? j + 2 : n;
+      out.comments.push_back(
+          {TokKind::kComment, src.substr(i, j - i), start_line});
+      i = j;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n' && delim.size() < 16) {
+        delim.push_back(src[j++]);
+      }
+      if (j < n && src[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t body = j + 1;
+        const std::size_t end = src.find(closer, body);
+        const std::size_t stop = end == std::string::npos ? n : end;
+        out.tokens.push_back(
+            {TokKind::kString, src.substr(body, stop - body), line});
+        for (std::size_t k = i; k < stop && k < n; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        i = stop == n ? n : stop + closer.size();
+        continue;
+      }
+      // Not actually a raw string ("R" followed by a plain literal); fall
+      // through and lex `R` as an identifier.
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          text.push_back(src[j + 1]);
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; keep line count honest
+        text.push_back(src[j++]);
+      }
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, text, line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_cont(src[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Number (pp-number: digits, letters, dots, ' separators, exponent sign).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (ident_cont(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuation.  Only the multi-char operators the rules reason about are
+    // fused; everything else is emitted one character at a time.
+    if ((c == '-' && peek(1) == '>') || (c == ':' && peek(1) == ':') ||
+        (c == '<' && peek(1) == '<') || (c == '>' && peek(1) == '>')) {
+      out.tokens.push_back({TokKind::kPunct, src.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace qcdoc::lint

@@ -1,0 +1,43 @@
+// Minimal C++ tokenizer for qcdoc-lint.
+//
+// The lint rules are lexical patterns over real token streams -- not text
+// grep (comments and string literals must not trigger findings) and not a
+// full parser (no libclang in the toolchain; the rules are designed so a
+// token-window heuristic decides them reliably).  The lexer therefore only
+// needs to: split identifiers/numbers/punctuation, swallow string/char
+// literals (including raw strings), and report comments separately with
+// their line numbers so the suppression annotations can be matched to
+// findings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qcdoc::lint {
+
+enum class TokKind {
+  kIdent,    ///< identifiers and keywords (including `static`, `bool`...)
+  kNumber,   ///< numeric literal (pp-number)
+  kString,   ///< "..." or R"(...)" (text excludes quotes)
+  kChar,     ///< '...'
+  kPunct,    ///< operator / punctuation; multi-char: -> :: << >>
+  kComment,  ///< // or /* */ (only in LexResult::comments)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+};
+
+struct LexResult {
+  std::vector<Token> tokens;    ///< code tokens, comments stripped
+  std::vector<Token> comments;  ///< comments with line numbers
+};
+
+/// Tokenize one translation unit.  Never fails: unterminated literals are
+/// closed at end of file (the rules prefer lenient lexing over hard errors
+/// on exotic code).
+LexResult lex(const std::string& src);
+
+}  // namespace qcdoc::lint

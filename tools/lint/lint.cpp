@@ -1,0 +1,192 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint/internal.h"
+#include "lint/lexer.h"
+
+namespace qcdoc::lint {
+
+namespace {
+
+constexpr const char* kMarker = "qcdoc-lint:";
+constexpr const char* kSuppressionRule = "suppression";
+
+bool known_rule(const std::string& id) {
+  for (const auto& r : rules()) {
+    if (id == r->id()) return true;
+  }
+  return id == kSuppressionRule;
+}
+
+/// Parse "qcdoc-lint: allow(rule-a, rule-b) reason..." out of one comment.
+/// Malformed annotations become findings instead of being ignored: a
+/// suppression that silently fails to parse would un-suppress (noisy but
+/// safe), while one that silently over-matches would hide real findings.
+void parse_annotation(const Token& comment, const std::string& path,
+                      SourceFile* file, std::vector<Finding>* out) {
+  const std::string& text = comment.text;
+  const std::size_t at = text.find(kMarker);
+  if (at == std::string::npos) return;
+  std::size_t p = at + std::string(kMarker).size();
+  while (p < text.size() && text[p] == ' ') ++p;
+  if (text.compare(p, 6, "allow(") != 0) {
+    out->push_back({path, comment.line, kSuppressionRule,
+                    "malformed annotation: expected 'qcdoc-lint: "
+                    "allow(<rule>[,<rule>...]) reason'"});
+    return;
+  }
+  const std::size_t open = p + 5;
+  const std::size_t close = text.find(')', open);
+  if (close == std::string::npos) {
+    out->push_back({path, comment.line, kSuppressionRule,
+                    "malformed annotation: unterminated allow("});
+    return;
+  }
+
+  SourceFile::Suppression sup;
+  sup.line = comment.line;
+  std::string list = text.substr(open + 1, close - open - 1);
+  std::stringstream ss(list);
+  std::string id;
+  while (std::getline(ss, id, ',')) {
+    id.erase(std::remove(id.begin(), id.end(), ' '), id.end());
+    if (id.empty()) continue;
+    if (!known_rule(id)) {
+      out->push_back({path, comment.line, kSuppressionRule,
+                      "annotation names unknown rule '" + id + "'"});
+      continue;
+    }
+    sup.rules.push_back(id);
+  }
+  // The reason is everything after the closing paren; it is mandatory so a
+  // suppression always documents *why* the contract does not apply.
+  std::string reason = text.substr(close + 1);
+  // Strip block-comment terminator and whitespace.
+  const std::size_t star = reason.rfind("*/");
+  if (star != std::string::npos) reason = reason.substr(0, star);
+  sup.has_reason =
+      std::any_of(reason.begin(), reason.end(),
+                  [](unsigned char c) { return std::isalnum(c) != 0; });
+  if (!sup.has_reason) {
+    out->push_back({path, comment.line, kSuppressionRule,
+                    "suppression is missing its reason text"});
+  }
+  if (!sup.rules.empty()) file->suppressions.push_back(sup);
+}
+
+bool suppressed(const SourceFile& f, const Finding& finding) {
+  for (const auto& sup : f.suppressions) {
+    if (!sup.has_reason) continue;  // already reported as malformed
+    if (sup.line != finding.line && sup.line + 1 != finding.line) continue;
+    for (const auto& id : sup.rules) {
+      if (id == finding.rule) return true;
+    }
+  }
+  return false;
+}
+
+std::string normalize(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+bool rule_enabled(const Rule& rule, const Options& opts) {
+  if (opts.only.empty()) return true;
+  return std::find(opts.only.begin(), opts.only.end(), rule.id()) !=
+         opts.only.end();
+}
+
+}  // namespace
+
+std::vector<RuleInfo> rule_infos() {
+  std::vector<RuleInfo> infos;
+  for (const auto& r : rules()) infos.push_back({r->id(), r->summary()});
+  infos.push_back({kSuppressionRule,
+                   "suppression annotations must parse, name real rules and "
+                   "carry a reason"});
+  return infos;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const Options& opts) {
+  SourceFile file;
+  file.path = normalize(path);
+  LexResult lexed = lex(content);
+  file.tokens = std::move(lexed.tokens);
+  file.comments = std::move(lexed.comments);
+
+  std::vector<Finding> findings;
+  for (const Token& c : file.comments) {
+    parse_annotation(c, file.path, &file, &findings);
+  }
+
+  std::vector<Finding> raw;
+  for (const auto& rule : rules()) {
+    if (rule_enabled(*rule, opts)) rule->check(file, &raw);
+  }
+  for (Finding& f : raw) {
+    if (!suppressed(file, f)) findings.push_back(std::move(f));
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                const Options& opts) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::vector<Finding> findings;
+
+  auto consider = [&](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    if (ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc") {
+      files.push_back(p.string());
+    }
+  };
+
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec)) consider(it->path());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      consider(fs::path(p));
+    } else {
+      findings.push_back({normalize(p), 0, "io", "no such file or directory"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const auto& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      findings.push_back({normalize(f), 0, "io", "unreadable file"});
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto file_findings = lint_source(f, ss.str(), opts);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::string format(const Finding& f) {
+  return f.path + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace qcdoc::lint

@@ -1,0 +1,62 @@
+// qcdoc-lint: repo-specific determinism and simulation-safety contracts,
+// enforced at build time.
+//
+// The golden-trace tests pin a bit-identical (time, dest, src, seq) event
+// order across engines and thread counts; these rules catch the code
+// patterns that would silently break that pin (wall-clock entropy, unordered
+// iteration, raw engine access, hidden mutable statics, dropped status
+// returns, cycle-count narrowing) *before* they show up as a golden-trace
+// diff several PRs later.  See DESIGN.md "Static analysis & determinism
+// contracts" for the rationale behind every rule.
+//
+// Suppressions are explicit source annotations with a mandatory reason:
+//
+//   // qcdoc-lint: allow(mutable-static) per-thread cache, reset per window
+//
+// An annotation suppresses matching findings on its own line and on the
+// following line.  A missing reason or an unknown rule id is itself a
+// finding (rule id "suppression"), so annotations cannot rot silently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qcdoc::lint {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+struct Options {
+  /// When non-empty, only run rules whose id is listed (the "suppression"
+  /// meta-rule always runs; broken annotations are never acceptable).
+  std::vector<std::string> only;
+};
+
+/// Every registered rule, in R1..R6 order (plus the suppression meta-rule).
+std::vector<RuleInfo> rule_infos();
+
+/// Lint one in-memory translation unit.  `path` decides which directory-
+/// scoped rules apply (matched by substring, e.g. "src/scu/"), so tests can
+/// lint fixture sources under virtual paths.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const Options& opts = {});
+
+/// Lint files and directory trees (recursing into *.h / *.cpp).  Unreadable
+/// paths produce an "io" finding rather than a silent skip.
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                const Options& opts = {});
+
+/// "file:line: [rule] message" -- the one-line CI format.
+std::string format(const Finding& f);
+
+}  // namespace qcdoc::lint

@@ -1,0 +1,71 @@
+// qcdoc-lint CLI.
+//
+//   qcdoc-lint [--rule=<id> ...] [--list-rules] <path>...
+//
+// Paths may be files or directories (recursed for *.h / *.cpp).  Exit code:
+// 0 clean, 1 findings, 2 usage error.  Every finding prints one line,
+// `file:line: [rule] message`, the format the CI lint job greps and the
+// format editors jump on.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: qcdoc-lint [--rule=<id> ...] [--list-rules] "
+               "<path>...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using qcdoc::lint::Finding;
+  using qcdoc::lint::Options;
+
+  Options opts;
+  std::vector<std::string> paths;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      opts.only.push_back(arg.substr(7));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "qcdoc-lint: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& info : qcdoc::lint::rule_infos()) {
+      std::printf("%-20s %s\n", info.id.c_str(), info.summary.c_str());
+    }
+    return 0;
+  }
+  if (paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  const std::vector<Finding> findings = qcdoc::lint::lint_paths(paths, opts);
+  for (const Finding& f : findings) {
+    std::printf("%s\n", qcdoc::lint::format(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "qcdoc-lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

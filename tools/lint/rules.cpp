@@ -1,0 +1,390 @@
+// The determinism & simulation-safety rules (R1..R6 of DESIGN.md "Static
+// analysis & determinism contracts").
+//
+// Each rule is a lexical pattern over the token stream: precise enough to
+// catch every hazard class seen (or anticipated) in this tree, simple enough
+// to be reviewed in one sitting.  Where a heuristic can over-match, the
+// suppression annotation carries the burden of proof -- a false positive
+// costs one annotated line with a written reason; a false negative costs a
+// golden-trace diff three PRs later.
+#include <cctype>
+#include <initializer_list>
+#include <set>
+#include <string>
+
+#include "lint/internal.h"
+
+namespace qcdoc::lint {
+
+namespace {
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+bool is_ident(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+bool is_ident_in(const Token& t, const std::set<std::string>& set) {
+  return t.kind == TokKind::kIdent && set.count(t.text) > 0;
+}
+
+const Token* at(const std::vector<Token>& toks, std::size_t i) {
+  static const Token kNone{TokKind::kPunct, "", 0};
+  return i < toks.size() ? &toks[i] : &kNone;
+}
+
+/// True when the identifier names simulated time: the Cycle type itself,
+/// now() reads, or *_cycles counters (trailing underscores of members are
+/// ignored).
+bool cycleish(const std::vector<Token>& toks, std::size_t i) {
+  const Token& t = toks[i];
+  if (t.kind != TokKind::kIdent) return false;
+  if (t.text == "Cycle") return true;
+  if (t.text == "now" && is_punct(*at(toks, i + 1), "(")) return true;
+  std::string name = t.text;
+  while (!name.empty() && name.back() == '_') name.pop_back();
+  if (name.size() >= 6 &&
+      name.compare(name.size() - 6, 6, "cycles") == 0) {
+    return true;
+  }
+  return name == "cycle";
+}
+
+// --- R1: wall-clock ------------------------------------------------------
+
+/// Entropy sources that differ between runs.  Everything stochastic must
+/// come from qcdoc::Rng seeded out of the machine config; everything timed
+/// must come from the engine's simulated clock.
+const std::set<std::string>& banned_entropy() {
+  static const std::set<std::string> set = {
+      "rand",          "srand",           "rand_r",
+      "drand48",       "lrand48",         "mrand48",
+      "random_device", "system_clock",    "high_resolution_clock",
+      "steady_clock",  "gettimeofday",    "clock_gettime",
+      "localtime",     "gmtime",          "mt19937",
+      "mt19937_64",    "minstd_rand",     "minstd_rand0",
+      "ranlux24",      "ranlux48",        "default_random_engine",
+  };
+  return set;
+}
+
+class WallClockRule final : public Rule {
+ public:
+  const char* id() const override { return "wall-clock"; }
+  const char* summary() const override {
+    return "no wall-clock or unseeded randomness in sim-critical code; use "
+           "qcdoc::Rng seeded from config and the engine's simulated clock";
+  }
+  void check(const SourceFile& f, std::vector<Finding>* out) const override {
+    if (!f.in_any(sim_critical_dirs())) return;
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (is_ident_in(t, banned_entropy())) {
+        add(f, t.line,
+            "'" + t.text + "' is nondeterministic across runs; draw from "
+            "qcdoc::Rng / the engine clock instead",
+            out);
+        continue;
+      }
+      // `time(...)` / `clock(...)` as free-function calls only: member
+      // accesses (`event.time`) and declarations without a call are fine.
+      if ((t.text == "time" || t.text == "clock") &&
+          is_punct(*at(toks, i + 1), "(")) {
+        const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+        const bool member = prev != nullptr && (is_punct(*prev, ".") ||
+                                                is_punct(*prev, "->"));
+        // `std::time(` and `::time(` are the C library; `foo::time(` is not.
+        bool qualified_other = false;
+        if (prev != nullptr && is_punct(*prev, "::") && i >= 2) {
+          qualified_other = !is_ident(toks[i - 2], "std");
+        }
+        if (!member && !qualified_other) {
+          add(f, t.line,
+              "'" + t.text + "()' reads the wall clock; simulated time comes "
+              "from Engine::now()",
+              out);
+        }
+      }
+    }
+  }
+};
+
+// --- R2: unordered-container ---------------------------------------------
+
+class UnorderedContainerRule final : public Rule {
+ public:
+  const char* id() const override { return "unordered-container"; }
+  const char* summary() const override {
+    return "no unordered containers or pointer-keyed ordering in "
+           "digest-affecting code; iteration order must be value-determined";
+  }
+  void check(const SourceFile& f, std::vector<Finding>* out) const override {
+    if (!f.in_any(digest_affecting_dirs())) return;
+    static const std::set<std::string> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset", "flat_hash_map", "flat_hash_set"};
+    static const std::set<std::string> kOrdered = {"map", "set", "multimap",
+                                                   "multiset"};
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (is_ident_in(t, kUnordered)) {
+        // Any use is flagged, not just iteration: a container that is never
+        // iterated today invites the range-for that breaks the digest
+        // tomorrow, and a lexer cannot chase aliases across files.  Uses
+        // that provably never iterate carry an annotation saying so.
+        add(f, t.line,
+            "'" + t.text + "' has nondeterministic iteration order in "
+            "digest-affecting code; use std::map/std::set (or annotate why "
+            "it is never iterated)",
+            out);
+        continue;
+      }
+      // std::map<T*, ...> / std::set<T*>: ordered, but by allocation
+      // address, which differs run to run.
+      if (is_ident_in(t, kOrdered) && i >= 1 &&
+          is_punct(toks[i - 1], "::") && is_punct(*at(toks, i + 1), "<")) {
+        int depth = 1;
+        for (std::size_t j = i + 2; j < toks.size() && j < i + 64; ++j) {
+          const Token& a = toks[j];
+          if (is_punct(a, "<")) ++depth;
+          if (is_punct(a, ">")) --depth;
+          if (is_punct(a, ">>")) depth -= 2;
+          if (depth <= 0) break;
+          if (depth == 1 && is_punct(a, ",")) break;  // end of key type
+          if (is_punct(a, "*")) {
+            add(f, t.line,
+                "pointer-keyed std::" + t.text + ": ordering follows "
+                "allocation addresses, which are not reproducible; key by a "
+                "stable id",
+                out);
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
+// --- R3: raw-engine ------------------------------------------------------
+
+class RawEngineRule final : public Rule {
+ public:
+  const char* id() const override { return "raw-engine"; }
+  const char* summary() const override {
+    return "outside src/sim, schedule only through a held sim::EngineRef "
+           "with node affinity (no raw Engine pointers or temporaries)";
+  }
+  void check(const SourceFile& f, std::vector<Finding>* out) const override {
+    if (!f.in_dir("src/") || f.in_dir("src/sim/")) return;
+    static const std::set<std::string> kScheduleCalls = {
+        "schedule", "schedule_at", "schedule_on", "schedule_in"};
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (!is_punct(*at(toks, i + 1), "(")) continue;
+      if (t.text == "schedule_at_on") {
+        add(f, t.line,
+            "schedule_at_on is the engine-internal primitive; outside "
+            "src/sim route through sim::EngineRef so events carry node "
+            "affinity",
+            out);
+        continue;
+      }
+      if (kScheduleCalls.count(t.text) == 0) continue;
+      const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+      if (prev == nullptr) continue;
+      if (is_punct(*prev, "->")) {
+        add(f, t.line,
+            "'" + t.text + "' called through a raw Engine pointer; hold a "
+            "sim::EngineRef with the owning node's affinity",
+            out);
+      } else if (is_punct(*prev, ".") && i >= 2 && is_punct(toks[i - 2], ")")) {
+        // engine().schedule(...) / host_ref().schedule(...): scheduling on a
+        // temporary hides which affinity the event lands on.  Bind a named
+        // EngineRef so the affinity decision is visible at the call site.
+        add(f, t.line,
+            "'" + t.text + "' called on a temporary engine accessor; bind a "
+            "named sim::EngineRef (with explicit affinity) first",
+            out);
+      }
+    }
+  }
+};
+
+// --- R4: mutable-static --------------------------------------------------
+
+class MutableStaticRule final : public Rule {
+ public:
+  const char* id() const override { return "mutable-static"; }
+  const char* summary() const override {
+    return "no non-const static or thread_local state in sim-critical code; "
+           "all state must live in objects owned (transitively) by Machine";
+  }
+  void check(const SourceFile& f, std::vector<Finding>* out) const override {
+    if (!f.in_any(sim_critical_dirs())) return;
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (!is_ident(t, "static") && !is_ident(t, "thread_local")) continue;
+      bool immutable = false;
+      bool is_function = false;
+      std::size_t j = i + 1;
+      int angle = 0;
+      for (; j < toks.size() && j < i + 64; ++j) {
+        const Token& a = toks[j];
+        if (a.kind == TokKind::kIdent &&
+            (a.text == "const" || a.text == "constexpr" ||
+             a.text == "constinit")) {
+          immutable = true;
+          break;
+        }
+        if (is_punct(a, "<")) ++angle;
+        if (is_punct(a, ">")) --angle;
+        if (is_punct(a, ">>")) angle -= 2;
+        if (angle > 0) continue;
+        if (is_punct(a, "(")) {
+          // `static void f(...)` -- a function declaration, stateless.
+          // (Paren-initialized static objects are misread as functions too;
+          // this tree brace-initializes, and the fixture tests pin that.)
+          is_function = j > i + 1 && toks[j - 1].kind == TokKind::kIdent;
+          break;
+        }
+        if (is_punct(a, ";") || is_punct(a, "=") || is_punct(a, "{")) break;
+      }
+      if (!immutable && !is_function) {
+        add(f, t.line,
+            "mutable '" + t.text + "' state in sim-critical code outlives "
+            "the Machine and leaks across runs/engines; make it const or "
+            "move it into an engine-owned object",
+            out);
+      }
+      i = j;  // do not re-flag `thread_local` of `static thread_local X x;`
+    }
+  }
+};
+
+// --- R5: nodiscard-status ------------------------------------------------
+
+class NodiscardStatusRule final : public Rule {
+ public:
+  const char* id() const override { return "nodiscard-status"; }
+  const char* summary() const override {
+    return "bool-returning APIs in scu/hssl/fault headers must be "
+           "[[nodiscard]]; -Werror=unused-result makes call sites consume "
+           "them";
+  }
+  void check(const SourceFile& f, std::vector<Finding>* out) const override {
+    if (!f.in_any(status_api_dirs()) || !f.is_header()) return;
+    static const std::set<std::string> kModifiers = {
+        "virtual", "inline", "static", "constexpr", "explicit", "friend"};
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!is_ident(toks[i], "bool")) continue;
+      const Token& name = toks[i + 1];
+      if (name.kind != TokKind::kIdent || name.text == "operator") continue;
+      if (!is_punct(toks[i + 2], "(")) continue;
+      // Parameters (`void f(bool flag)`) are not declarations of interest.
+      if (i > 0 && (is_punct(toks[i - 1], "(") || is_punct(toks[i - 1], ",")))
+        continue;
+      // Walk back over declaration modifiers to the attribute position.
+      std::size_t p = i;
+      while (p > 0 && is_ident_in(toks[p - 1], kModifiers)) --p;
+      bool has_nodiscard = false;
+      if (p >= 2 && is_punct(toks[p - 1], "]") && is_punct(toks[p - 2], "]")) {
+        for (std::size_t b = p - 2; b > 0; --b) {
+          if (is_punct(toks[b], "[")) break;
+          if (is_ident(toks[b], "nodiscard")) {
+            has_nodiscard = true;
+            break;
+          }
+        }
+      }
+      if (!has_nodiscard) {
+        add(f, name.line,
+            "status-returning '" + name.text + "' must be [[nodiscard]] so "
+            "a dropped failure cannot pass silently",
+            out);
+      }
+    }
+  }
+};
+
+// --- R6: cycle-narrow ----------------------------------------------------
+
+class CycleNarrowRule final : public Rule {
+ public:
+  const char* id() const override { return "cycle-narrow"; }
+  const char* summary() const override {
+    return "no narrowing of Cycle (u64 simulated time) into 32-bit-or-"
+           "smaller types; long campaigns overflow u32 after ~8.6 s of "
+           "simulated 500 MHz time";
+  }
+  void check(const SourceFile& f, std::vector<Finding>* out) const override {
+    if (!f.in_any(digest_affecting_dirs())) return;
+    static const std::set<std::string> kNarrow = {
+        "u8",      "u16",      "u32",     "i32",     "int",
+        "short",   "unsigned", "uint8_t", "uint16_t", "uint32_t",
+        "int32_t", "int16_t"};
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      // static_cast<u32>(expr-involving-cycles)
+      if (is_ident(toks[i], "static_cast") && is_punct(*at(toks, i + 1), "<") &&
+          is_ident_in(*at(toks, i + 2), kNarrow) &&
+          is_punct(*at(toks, i + 3), ">") && is_punct(*at(toks, i + 4), "(")) {
+        int depth = 1;
+        for (std::size_t j = i + 5; j < toks.size() && depth > 0; ++j) {
+          if (is_punct(toks[j], "(")) ++depth;
+          if (is_punct(toks[j], ")")) --depth;
+          if (depth > 0 && cycleish(toks, j)) {
+            add(f, toks[i].line,
+                "static_cast<" + toks[i + 2].text + "> narrows a cycle "
+                "count to 32 bits or fewer; keep simulated time in Cycle "
+                "(u64)",
+                out);
+            break;
+          }
+        }
+        continue;
+      }
+      // u32 deadline = expr-involving-cycles;
+      if (is_ident_in(toks[i], kNarrow) &&
+          at(toks, i + 1)->kind == TokKind::kIdent &&
+          is_punct(*at(toks, i + 2), "=")) {
+        for (std::size_t j = i + 3; j < toks.size() && j < i + 48; ++j) {
+          if (is_punct(toks[j], ";")) break;
+          if (cycleish(toks, j)) {
+            add(f, toks[i].line,
+                "'" + toks[i + 1].text + "' stores a cycle quantity in a "
+                "32-bit-or-smaller type; declare it Cycle",
+                out);
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<std::unique_ptr<Rule>>& rules() {
+  // qcdoc-lint: allow(mutable-static) the registry itself is in tools/, not
+  // sim-critical; built once, read-only thereafter.
+  static const auto* kRules = [] {
+    auto* v = new std::vector<std::unique_ptr<Rule>>();
+    v->push_back(std::make_unique<WallClockRule>());
+    v->push_back(std::make_unique<UnorderedContainerRule>());
+    v->push_back(std::make_unique<RawEngineRule>());
+    v->push_back(std::make_unique<MutableStaticRule>());
+    v->push_back(std::make_unique<NodiscardStatusRule>());
+    v->push_back(std::make_unique<CycleNarrowRule>());
+    return v;
+  }();
+  return *kRules;
+}
+
+}  // namespace qcdoc::lint
