@@ -13,6 +13,7 @@
 #include "lattice/cg.h"
 #include "lattice/rig.h"
 #include "lattice/wilson.h"
+#include "memsys/scrub.h"
 
 using namespace qcdoc;
 
@@ -99,6 +100,112 @@ CgPoint solve(bool audited) {
   return CgPoint{r.iterations, static_cast<u64>(r.cycles), r.restarts};
 }
 
+// --- memory-fault class: upset rate vs CG cost and scrub overhead ----------
+
+struct MemPoint {
+  int planned = 0;
+  int iterations = 0;
+  u64 cycles = 0;
+  int restarts = 0;
+  u64 mem_checks = 0;
+  memsys::EccCounters ecc;
+};
+
+// One audited CG solve under `planned` entropy-addressed memory upsets
+// (a small fraction uncorrectable), with the background scrubber running
+// whenever upsets are planned.  Memory is shrunk so the scrub cursor laps
+// the whole address space several times within the solve.
+MemPoint mem_solve(int planned) {
+  machine::MachineConfig cfg;
+  cfg.mem.edram_words = 1 << 15;
+  cfg.mem.ddr_words = 1 << 16;
+  lattice::SolverRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 4, 4}, cfg);
+  machine::Machine& m = rig.machine();
+  lattice::GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(41);
+  gauge.randomize_near_unit(rng, 0.1);
+  lattice::WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                          lattice::WilsonParams{.kappa = 0.12});
+  lattice::DistField x = op.make_field("x");
+  lattice::DistField b = op.make_field("b");
+  x.zero();
+  rig.fill_source(b);
+
+  fault::FaultInjector injector(&m.mesh(), nullptr);
+  fault::MemCheckAuditor mem_auditor(&m.mesh());
+  if (planned > 0) {
+    memsys::ScrubConfig scrub;
+    scrub.rows_per_period = 1024;  // full lap every ~18 bursts, 12.5% budget
+    m.start_memory_scrubbers(scrub);
+    injector.arm(fault::FaultPlan::sustained_mem_upsets(
+        /*seed=*/17, m.config().shape, planned, m.engine().now(),
+        /*horizon=*/1 << 20, /*uncorrectable_fraction=*/0.05));
+  }
+
+  lattice::CgParams params;
+  params.tolerance = 1e-8;
+  params.max_iterations = 400;
+  lattice::CgAuditParams audit;
+  audit.mem_clean = [&] { return mem_auditor.clean_since_last(); };
+  audit.interval = 5;
+  const lattice::CgResult r = lattice::cg_solve_audited(op, x, b, params, audit);
+
+  MemPoint p;
+  p.planned = planned;
+  p.iterations = r.iterations;
+  p.cycles = static_cast<u64>(r.cycles);
+  p.restarts = r.restarts;
+  p.mem_checks = r.mem_checks;
+  p.ecc = m.mesh().total_ecc();
+  std::printf("%s\n", perf::format_mem_resilience_report(m).c_str());
+  return p;
+}
+
+void mem_fault_class(std::vector<perf::Row>& rows) {
+  std::printf("memory-fault class: upset count vs audited-CG cost\n");
+  std::vector<MemPoint> points;
+  for (const int planned : {0, 8, 32, 128}) {
+    points.push_back(mem_solve(planned));
+  }
+  // scrub_cycles is summed over every node; divide by machine size to get
+  // the per-node fraction of the solve each scrubber spent sweeping.
+  const double nodes = 4.0;
+  for (const MemPoint& p : points) {
+    const double scrub_frac =
+        p.cycles > 0
+            ? static_cast<double>(p.ecc.scrub_cycles) / (nodes * p.cycles)
+            : 0.0;
+    std::printf(
+        "{\"mem_fault_point\": {\"planned\": %d, \"upsets\": %llu, "
+        "\"corrected\": %llu, \"uncorrectable\": %llu, \"mem_checks\": %llu, "
+        "\"restarts\": %d, \"iterations\": %d, \"cycles\": %llu, "
+        "\"scrub_rows\": %llu, \"scrub_occupancy\": %.6f}}\n",
+        p.planned, static_cast<unsigned long long>(p.ecc.upsets),
+        static_cast<unsigned long long>(p.ecc.corrected),
+        static_cast<unsigned long long>(p.ecc.uncorrectable),
+        static_cast<unsigned long long>(p.mem_checks), p.restarts,
+        p.iterations, static_cast<unsigned long long>(p.cycles),
+        static_cast<unsigned long long>(p.ecc.scrub_rows), scrub_frac);
+  }
+  const MemPoint& clean = points.front();
+  const MemPoint& worst = points.back();
+  const double cycle_overhead =
+      clean.cycles > 0
+          ? 100.0 * (static_cast<double>(worst.cycles) / clean.cycles - 1.0)
+          : 0.0;
+  rows.push_back({"E14", "CG cycle overhead at 128 upsets", 0, cycle_overhead,
+                  "% vs clean"});
+  rows.push_back({"E14", "machine-check rollbacks at 128 upsets", 0,
+                  static_cast<double>(worst.restarts), "restarts"});
+  rows.push_back({"E14", "scrub occupancy at 128 upsets", 0,
+                  worst.cycles > 0 ? 100.0 *
+                                         static_cast<double>(
+                                             worst.ecc.scrub_cycles) /
+                                         (nodes * worst.cycles)
+                                   : 0.0,
+                  "% of node cycles"});
+}
+
 }  // namespace
 
 int main() {
@@ -127,6 +234,8 @@ int main() {
       {"E14", "spurious restarts without faults", 0,
        static_cast<double>(audited.restarts), "restarts"},
   };
+  std::printf("\n");
+  mem_fault_class(rows);
   bench::print_rows(rows);
   return 0;
 }

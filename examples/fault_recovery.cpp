@@ -10,6 +10,8 @@
 
 #include "fault/fault.h"
 #include "host/qdaemon.h"
+#include "memsys/scrub.h"
+#include "perf/report.h"
 
 using namespace qcdoc;
 
@@ -95,5 +97,37 @@ int main() {
   }
   std::printf("  (free: %d of %d)\n", daemon.free_nodes(),
               daemon.machine_nodes());
+
+  // Act two: memory soft errors.  Both the 4 MB embedded DRAM and external
+  // DDR carry SECDED ECC.  A single flipped bit is corrected by the
+  // datapath on every read -- compute never sees it -- and the background
+  // scrubber repairs the stored row before a second flip can pair up with
+  // it.  Two flips in one codeword are uncorrectable: the data really
+  // corrupts and a machine check is latched for the health sweep.
+  const NodeId mnode = fresh->partition->nodes()[0];
+  auto& mem = m.memory(mnode);
+  const memsys::Block buf = mem.alloc_in(memsys::Region::kEdram, 64, "data");
+  for (u64 w = 0; w < 64; ++w) mem.write_word(buf.word_addr + w, w * 257);
+
+  memsys::ScrubConfig scrub;
+  scrub.rows_per_period = 4096;  // generous budget for the demo
+  m.start_memory_scrubbers(scrub);
+  fault::FaultPlan upsets;
+  upsets.mem_upset(m.engine().now() + 100, mnode, buf.word_addr + 5,
+                   /*bits=*/1, /*bit=*/9);   // correctable single
+  upsets.mem_upset(m.engine().now() + 200, mnode, buf.word_addr + 40,
+                   /*bits=*/2, /*bit=*/3);   // uncorrectable double
+  injector.arm(upsets);
+  m.engine().run_until(m.engine().now() + (1 << 16));
+
+  std::printf("\n*** memory upsets on node %u ***\n\n", mnode.value);
+  std::printf("word hit by the single flip reads back %s\n",
+              mem.read_word(buf.word_addr + 5) == 5 * 257 ? "intact"
+                                                          : "CORRUPTED");
+  const auto msweep = daemon.health().sweep();
+  std::printf("health sweep: %d healthy, %d degraded, %d failed\n",
+              msweep.healthy, msweep.degraded, msweep.failed);
+  for (const auto& note : msweep.notes) std::printf("    %s\n", note.c_str());
+  std::printf("%s\n", perf::format_mem_resilience_report(m).c_str());
   return 0;
 }

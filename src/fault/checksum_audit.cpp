@@ -48,4 +48,35 @@ bool ChecksumAuditor::clean_since_last(std::vector<std::string>* mismatches) {
   return ok;
 }
 
+MemCheckAuditor::MemCheckAuditor(net::MeshNet* mesh, std::vector<NodeId> nodes)
+    : mesh_(mesh), nodes_(std::move(nodes)) {
+  if (nodes_.empty()) {
+    const int n = mesh_->num_nodes();
+    nodes_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) nodes_.push_back(NodeId{static_cast<u32>(i)});
+  }
+}
+
+bool MemCheckAuditor::clean_since_last(std::vector<std::string>* reports) {
+  ++audits_;
+  bool ok = true;
+  for (const NodeId node : nodes_) {
+    const auto checks = mesh_->memory(node).ecc().consume_machine_checks();
+    if (checks.empty()) continue;
+    ok = false;
+    machine_checks_ += checks.size();
+    if (reports) {
+      for (const auto& mc : checks) {
+        std::ostringstream msg;
+        msg << "node " << node.value << ": uncorrectable "
+            << (mc.region == memsys::Region::kEdram ? "EDRAM" : "DDR")
+            << " codeword at word 0x" << std::hex << mc.word_addr;
+        reports->push_back(msg.str());
+      }
+    }
+  }
+  if (!ok) ++failures_;
+  return ok;
+}
+
 }  // namespace qcdoc::fault

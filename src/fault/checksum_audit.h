@@ -45,4 +45,32 @@ class ChecksumAuditor {
   u64 failures_ = 0;
 };
 
+/// The memory-side counterpart of ChecksumAuditor: polls the per-node ECC
+/// machine-check latches (memsys/ecc.h) at iteration boundaries.  An
+/// uncorrectable codeword anywhere in the audited node set makes the
+/// interval dirty; consuming the latches re-arms them, so -- exactly like
+/// the checksum auditor -- the caller rolls back and the next audit starts
+/// clean.
+class MemCheckAuditor {
+ public:
+  /// Audits `nodes`, or every node of the mesh when the list is empty.
+  explicit MemCheckAuditor(net::MeshNet* mesh, std::vector<NodeId> nodes = {});
+
+  /// True when no node latched a machine check since the previous call.
+  /// Optionally reports each consumed machine check (node, region, word).
+  [[nodiscard]] bool clean_since_last(
+      std::vector<std::string>* reports = nullptr);
+
+  u64 audits() const { return audits_; }
+  u64 failures() const { return failures_; }
+  u64 machine_checks() const { return machine_checks_; }
+
+ private:
+  net::MeshNet* mesh_;
+  std::vector<NodeId> nodes_;
+  u64 audits_ = 0;
+  u64 failures_ = 0;
+  u64 machine_checks_ = 0;
+};
+
 }  // namespace qcdoc::fault

@@ -16,6 +16,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::kNodeHang: return "node_hang";
     case FaultKind::kAckDropBurst: return "ack_drop_burst";
     case FaultKind::kDataCorruption: return "data_corruption";
+    case FaultKind::kMemUpset: return "mem_upset";
   }
   return "?";
 }
@@ -83,6 +84,51 @@ FaultPlan& FaultPlan::data_corruption(Cycle at, NodeId node, LinkIndex link,
   e.count = count;
   events_.push_back(e);
   return *this;
+}
+
+FaultPlan& FaultPlan::mem_upset(Cycle at, NodeId node, u64 word_addr,
+                                int bits, int bit) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kMemUpset;
+  e.node = node;
+  e.mem_addr = word_addr;
+  e.mem_bit = bit;
+  e.count = bits;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::mem_upset_indexed(Cycle at, NodeId node, u64 index,
+                                        int bits, int bit) {
+  mem_upset(at, node, index, bits, bit);
+  events_.back().mem_addr_is_index = true;
+  return *this;
+}
+
+FaultPlan FaultPlan::sustained_mem_upsets(u64 seed, const torus::Shape& shape,
+                                          int n, Cycle start, Cycle horizon,
+                                          double uncorrectable_fraction) {
+  FaultPlan plan;
+  Rng rng(seed);
+  const torus::Torus topo(shape);
+  const u64 nodes = static_cast<u64>(topo.num_nodes());
+  for (int i = 0; i < n; ++i) {
+    const Cycle at =
+        start + (horizon > 0 ? static_cast<Cycle>(rng.next_below(
+                                   static_cast<u64>(horizon)))
+                             : 0);
+    const NodeId node{static_cast<u32>(rng.next_below(nodes))};
+    const u64 index = rng.next_u64();
+    const int bit = static_cast<int>(rng.next_below(64));
+    const int bits = rng.next_bool(uncorrectable_fraction) ? 2 : 1;
+    plan.mem_upset_indexed(at, node, index, bits, bit);
+  }
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
 }
 
 FaultPlan FaultPlan::random_campaign(u64 seed, const torus::Shape& shape,
@@ -182,6 +228,19 @@ void FaultInjector::apply(const FaultEvent& e) {
       mesh_->scu(neighbor)
           .recv_side(torus::facing_link(e.link))
           .force_corrupt(e.count);
+      break;
+    }
+    case FaultKind::kMemUpset: {
+      memsys::NodeMemory& mem = mesh_->memory(e.node);
+      u64 addr = e.mem_addr;
+      if (e.mem_addr_is_index) {
+        const u64 allocated = mem.allocated_words();
+        if (allocated == 0) break;  // no live data: the upset hits free space
+        addr = mem.nth_allocated_word(e.mem_addr % allocated);
+      }
+      for (int k = 0; k < std::max(1, e.count); ++k) {
+        mem.ecc().inject_upset(addr, (e.mem_bit + k) & 63);
+      }
       break;
     }
   }

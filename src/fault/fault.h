@@ -26,6 +26,7 @@ enum class FaultKind {
   kNodeHang,        ///< one CPU stops making progress; SCU still acks
   kAckDropBurst,    ///< a burst of acknowledgement frames is lost
   kDataCorruption,  ///< multi-bit flips that slip past parity (undetected)
+  kMemUpset,        ///< soft error in EDRAM/DDR: bit flips in one codeword
 };
 
 const char* to_string(FaultKind k);
@@ -39,7 +40,15 @@ struct FaultEvent {
   torus::LinkIndex link{0};     ///< outgoing link index on `node`
   double bit_error_rate = 0.0;  ///< kBerSpike: the spiked rate
   Cycle duration = 0;           ///< kBerSpike: 0 = permanent, else restore
-  int count = 0;                ///< kAckDropBurst / kDataCorruption: events
+  int count = 0;                ///< kAckDropBurst/kDataCorruption/kMemUpset
+  // kMemUpset: target word and first bit.  With `mem_addr_is_index` the
+  // address is entropy resolved at apply time against the node's allocated
+  // words (a random upset only matters where software keeps data); `count`
+  // bits starting at `mem_bit` flip within the same 64-bit word, so count=1
+  // is SECDED-correctable and count>=2 is an uncorrectable codeword.
+  u64 mem_addr = 0;
+  int mem_bit = 0;
+  bool mem_addr_is_index = false;
 };
 
 /// An ordered list of fault events, built by hand for targeted tests or
@@ -55,6 +64,16 @@ class FaultPlan {
                             int count);
   FaultPlan& data_corruption(Cycle at, NodeId node, torus::LinkIndex link,
                              int count);
+  /// A soft error in node memory: `bits` flips (starting at `bit`) within
+  /// one 64-bit word at `word_addr`.  bits=1 is correctable by SECDED;
+  /// bits>=2 makes the codeword uncorrectable and latches a machine check.
+  FaultPlan& mem_upset(Cycle at, NodeId node, u64 word_addr, int bits = 1,
+                       int bit = 0);
+  /// Entropy-addressed variant: the injector resolves `index` against the
+  /// node's allocated words at apply time, so campaigns hit live data
+  /// without knowing the allocation layout in advance.
+  FaultPlan& mem_upset_indexed(Cycle at, NodeId node, u64 index,
+                               int bits = 1, int bit = 0);
 
   const std::vector<FaultEvent>& events() const { return events_; }
   [[nodiscard]] bool empty() const { return events_.empty(); }
@@ -66,6 +85,15 @@ class FaultPlan {
   /// soak run immediately); use node_crash() explicitly when wanted.
   static FaultPlan random_campaign(u64 seed, const torus::Shape& shape, int n,
                                    Cycle start, Cycle horizon);
+
+  /// A seed-deterministic sustained memory-upset campaign: `n` soft errors
+  /// spread uniformly over [start, start + horizon) against random nodes,
+  /// entropy-addressed into each node's allocated words.  A fraction
+  /// `uncorrectable_fraction` of the events flip two bits of one word
+  /// (beyond SECDED); the rest are single-bit and correctable.
+  static FaultPlan sustained_mem_upsets(u64 seed, const torus::Shape& shape,
+                                        int n, Cycle start, Cycle horizon,
+                                        double uncorrectable_fraction = 0.0);
 
  private:
   std::vector<FaultEvent> events_;

@@ -23,6 +23,7 @@ HealthMonitor::HealthMonitor(machine::Machine* m, net::EthernetTree* eth,
   health_.assign(n, NodeHealth::kHealthy);
   resend_base_.assign(n * torus::kLinksPerNode, 0);
   recv_err_base_.assign(n * torus::kLinksPerNode, 0);
+  mem_corrected_base_.assign(n, 0);
 }
 
 HealthSweep HealthMonitor::sweep() {
@@ -105,6 +106,41 @@ HealthSweep HealthMonitor::sweep() {
       }
     }
 
+    // Memory resilience ladder (memsys/ecc.h).  Rung 1: a burst of ECC
+    // single-bit corrections since the last sweep degrades the node.  Rung
+    // 2: any machine check (uncorrectable codeword) degrades it and is
+    // consumed here, re-arming the latch like a read-to-clear register.
+    // Rung 3: enough lifetime uncorrectable errors fail and quarantine it.
+    memsys::EccModel& ecc = mesh.memory(node).ecc();
+    const u64 corrected_now = ecc.counters().corrected;
+    const u64 corrected_delta =
+        corrected_now - mem_corrected_base_[static_cast<std::size_t>(i)];
+    mem_corrected_base_[static_cast<std::size_t>(i)] = corrected_now;
+    rep.mem_corrected += corrected_delta;
+    if (corrected_delta >= cfg_.degraded_corrected_mem_delta) {
+      if (verdict == NodeHealth::kHealthy) verdict = NodeHealth::kDegraded;
+      stats_.add("health.mem_corrected_bursts");
+      rep.notes.push_back("node " + std::to_string(i) + ": " +
+                          std::to_string(corrected_delta) +
+                          " corrected memory errors since last sweep");
+    }
+    const auto checks = ecc.consume_machine_checks();
+    if (!checks.empty()) {
+      ++rep.machine_checked;
+      rep.mem_uncorrectable += checks.size();
+      stats_.add("health.mem_checks", checks.size());
+      if (verdict == NodeHealth::kHealthy) verdict = NodeHealth::kDegraded;
+      rep.notes.push_back("node " + std::to_string(i) + ": " +
+                          std::to_string(checks.size()) +
+                          " machine check(s), uncorrectable memory");
+    }
+    if (ecc.counters().uncorrectable >= cfg_.quarantine_mem_uncorrectable) {
+      verdict = NodeHealth::kFailed;
+      rep.notes.push_back("node " + std::to_string(i) + ": " +
+                          std::to_string(ecc.counters().uncorrectable) +
+                          " lifetime uncorrectable memory errors");
+    }
+
     if (health_[static_cast<std::size_t>(i)] == NodeHealth::kFailed) {
       verdict = NodeHealth::kFailed;  // failure is sticky
     } else if (verdict == NodeHealth::kFailed) {
@@ -123,6 +159,17 @@ HealthSweep HealthMonitor::sweep() {
   rep.at = machine_->engine().now();
   for (const auto& note : rep.notes) QCDOC_INFO << "health: " << note;
   return rep;
+}
+
+void HealthMonitor::report_external_failure(NodeId n,
+                                            const std::string& reason) {
+  if (health_[n.value] == NodeHealth::kFailed) return;
+  health_[n.value] = NodeHealth::kFailed;
+  stats_.add("health.failed_nodes");
+  stats_.add("health.external_failures");
+  QCDOC_INFO << "health: node " << n.value
+             << " failed (external report): " << reason;
+  if (cfg_.auto_quarantine && qdaemon_) qdaemon_->quarantine_node(n);
 }
 
 void HealthMonitor::monitor_for(Cycle duration) {

@@ -38,6 +38,16 @@ struct HealthConfig {
   u64 degraded_resend_delta = 4;
   /// Same threshold on a receive side's detected (parity/type) errors.
   u64 degraded_error_delta = 4;
+  /// A node whose ECC hardware corrected at least this many single-bit
+  /// memory errors since the last sweep is degraded: the corrections are
+  /// harmless individually, but a burst means a marginal DRAM cell or a
+  /// particle-flux hot spot that will eventually produce an uncorrectable
+  /// word.
+  u64 degraded_corrected_mem_delta = 8;
+  /// A node that has accumulated this many *uncorrectable* memory errors
+  /// over its lifetime is failed and quarantined -- repeated machine
+  /// checks mean bad silicon, not bad luck.
+  u64 quarantine_mem_uncorrectable = 4;
   bool auto_retrain = true;     ///< retrain marginal / faulted wires
   bool auto_quarantine = true;  ///< quarantine failed nodes from allocation
 };
@@ -51,6 +61,9 @@ struct HealthSweep {
   std::vector<NodeId> newly_failed;
   std::vector<net::LinkRef> retrained;
   std::vector<std::string> notes;  ///< human-readable findings
+  u64 mem_corrected = 0;      ///< ECC single-bit corrections this interval
+  u64 mem_uncorrectable = 0;  ///< machine checks consumed this sweep
+  int machine_checked = 0;    ///< nodes that latched a machine check
 };
 
 class HealthMonitor {
@@ -65,6 +78,11 @@ class HealthMonitor {
 
   /// Run the engine for `duration` cycles, sweeping every sweep_period.
   void monitor_for(Cycle duration);
+
+  /// Out-of-band failure report from another detector (e.g. the qdaemon's
+  /// SCU watchdog): mark the node failed immediately -- without waiting for
+  /// the next sweep -- and quarantine it if configured.  Idempotent.
+  void report_external_failure(NodeId n, const std::string& reason);
 
   NodeHealth health(NodeId n) const { return health_[n.value]; }
   u64 sweeps() const { return sweeps_; }
@@ -82,6 +100,8 @@ class HealthMonitor {
   /// the previous sweep, so each sweep judges the interval, not the total.
   std::vector<u64> resend_base_;
   std::vector<u64> recv_err_base_;
+  /// Per node: ECC corrected-error baseline from the previous sweep.
+  std::vector<u64> mem_corrected_base_;
   u64 sweeps_ = 0;
   sim::StatSet stats_;
 };

@@ -1,5 +1,6 @@
 #include "host/qdaemon.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.h"
@@ -54,6 +55,79 @@ HealthMonitor& Qdaemon::health(HealthConfig cfg) {
     health_ = std::make_unique<HealthMonitor>(machine_, eth_.get(), this, cfg);
   }
   return *health_;
+}
+
+ScuWatchdog& Qdaemon::watchdog(WatchdogConfig cfg) {
+  if (!watchdog_) {
+    watchdog_ = std::make_unique<ScuWatchdog>(machine_, &health(), cfg);
+  }
+  return *watchdog_;
+}
+
+ScuWatchdog::ScuWatchdog(machine::Machine* m, HealthMonitor* health,
+                         WatchdogConfig cfg)
+    : machine_(m), health_(health), cfg_(cfg) {
+  const auto n = static_cast<std::size_t>(m->num_nodes());
+  last_recv_.assign(n, 0);
+  last_progress_.assign(n, m->engine().now());
+  flagged_.assign(n, false);
+}
+
+WatchdogReport ScuWatchdog::check() {
+  ++checks_;
+  WatchdogReport rep;
+  rep.at = machine_->engine().now();
+  net::MeshNet& mesh = machine_->mesh();
+  const auto& topo = machine_->topology();
+  const int n = machine_->num_nodes();
+  for (int i = 0; i < n; ++i) {
+    const NodeId node{static_cast<u32>(i)};
+    const auto idx = static_cast<std::size_t>(i);
+    scu::Scu& node_scu = mesh.scu(node);
+    u64 received = 0;
+    for (int l = 0; l < torus::kLinksPerNode; ++l) {
+      received += node_scu.recv_side(torus::LinkIndex{l}).words_received();
+    }
+    if (received != last_recv_[idx]) {
+      last_recv_[idx] = received;
+      last_progress_[idx] = rep.at;
+      continue;
+    }
+    if (flagged_[idx]) continue;  // sticky: report a node at most once
+    if (rep.at - last_progress_[idx] < cfg_.stall_cycles) continue;
+    // No receive progress for a full stall window.  Only a stall with data
+    // *waiting* is a hang -- an idle node's counters freeze too.  A facing
+    // neighbour with undrained send data is that evidence.
+    bool starving_neighbor = false;
+    for (int l = 0; l < torus::kLinksPerNode && !starving_neighbor; ++l) {
+      const torus::LinkIndex link{l};
+      const NodeId peer = topo.neighbor(node, link);
+      starving_neighbor =
+          !mesh.scu(peer).send_side(torus::facing_link(link)).data_drained();
+    }
+    if (!starving_neighbor) continue;
+    flagged_[idx] = true;
+    ++nodes_flagged_;
+    rep.stalled.push_back(node);
+    QCDOC_WARN << "watchdog: node " << i << " made no receive progress for "
+               << (rep.at - last_progress_[idx])
+               << " cycles with neighbour data pending";
+    if (health_) {
+      health_->report_external_failure(node,
+                                       "SCU receive progress stalled");
+    }
+  }
+  return rep;
+}
+
+void ScuWatchdog::watch_for(Cycle duration) {
+  sim::Engine& engine = machine_->engine();
+  const Cycle end = engine.now() + duration;
+  while (engine.now() < end) {
+    const Cycle next = std::min(end, engine.now() + cfg_.check_period_cycles);
+    engine.run_until(next);
+    check();
+  }
 }
 
 NodeBootState Qdaemon::node_state(NodeId n) const {

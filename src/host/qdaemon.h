@@ -40,6 +40,61 @@ struct JobResult {
   std::vector<std::string> output;  ///< lines returned to the user's qcsh
 };
 
+struct WatchdogConfig {
+  /// Cycles between checks when watching continuously.
+  Cycle check_period_cycles = 1 << 14;
+  /// A node whose SCU has made no receive progress for this long, while a
+  /// neighbour still has words queued for it, is declared stalled.
+  Cycle stall_cycles = 1 << 16;
+};
+
+/// What one watchdog check found.
+struct WatchdogReport {
+  Cycle at = 0;
+  std::vector<NodeId> stalled;  ///< nodes newly flagged this check
+};
+
+/// Host-side SCU receive-progress watchdog.  A hung CPU whose SCU still
+/// acknowledges frames (fault::FaultKind::kNodeHang) is invisible to link
+/// checks -- the wires are healthy -- but its neighbours' send queues back
+/// up against it.  The watchdog reads each node's receive word counters
+/// over JTAG; a node whose counters freeze while a facing neighbour still
+/// has undrained send data is stalled, and gets reported to the
+/// HealthMonitor for quarantine.  Idle nodes (no traffic pending) are
+/// never flagged.
+class ScuWatchdog {
+ public:
+  /// `health` may be null (detection only, no escalation sink).
+  ScuWatchdog(machine::Machine* m, HealthMonitor* health,
+              WatchdogConfig cfg = WatchdogConfig{});
+
+  /// Inspect every node now.  Flagging is sticky: a node is reported to
+  /// the health monitor at most once.
+  WatchdogReport check();
+
+  /// Run the engine for `duration` cycles, checking every check_period.
+  void watch_for(Cycle duration);
+
+  [[nodiscard]] bool stalled(NodeId n) const {
+    return flagged_[n.value];
+  }
+  u64 checks() const { return checks_; }
+  u64 nodes_flagged() const { return nodes_flagged_; }
+  const WatchdogConfig& config() const { return cfg_; }
+
+ private:
+  machine::Machine* machine_;
+  HealthMonitor* health_;
+  WatchdogConfig cfg_;
+  /// Per node: last observed sum of receive-side word counters, the cycle
+  /// at which that sum last advanced, and whether the node was reported.
+  std::vector<u64> last_recv_;
+  std::vector<Cycle> last_progress_;
+  std::vector<bool> flagged_;
+  u64 checks_ = 0;
+  u64 nodes_flagged_ = 0;
+};
+
 class Qdaemon {
  public:
   explicit Qdaemon(machine::Machine* m,
@@ -69,6 +124,10 @@ class Qdaemon {
   /// Periodic health sweeps over Ethernet/JTAG, wired back to this daemon
   /// for quarantining.  Created on first use.
   HealthMonitor& health(HealthConfig cfg = HealthConfig{});
+
+  /// SCU receive-progress watchdog, wired to this daemon's health monitor
+  /// so stalled nodes are quarantined.  Created on first use.
+  ScuWatchdog& watchdog(WatchdogConfig cfg = WatchdogConfig{});
 
   /// Allocate a partition: a box of the machine with extents `box` (unused
   /// dims extent 1), remapped to `logical_dims` dimensions by folding
@@ -111,6 +170,7 @@ class Qdaemon {
   std::optional<BootReport> boot_report_;
   std::unique_ptr<BootSequencer> sequencer_;
   std::unique_ptr<HealthMonitor> health_;
+  std::unique_ptr<ScuWatchdog> watchdog_;
   std::vector<bool> node_used_;
   std::vector<bool> quarantined_;
   std::map<int, Allocation> partitions_;

@@ -43,18 +43,32 @@ CgResult cg_run(DiracOperator& op, DistField& x, DistField& b,
   };
 
   CgResult result;
+  // One audit of the interval since the previous call: link checksums and
+  // memory machine checks are independent detectors feeding the same
+  // rollback.  Both are always polled (never short-circuited) so each
+  // detector's baseline advances and a dirty interval is fully consumed.
+  const auto interval_clean = [&]() -> bool {
+    ++result.audits;
+    bool ok = true;
+    if (audit->clean && !audit->clean()) {
+      ++result.audit_failures;
+      ok = false;
+    }
+    if (audit->mem_clean && !audit->mem_clean()) {
+      ++result.mem_checks;
+      ok = false;
+    }
+    return ok;
+  };
   if (audit) ops.copy(x, *xck);
   recompute_residual();
   if (audit) {
     // Baseline audit: the initial residual itself crosses the mesh, and a
     // corruption here would poison the reference scale.
-    ++result.audits;
-    while (!audit->clean() && result.restarts < audit->max_restarts) {
-      ++result.audit_failures;
+    while (!interval_clean() && result.restarts < audit->max_restarts) {
       ++result.restarts;
       ops.copy(*xck, x);
       recompute_residual();
-      ++result.audits;
     }
   }
   const double rhs_norm2 = rsq;  // reference scale: |M^+ b| for x0 = 0
@@ -88,25 +102,23 @@ CgResult cg_run(DiracOperator& op, DistField& x, DistField& b,
 
     if (audit && (looks_converged || since_audit >= audit->interval ||
                   result.iterations == iters)) {
-      ++result.audits;
-      if (!audit->clean()) {
-        // Corrupted traffic somewhere in this interval: every iterate since
-        // the checkpoint is suspect.  Roll back and recompute the true
-        // residual; recomputation traffic is itself audited.
-        ++result.audit_failures;
+      if (!interval_clean()) {
+        // Corruption somewhere in this interval -- bad link traffic or an
+        // uncorrectable memory word: every iterate since the checkpoint is
+        // suspect.  Roll back and recompute the true residual; the
+        // checkpoint copy rewrites any poisoned words with known-good
+        // data, and the recomputation is itself audited.
         bool recovered = false;
         while (result.restarts < audit->max_restarts) {
           ++result.restarts;
           result.iterations -= since_audit;  // the interval was wasted
           ops.copy(*xck, x);
           recompute_residual();
-          ++result.audits;
           since_audit = 0;
-          if (audit->clean()) {
+          if (interval_clean()) {
             recovered = true;
             break;
           }
-          ++result.audit_failures;
         }
         if (!recovered) {
           gave_up = true;
@@ -158,7 +170,7 @@ CgResult cg_solve(DiracOperator& op, DistField& x, DistField& b,
 CgResult cg_solve_audited(DiracOperator& op, DistField& x, DistField& b,
                           const CgParams& params,
                           const CgAuditParams& audit) {
-  if (!audit.clean) return cg_run(op, x, b, params, nullptr);
+  if (!audit.clean && !audit.mem_clean) return cg_run(op, x, b, params, nullptr);
   return cg_run(op, x, b, params, &audit);
 }
 

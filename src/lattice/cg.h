@@ -31,6 +31,14 @@ struct CgAuditParams {
   /// checksums (e.g. fault::ChecksumAuditor::clean_since_last).  Called at
   /// iteration boundaries, where the BSP runtime leaves the mesh quiescent.
   std::function<bool()> clean;
+  /// Returns true when no node latched an ECC machine check since the
+  /// previous call (e.g. fault::MemCheckAuditor::clean_since_last).  An
+  /// uncorrectable memory word is treated exactly like corrupted link
+  /// traffic: roll back to the checkpoint -- whose copy rewrites the
+  /// poisoned words with known-good data -- and recompute.  Either or both
+  /// of `clean` / `mem_clean` may be set; both are always polled so each
+  /// detector's interval baseline advances.
+  std::function<bool()> mem_clean;
   int interval = 10;     ///< iterations between audits
   int max_restarts = 8;  ///< give up after this many rollbacks
 };
@@ -44,6 +52,7 @@ struct CgResult {
   int restarts = 0;         ///< rollbacks to the last clean checkpoint
   u64 audits = 0;           ///< checksum audits performed
   u64 audit_failures = 0;   ///< audits that found corrupted traffic
+  u64 mem_checks = 0;       ///< audits that found uncorrectable memory
 
   // Machine-level accounting over the solve.
   double flops = 0;          ///< total useful flops (whole machine)

@@ -43,6 +43,12 @@ class DistField {
   /// memory-region term of the kernel profiles).
   memsys::Region body_region() const;
 
+  /// The rank's underlying allocation (node + word address range).  Fault
+  /// campaigns use this to aim memory upsets at a specific field's storage.
+  const memsys::Block& block(int rank) const {
+    return blocks_[static_cast<std::size_t>(rank)];
+  }
+
   /// Zero the body on all ranks.
   void zero();
 

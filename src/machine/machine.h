@@ -76,6 +76,13 @@ class Machine {
   scu::Scu& scu(NodeId n) { return mesh_->scu(n); }
   memsys::NodeMemory& memory(NodeId n) { return mesh_->memory(n); }
 
+  /// Start the per-node background ECC scrubbers (memsys/scrub.h).  Not
+  /// started by default so fault-free event traces are unchanged.
+  void start_memory_scrubbers(
+      memsys::ScrubConfig cfg = memsys::ScrubConfig{}) {
+    mesh_->start_scrubbing(cfg);
+  }
+
  private:
   MachineConfig cfg_;
   HwParams hw_;

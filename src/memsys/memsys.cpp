@@ -7,7 +7,9 @@
 namespace qcdoc::memsys {
 
 NodeMemory::NodeMemory(MemConfig cfg)
-    : cfg_(cfg), ddr_next_(cfg.edram_words) {}
+    : cfg_(cfg), ddr_next_(cfg.edram_words) {
+  ecc_.attach(this, cfg_.ecc);
+}
 
 Block NodeMemory::alloc(u64 words, const std::string& label) {
   if (edram_next_ + words <= cfg_.edram_words) {
@@ -32,7 +34,18 @@ Block NodeMemory::alloc_in(Region region, u64 words, const std::string& label) {
     ddr_next_ += words;
   }
   chunks_.emplace(b.word_addr, std::vector<u64>(words, 0));
+  allocated_words_ += words;
   return b;
+}
+
+u64 NodeMemory::nth_allocated_word(u64 i) const {
+  assert(i < allocated_words_ && "allocated-word index out of range");
+  for (const auto& [start, storage] : chunks_) {
+    if (i < storage.size()) return start + i;
+    i -= storage.size();
+  }
+  assert(false && "unreachable: allocated_words_ out of sync");
+  return 0;
 }
 
 std::vector<u64>* NodeMemory::chunk_of(u64 word_addr, u64* offset) {

@@ -21,11 +21,9 @@
 #include <vector>
 
 #include "common/types.h"
+#include "memsys/ecc.h"
 
 namespace qcdoc::memsys {
-
-/// Which level of the hierarchy a word address resides in.
-enum class Region { kEdram, kDdr };
 
 /// A contiguous allocation in node memory, in 64-bit words.
 struct Block {
@@ -39,6 +37,7 @@ struct Block {
 struct MemConfig {
   u64 edram_words = 4ull * 1024 * 1024 / 8;
   u64 ddr_words = 128ull * 1024 * 1024 / 8;
+  EccConfig ecc;  ///< SECDED codeword geometry (ecc.h)
 };
 
 /// Functional per-node memory with a bump allocator.
@@ -50,6 +49,9 @@ struct MemConfig {
 class NodeMemory {
  public:
   explicit NodeMemory(MemConfig cfg = MemConfig{});
+  // The ECC model holds a back-pointer to this object.
+  NodeMemory(const NodeMemory&) = delete;
+  NodeMemory& operator=(const NodeMemory&) = delete;
 
   /// Allocate `words` 64-bit words, preferring EDRAM.
   Block alloc(u64 words, const std::string& label = "");
@@ -68,6 +70,17 @@ class NodeMemory {
   u64 read_word(u64 word_addr) const;
   void write_word(u64 word_addr, u64 value);
 
+  /// The SECDED machinery protecting this node's EDRAM rows and DDR bursts.
+  EccModel& ecc() { return ecc_; }
+  const EccModel& ecc() const { return ecc_; }
+
+  /// Total words across every allocation (the population a random upset can
+  /// land in; flips into unallocated memory are invisible to software).
+  u64 allocated_words() const { return allocated_words_; }
+  /// Word address of the i-th allocated word, counting allocations in
+  /// address order.  Requires i < allocated_words().
+  u64 nth_allocated_word(u64 i) const;
+
   /// Typed views for application code (compute runs natively on this data).
   /// Spans remain valid for the lifetime of the NodeMemory: each allocation
   /// owns its storage.
@@ -84,6 +97,8 @@ class NodeMemory {
   std::map<u64, std::vector<u64>> chunks_;
   u64 edram_next_ = 0;
   u64 ddr_next_;
+  u64 allocated_words_ = 0;
+  EccModel ecc_;
 };
 
 /// Cycle costs of bulk memory traffic, used by the DMA engines and the CPU

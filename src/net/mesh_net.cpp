@@ -68,6 +68,27 @@ MeshNet::MeshNet(sim::Engine* engine, MeshConfig cfg)
   }
 }
 
+void MeshNet::start_scrubbing(memsys::ScrubConfig cfg) {
+  if (!scrubbers_.empty()) return;
+  const int n = topology_.num_nodes();
+  scrubbers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Scrub bursts execute at their node, like SCU traffic, so the parallel
+    // engine shards them and the walk order is thread-count independent.
+    const sim::EngineRef node_engine(engine_, static_cast<sim::Affinity>(i));
+    scrubbers_.push_back(std::make_unique<memsys::MemScrubber>(
+        node_engine, memories_[static_cast<std::size_t>(i)].get(), cfg,
+        stats_[static_cast<std::size_t>(i)].get()));
+    scrubbers_.back()->start();
+  }
+}
+
+memsys::EccCounters MeshNet::total_ecc() const {
+  memsys::EccCounters total;
+  for (const auto& mem : memories_) total += mem->ecc().counters();
+  return total;
+}
+
 hssl::Hssl& MeshNet::wire(NodeId from, LinkIndex l) {
   return *wires_[static_cast<std::size_t>(from.value) * torus::kLinksPerNode +
                  static_cast<std::size_t>(l.value)];

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "hssl/hssl.h"
 #include "memsys/memsys.h"
+#include "memsys/scrub.h"
 #include "scu/partition_interrupt.h"
 #include "scu/scu.h"
 #include "sim/engine.h"
@@ -84,6 +85,18 @@ class MeshNet {
   /// Sum a named statistic across all nodes.
   u64 total_stat(const std::string& name) const;
 
+  /// Start a background ECC scrubber on every node (idempotent; the config
+  /// of the first call wins).  Off by default: an unscrubbed machine
+  /// schedules no scrub events, keeping fault-free traces -- including the
+  /// committed golden trace -- bit-identical.
+  void start_scrubbing(memsys::ScrubConfig cfg = memsys::ScrubConfig{});
+  [[nodiscard]] bool scrubbing() const { return !scrubbers_.empty(); }
+  memsys::MemScrubber& scrubber(NodeId n) { return *scrubbers_[n.value]; }
+
+  /// ECC counters summed over every node (corrected errors, machine
+  /// checks, scrub effort) for health reports and benches.
+  memsys::EccCounters total_ecc() const;
+
   /// True when no data transfer is in progress anywhere in the machine
   /// (O(1): the DMA engines maintain a shared in-flight counter).
   [[nodiscard]] bool quiescent() const {
@@ -108,6 +121,7 @@ class MeshNet {
   // wires_[node * kLinksPerNode + link]: the outgoing serial wire.
   std::vector<std::unique_ptr<hssl::Hssl>> wires_;
   std::unique_ptr<scu::PirqDomain> pirq_;
+  std::vector<std::unique_ptr<memsys::MemScrubber>> scrubbers_;
   std::vector<NodeCondition> conditions_;
   scu::ActiveCounter active_transfers_;
   bool powered_ = false;

@@ -59,6 +59,21 @@ std::string format_engine_report(const sim::EngineReport& r) {
   return line;
 }
 
+std::string format_mem_resilience_report(machine::Machine& m) {
+  const memsys::EccCounters c = m.mesh().total_ecc();
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "memory: %llu upsets, %llu corrected, %llu cleared by "
+                "rewrite, %llu uncorrectable, scrub %llu rows / %llu cycles",
+                static_cast<unsigned long long>(c.upsets),
+                static_cast<unsigned long long>(c.corrected),
+                static_cast<unsigned long long>(c.cleared_by_rewrite),
+                static_cast<unsigned long long>(c.uncorrectable),
+                static_cast<unsigned long long>(c.scrub_rows),
+                static_cast<unsigned long long>(c.scrub_cycles));
+  return line;
+}
+
 double machine_peak_flops_per_cycle(const machine::Machine& m) {
   return static_cast<double>(m.num_nodes()) * 2.0;
 }

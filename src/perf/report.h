@@ -30,6 +30,11 @@ std::string format_table(const std::vector<Row>& rows);
 /// cross-shard counts, barrier stall time, and the per-shard event spread.
 std::string format_engine_report(const sim::EngineReport& r);
 
+/// One-line summary of the machine's memory-resilience counters, summed
+/// over every node: upsets injected, ECC corrections, rewrite clears,
+/// uncorrectable codewords (machine checks), and scrub work done.
+std::string format_mem_resilience_report(machine::Machine& m);
+
 /// Machine peak in flops per cycle (nodes x 2).
 double machine_peak_flops_per_cycle(const machine::Machine& m);
 

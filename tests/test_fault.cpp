@@ -212,6 +212,87 @@ TEST(Health, CrashedNodeIsQuarantinedAndJobsFailCleanly) {
   }
 }
 
+// --- SCU receive-progress watchdog ------------------------------------------
+
+TEST(Watchdog, StalledReceiverIsFlaggedAndQuarantined) {
+  machine::Machine m(small_config({2, 2, 1, 1, 1, 1}));
+  host::Qdaemon qd(&m);
+  qd.boot();
+  host::WatchdogConfig wcfg;
+  wcfg.stall_cycles = 1 << 12;
+  host::ScuWatchdog& wd = qd.watchdog(wcfg);
+
+  // Healthy traffic: receive counters advance, nobody is flagged.
+  const LinkIndex l0{0};
+  const NodeId receiver = m.topology().neighbor(NodeId{0}, l0);
+  auto& recv = m.scu(receiver).recv_side(torus::facing_link(l0));
+  recv.set_data_sink([](u64) {});
+  for (int i = 0; i < 16; ++i) {
+    m.scu(NodeId{0}).send_side(l0).enqueue_data(static_cast<u64>(i));
+  }
+  m.engine().run_until_idle();
+  EXPECT_TRUE(wd.check().stalled.empty());
+
+  // The wire dies with data still queued behind it: the receiver's word
+  // counters freeze while the sender's queue stays undrained.  Idle nodes
+  // freeze too, but with no neighbour data pending they are never flagged.
+  m.mesh().wire(NodeId{0}, l0).fail();
+  for (int i = 0; i < 8; ++i) {
+    m.scu(NodeId{0}).send_side(l0).enqueue_data(static_cast<u64>(100 + i));
+  }
+  m.engine().run_until(m.engine().now() + (1 << 13));
+  const auto rep = wd.check();
+  ASSERT_EQ(rep.stalled.size(), 1u);
+  EXPECT_EQ(rep.stalled[0], receiver);
+  EXPECT_TRUE(wd.stalled(receiver));
+  // The report escalates through the health monitor to quarantine.
+  EXPECT_EQ(qd.health().health(receiver), host::NodeHealth::kFailed);
+  EXPECT_TRUE(qd.is_quarantined(receiver));
+  // Sticky: a second check does not re-report the same node.
+  EXPECT_TRUE(wd.check().stalled.empty());
+  EXPECT_EQ(wd.nodes_flagged(), 1u);
+}
+
+TEST(Health, MemCheckEscalationLadder) {
+  machine::Machine m(small_config({2, 2, 1, 1, 1, 1}));
+  host::Qdaemon qd(&m);
+  qd.boot();
+  host::HealthConfig hcfg;
+  hcfg.degraded_corrected_mem_delta = 2;
+  hcfg.quarantine_mem_uncorrectable = 2;
+  host::HealthMonitor& health = qd.health(hcfg);
+
+  auto& mem = m.memory(NodeId{2});
+  const memsys::Block b = mem.alloc_in(memsys::Region::kEdram, 64, "t");
+
+  // Rung 1: a burst of corrected singles degrades the node.
+  for (u64 w = 0; w < 3; ++w) mem.ecc().inject_upset(b.word_addr + 16 * w, 1);
+  mem.ecc().scrub_step(/*rows=*/1 << 16, /*cycles_per_row=*/2);
+  auto sweep = health.sweep();
+  EXPECT_EQ(sweep.degraded, 1);
+  EXPECT_EQ(sweep.mem_corrected, 3u);
+  EXPECT_EQ(health.health(NodeId{2}), host::NodeHealth::kDegraded);
+  EXPECT_FALSE(qd.is_quarantined(NodeId{2}));
+
+  // Rung 2: an uncorrectable codeword (machine check) keeps it degraded
+  // and is consumed by the sweep.
+  mem.ecc().inject_upset(b.word_addr, 4);
+  mem.ecc().inject_upset(b.word_addr + 1, 5);
+  sweep = health.sweep();
+  EXPECT_EQ(sweep.machine_checked, 1);
+  EXPECT_EQ(sweep.mem_uncorrectable, 1u);
+  EXPECT_EQ(health.health(NodeId{2}), host::NodeHealth::kDegraded);
+  EXPECT_FALSE(mem.ecc().machine_check_pending());
+
+  // Rung 3: enough lifetime uncorrectable errors fail and quarantine it.
+  mem.ecc().inject_upset(b.word_addr + 32, 4);
+  mem.ecc().inject_upset(b.word_addr + 33, 5);
+  sweep = health.sweep();
+  EXPECT_EQ(sweep.failed, 1);
+  EXPECT_EQ(health.health(NodeId{2}), host::NodeHealth::kFailed);
+  EXPECT_TRUE(qd.is_quarantined(NodeId{2}));
+}
+
 TEST(Health, HungNodeIsDetectedBySweep) {
   machine::Machine m(small_config({2, 2, 1, 1, 1, 1}));
   host::Qdaemon qd(&m);
@@ -468,6 +549,165 @@ TEST(FaultCampaign, WholeCampaignIsBitIdenticalAcrossEngines) {
     EXPECT_EQ(par.field_checksum, serial.field_checksum)
         << threads << " threads";
     EXPECT_EQ(par.end_cycle, serial.end_cycle) << threads << " threads";
+  }
+}
+
+// --- Memory soft-error soak (SECDED ECC + scrub + machine-check rollback) ---
+
+// A 10-iteration CG on the 2^6 machine under sustained memory upsets.
+// Correctable single-bit flips are invisible to compute (the ECC datapath
+// corrects every read) and get scrubbed in the background; one targeted
+// uncorrectable hit on the solution vector latches a machine check, which
+// the audited solver turns into a checkpoint rollback.  The end state must
+// be bit-equal to the fault-free run.
+struct MemSoakOutcome {
+  bool job_ok = false;
+  int iterations = 0;
+  int restarts = 0;
+  u64 mem_checks = 0;
+  u64 residual_bits = 0;
+  u64 field_checksum = 0;
+  u64 upsets = 0;
+  u64 corrected = 0;
+  u64 uncorrectable = 0;
+  u64 scrub_rows = 0;
+  u64 scrub_cycles = 0;
+};
+
+MemSoakOutcome run_mem_soak(bool faulted, int sim_threads = 1) {
+  MemSoakOutcome out;
+  machine::MachineConfig cfg;
+  cfg.shape.extent = {2, 2, 2, 2, 2, 2};
+  cfg.sim_threads = sim_threads;
+  // Shrink the address space so the scrub cursor laps all of EDRAM and DDR
+  // many times within one solve (the default 128 MB of DDR would need ~1 G
+  // cycles per lap).
+  cfg.mem.edram_words = 1 << 15;
+  cfg.mem.ddr_words = 1 << 16;
+  machine::Machine m(cfg);
+  host::Qdaemon qd(&m);
+  qd.boot();
+
+  torus::Shape whole;
+  whole.extent = cfg.shape.extent;
+  auto handle = qd.allocate_partition("memsoak", whole, 4);
+  if (!handle) return out;
+
+  // The lattice fields all live in EDRAM; give every node a live DDR buffer
+  // too so the campaign exercises both codeword geometries.
+  for (const NodeId n : handle->partition->nodes()) {
+    auto& mem = m.memory(n);
+    const memsys::Block d =
+        mem.alloc_in(memsys::Region::kDdr, 64, "soak.ddr");
+    for (u64 w = 0; w < 64; ++w) {
+      mem.write_word(d.word_addr + w, 0x5a5a0000ull + w);
+    }
+  }
+  if (faulted) {
+    memsys::ScrubConfig scrub;
+    scrub.rows_per_period = 4096;  // full lap every ~5 bursts
+    m.start_memory_scrubbers(scrub);
+  }
+
+  fault::FaultInjector injector(&m.mesh(), nullptr);
+  fault::MemCheckAuditor mem_auditor(&m.mesh(), handle->partition->nodes());
+
+  const auto job = qd.run_job(
+      *handle, [&](comms::Communicator& comm, std::vector<std::string>& log) {
+        GlobalGeometry geom(handle->partition, {4, 4, 4, 16});
+        machine::BspRunner bsp(&m);
+        cpu::CpuModel cpu(m.hw(), m.mem_timing());
+        FieldOps ops(&bsp, &cpu, &comm);
+        GaugeField gauge(&comm, &geom);
+        Rng rng(2026);
+        gauge.randomize_near_unit(rng, 0.12);
+        WilsonDirac op(&ops, &geom, &gauge, WilsonParams{.kappa = 0.124});
+        DistField x = op.make_field("x");
+        DistField b = op.make_field("b");
+        x.zero();
+        fill_by_global_site(geom, b);
+
+        CgParams params;
+        params.fixed_iterations = 10;
+        CgResult r;
+        if (faulted) {
+          const Cycle now = m.engine().now();
+          // Sustained correctable upsets, entropy-addressed into every
+          // node's allocated words, for the whole solve.
+          injector.arm(fault::FaultPlan::sustained_mem_upsets(
+              /*seed=*/99, cfg.shape, /*n=*/128, now, /*horizon=*/1 << 19,
+              /*uncorrectable_fraction=*/0.0));
+          // One targeted uncorrectable hit on the solution vector early in
+          // the solve: detected at the next audit, rolled back, and the
+          // checkpoint copy rewrites the poisoned word.
+          fault::FaultPlan poison;
+          poison.mem_upset(now + 50000, comm.node_of_rank(0),
+                           x.block(0).word_addr + 3, /*bits=*/2, /*bit=*/11);
+          injector.arm(poison);
+
+          CgAuditParams audit;
+          audit.mem_clean = [&] { return mem_auditor.clean_since_last(); };
+          // interval >= fixed_iterations: a rollback goes all the way to
+          // x0, so the clean rerun retraces the fault-free trajectory
+          // bit for bit.
+          audit.interval = params.fixed_iterations;
+          r = cg_solve_audited(op, x, b, params, audit);
+        } else {
+          r = cg_solve(op, x, b, params);
+        }
+        out.iterations = r.iterations;
+        out.restarts = r.restarts;
+        out.mem_checks = r.mem_checks;
+        out.residual_bits = std::bit_cast<u64>(r.relative_residual);
+        out.field_checksum = field_bits_fnv(x);
+        log.push_back("cg restarts: " + std::to_string(r.restarts));
+      });
+  out.job_ok = job.ok;
+  const memsys::EccCounters total = m.mesh().total_ecc();
+  out.upsets = total.upsets;
+  out.corrected = total.corrected;
+  out.uncorrectable = total.uncorrectable;
+  out.scrub_rows = total.scrub_rows;
+  out.scrub_cycles = total.scrub_cycles;
+  return out;
+}
+
+TEST(MemSoak, SustainedUpsetsRollBackAndReachTheFaultFreeResidual) {
+  const MemSoakOutcome clean = run_mem_soak(false);
+  ASSERT_TRUE(clean.job_ok);
+  EXPECT_EQ(clean.iterations, 10);
+  EXPECT_EQ(clean.upsets, 0u);
+
+  const MemSoakOutcome soaked = run_mem_soak(true);
+  ASSERT_TRUE(soaked.job_ok);
+  EXPECT_EQ(soaked.iterations, 10);
+  // The uncorrectable hit forced at least one machine-check rollback...
+  EXPECT_GE(soaked.restarts, 1);
+  EXPECT_GE(soaked.mem_checks, 1u);
+  EXPECT_GE(soaked.uncorrectable, 1u);
+  // ...the sustained singles really happened and the scrubber corrected
+  // some of them on its cycle budget...
+  EXPECT_GT(soaked.upsets, 64u);
+  EXPECT_GT(soaked.corrected, 0u);
+  EXPECT_GT(soaked.scrub_rows, 0u);
+  EXPECT_GT(soaked.scrub_cycles, 0u);
+  // ...and the solve still landed on the bit-exact fault-free answer.
+  EXPECT_EQ(soaked.residual_bits, clean.residual_bits);
+  EXPECT_EQ(soaked.field_checksum, clean.field_checksum);
+}
+
+TEST(MemSoak, CampaignIsBitIdenticalAcrossEngines) {
+  const MemSoakOutcome serial = run_mem_soak(true, 1);
+  for (const int threads : {2, 4}) {
+    const MemSoakOutcome par = run_mem_soak(true, threads);
+    EXPECT_EQ(par.residual_bits, serial.residual_bits) << threads;
+    EXPECT_EQ(par.field_checksum, serial.field_checksum) << threads;
+    EXPECT_EQ(par.restarts, serial.restarts) << threads;
+    EXPECT_EQ(par.mem_checks, serial.mem_checks) << threads;
+    EXPECT_EQ(par.upsets, serial.upsets) << threads;
+    EXPECT_EQ(par.corrected, serial.corrected) << threads;
+    EXPECT_EQ(par.uncorrectable, serial.uncorrectable) << threads;
+    EXPECT_EQ(par.scrub_rows, serial.scrub_rows) << threads;
   }
 }
 

@@ -3,8 +3,11 @@
 #include <cstring>
 
 #include "cpu/timing.h"
+#include "fault/fault.h"
+#include "machine/machine.h"
 #include "memsys/dcache.h"
 #include "memsys/memsys.h"
+#include "memsys/scrub.h"
 
 namespace qcdoc::memsys {
 namespace {
@@ -139,6 +142,227 @@ TEST(CpuModel, SinglePrecisionHelpsOnlyMemoryBoundKernels) {
   cpu::KernelProfile sp = dp;
   sp.load_bytes /= 2;
   EXPECT_LT(model.kernel_cycles(sp), model.kernel_cycles(dp));
+}
+
+// --- SECDED ECC + scrubbing (memsys/ecc.h, memsys/scrub.h) -----------------
+
+// 4 EDRAM rows of 16 words plus 8 DDR bursts of 4 words: 12 codeword rows.
+MemConfig tiny_ecc_config() {
+  MemConfig cfg;
+  cfg.edram_words = 64;
+  cfg.ddr_words = 32;
+  return cfg;
+}
+
+TEST(Ecc, SingleBitUpsetIsInvisibleAndScrubCorrects) {
+  NodeMemory mem(tiny_ecc_config());
+  const Block b = mem.alloc_in(Region::kEdram, 16, "b");
+  for (u64 i = 0; i < 16; ++i) mem.write_word(b.word_addr + i, 1000 + i);
+  mem.ecc().inject_upset(b.word_addr + 3, 17);
+  // Correctable: every read goes through the ECC datapath, so software
+  // never sees the flipped bit.
+  EXPECT_EQ(mem.read_word(b.word_addr + 3), 1003u);
+  EXPECT_EQ(mem.ecc().dirty_codewords(), 1u);
+  EXPECT_FALSE(mem.ecc().machine_check_pending());
+  // A full scrub sweep corrects and counts it.
+  mem.ecc().scrub_step(/*rows=*/12, /*cycles_per_row=*/2);
+  EXPECT_EQ(mem.ecc().counters().corrected, 1u);
+  EXPECT_EQ(mem.ecc().dirty_codewords(), 0u);
+  EXPECT_EQ(mem.read_word(b.word_addr + 3), 1003u);
+  EXPECT_EQ(mem.ecc().counters().scrub_rows, 12u);
+  EXPECT_EQ(mem.ecc().counters().scrub_cycles, 24u);
+}
+
+TEST(Ecc, DoubleBitUpsetCorruptsStorageAndLatchesMachineCheck) {
+  NodeMemory mem(tiny_ecc_config());
+  const Block b = mem.alloc_in(Region::kEdram, 16, "b");
+  mem.write_word(b.word_addr, 42);
+  mem.ecc().inject_upset(b.word_addr, 3);
+  mem.ecc().inject_upset(b.word_addr, 9);
+  // Beyond SECDED: the corruption is real and the controller raises a
+  // machine check.
+  EXPECT_EQ(mem.read_word(b.word_addr), 42u ^ (1ull << 3) ^ (1ull << 9));
+  EXPECT_TRUE(mem.ecc().machine_check_pending());
+  EXPECT_EQ(mem.ecc().counters().uncorrectable, 1u);
+  EXPECT_EQ(mem.ecc().poisoned_codewords(), 1u);
+  const auto checks = mem.ecc().consume_machine_checks();
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_EQ(checks[0].word_addr, b.word_addr);
+  EXPECT_EQ(checks[0].region, Region::kEdram);
+  EXPECT_FALSE(mem.ecc().machine_check_pending());
+}
+
+TEST(Ecc, RowGeometryDecidesEscalation) {
+  // Two single-bit flips in one 16-word EDRAM row exceed SECDED; the same
+  // two flips one row apart stay independently correctable.
+  {
+    NodeMemory mem(tiny_ecc_config());
+    const Block b = mem.alloc_in(Region::kEdram, 32, "b");
+    mem.ecc().inject_upset(b.word_addr + 0, 1);
+    mem.ecc().inject_upset(b.word_addr + 15, 2);  // same row
+    EXPECT_EQ(mem.ecc().counters().uncorrectable, 1u);
+  }
+  {
+    NodeMemory mem(tiny_ecc_config());
+    const Block b = mem.alloc_in(Region::kEdram, 32, "b");
+    mem.ecc().inject_upset(b.word_addr + 0, 1);
+    mem.ecc().inject_upset(b.word_addr + 16, 2);  // next row
+    EXPECT_EQ(mem.ecc().counters().uncorrectable, 0u);
+    mem.ecc().scrub_step(12, 2);
+    EXPECT_EQ(mem.ecc().counters().corrected, 2u);
+  }
+}
+
+TEST(Ecc, DdrBurstsAreSmallerCodewords) {
+  NodeMemory mem(tiny_ecc_config());
+  const Block b = mem.alloc_in(Region::kDdr, 8, "b");
+  // Words 0 and 3 share one 4-word DDR burst and escalate...
+  mem.ecc().inject_upset(b.word_addr + 0, 5);
+  mem.ecc().inject_upset(b.word_addr + 3, 6);
+  EXPECT_EQ(mem.ecc().counters().uncorrectable, 1u);
+  const auto checks = mem.ecc().consume_machine_checks();
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_EQ(checks[0].region, Region::kDdr);
+  // ...while word 4 lives in the next burst and stays correctable.
+  mem.ecc().inject_upset(b.word_addr + 4, 5);
+  EXPECT_EQ(mem.ecc().counters().uncorrectable, 1u);
+}
+
+TEST(Ecc, ProgramRewriteClearsPoisonedWords) {
+  NodeMemory mem(tiny_ecc_config());
+  const Block b = mem.alloc_in(Region::kEdram, 16, "b");
+  mem.write_word(b.word_addr + 1, 7);
+  mem.write_word(b.word_addr + 2, 8);
+  mem.ecc().inject_upset(b.word_addr + 1, 0);
+  mem.ecc().inject_upset(b.word_addr + 2, 0);  // same row: uncorrectable
+  EXPECT_EQ(mem.ecc().poisoned_codewords(), 1u);
+  // The program overwrites both words (a checkpoint-rollback copy does
+  // exactly this); the write path regenerates the check bits.
+  mem.write_word(b.word_addr + 1, 100);
+  mem.write_word(b.word_addr + 2, 200);
+  mem.ecc().scrub_step(12, 2);
+  EXPECT_EQ(mem.ecc().counters().cleared_by_rewrite, 2u);
+  EXPECT_EQ(mem.ecc().dirty_codewords(), 0u);
+  EXPECT_EQ(mem.ecc().poisoned_codewords(), 0u);
+  EXPECT_EQ(mem.read_word(b.word_addr + 1), 100u);
+}
+
+TEST(Ecc, ScrubWalksOnABudget) {
+  NodeMemory mem(tiny_ecc_config());
+  const Block b = mem.alloc_in(Region::kDdr, 32, "b");
+  // A flip in the last DDR burst is reached only by the third 4-row burst
+  // of the cursor walk.
+  mem.write_word(b.word_addr + 30, 5);
+  mem.ecc().inject_upset(b.word_addr + 30, 11);
+  EXPECT_EQ(mem.ecc().scrub_step(4, 2), 4u);
+  EXPECT_EQ(mem.ecc().counters().corrected, 0u);
+  EXPECT_EQ(mem.ecc().scrub_step(4, 2), 4u);
+  EXPECT_EQ(mem.ecc().counters().corrected, 0u);
+  EXPECT_EQ(mem.ecc().scrub_step(4, 2), 4u);
+  EXPECT_EQ(mem.ecc().counters().corrected, 1u);
+  EXPECT_EQ(mem.ecc().counters().scrub_rows, 12u);
+  EXPECT_EQ(mem.ecc().counters().scrub_cycles, 24u);
+}
+
+TEST(Ecc, AllocatedWordIndexing) {
+  NodeMemory mem(tiny_ecc_config());
+  const Block a = mem.alloc_in(Region::kEdram, 8, "a");
+  const Block d = mem.alloc_in(Region::kDdr, 8, "d");
+  EXPECT_EQ(mem.allocated_words(), 16u);
+  EXPECT_EQ(mem.nth_allocated_word(0), a.word_addr);
+  EXPECT_EQ(mem.nth_allocated_word(7), a.word_addr + 7);
+  EXPECT_EQ(mem.nth_allocated_word(8), d.word_addr);
+  EXPECT_EQ(mem.nth_allocated_word(15), d.word_addr + 7);
+}
+
+struct UpsetRunSummary {
+  u64 digest = 0;
+  u64 events = 0;
+  u64 upsets = 0;
+  u64 corrected = 0;
+  u64 uncorrectable = 0;
+  u64 scrub_rows = 0;
+
+  friend bool operator==(const UpsetRunSummary&,
+                         const UpsetRunSummary&) = default;
+};
+
+// A sustained entropy-addressed upset campaign with scrubbing on, at a
+// given simulation thread count.  Every node gets live EDRAM and DDR data
+// for the upsets to land in.
+UpsetRunSummary run_upset_campaign(int threads) {
+  machine::MachineConfig cfg;
+  cfg.shape.extent = {2, 2, 2, 1, 1, 1};
+  cfg.sim_threads = threads;
+  machine::Machine m(cfg);
+  for (int i = 0; i < m.num_nodes(); ++i) {
+    NodeMemory& mem = m.memory(NodeId{static_cast<u32>(i)});
+    const Block e = mem.alloc_in(Region::kEdram, 128, "soak.edram");
+    const Block d = mem.alloc_in(Region::kDdr, 128, "soak.ddr");
+    for (u64 w = 0; w < 128; ++w) {
+      mem.write_word(e.word_addr + w, w);
+      mem.write_word(d.word_addr + w, ~w);
+    }
+  }
+  m.start_memory_scrubbers();
+  fault::FaultInjector injector(&m.mesh());
+  injector.arm(fault::FaultPlan::sustained_mem_upsets(
+      /*seed=*/77, cfg.shape, /*n=*/48, /*start=*/1024, /*horizon=*/1 << 16,
+      /*uncorrectable_fraction=*/0.25));
+  m.engine().run_until((1 << 16) + (1 << 15));
+
+  UpsetRunSummary s;
+  s.digest = m.engine().trace_digest();
+  s.events = m.engine().events_executed();
+  const EccCounters total = m.mesh().total_ecc();
+  s.upsets = total.upsets;
+  s.corrected = total.corrected;
+  s.uncorrectable = total.uncorrectable;
+  s.scrub_rows = total.scrub_rows;
+  return s;
+}
+
+TEST(Ecc, UpsetReplayBitIdenticalAcrossEngines) {
+  const UpsetRunSummary serial = run_upset_campaign(1);
+  EXPECT_GE(serial.upsets, 48u);  // uncorrectable events flip 2 bits
+  EXPECT_LE(serial.upsets, 96u);
+  EXPECT_GT(serial.corrected, 0u);
+  EXPECT_GT(serial.uncorrectable, 0u);
+  EXPECT_GT(serial.scrub_rows, 0u);
+  EXPECT_EQ(run_upset_campaign(2), serial);
+  EXPECT_EQ(run_upset_campaign(4), serial);
+}
+
+TEST(Ecc, ScrubberSweepIsDeterministic) {
+  // Fault-free scrubbing is pure overhead: two identical runs walk the
+  // same rows in the same order and correct nothing.
+  const UpsetRunSummary a = [] {
+    machine::MachineConfig cfg;
+    cfg.shape.extent = {2, 2, 1, 1, 1, 1};
+    machine::Machine m(cfg);
+    m.start_memory_scrubbers();
+    m.engine().run_until(1 << 16);
+    UpsetRunSummary s;
+    s.digest = m.engine().trace_digest();
+    s.events = m.engine().events_executed();
+    s.scrub_rows = m.mesh().total_ecc().scrub_rows;
+    return s;
+  }();
+  const UpsetRunSummary b = [] {
+    machine::MachineConfig cfg;
+    cfg.shape.extent = {2, 2, 1, 1, 1, 1};
+    machine::Machine m(cfg);
+    m.start_memory_scrubbers();
+    m.engine().run_until(1 << 16);
+    UpsetRunSummary s;
+    s.digest = m.engine().trace_digest();
+    s.events = m.engine().events_executed();
+    s.scrub_rows = m.mesh().total_ecc().scrub_rows;
+    return s;
+  }();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.scrub_rows, 0u);
+  EXPECT_EQ(a.digest, b.digest);
 }
 
 TEST(KernelProfile, AdditionAndScaling) {
