@@ -50,12 +50,19 @@ void soak() {
   const auto plan = fault::FaultPlan::random_campaign(
       /*seed=*/7, cfg.shape, /*n=*/12, start, horizon);
   injector.arm(plan);
+  // The SCU watchdog rides along in its bounded-affinity sampling mode:
+  // per-node sampler events run inside parallel windows, so monitoring
+  // does not serialize the soak.
+  daemon.watchdog().arm(horizon);
   monitor.monitor_for(horizon);
 
-  std::printf("soak: %llu faults injected over %llu cycles, %llu sweeps\n",
+  std::printf("soak: %llu faults injected over %llu cycles, %llu sweeps, "
+              "%llu watchdog checks\n",
               static_cast<unsigned long long>(injector.injected()),
               static_cast<unsigned long long>(horizon),
-              static_cast<unsigned long long>(monitor.sweeps()));
+              static_cast<unsigned long long>(monitor.sweeps()),
+              static_cast<unsigned long long>(daemon.watchdog().checks()));
+  bench::print_engine(m);
   for (const char* key : {"fault.ber_spike", "fault.link_death",
                           "fault.ack_drop_burst", "fault.data_corruption"}) {
     std::printf("  %-22s %llu\n", key,

@@ -100,6 +100,7 @@ struct EngineRun {
   u64 digest;
   u64 events;
   Cycle end_cycle;
+  u64 heap_blocks_steady;
   sim::EngineReport report;
 };
 
@@ -121,6 +122,14 @@ EngineRun run_engine(std::array<int, 6> shape, Coord4 global, int threads,
   DistField b = op.make_field("b");
   x.zero();
   rig.fill_source(b);
+  // One warm-up iteration fills the action pool and grows every queue to
+  // its working size; the measured solve after the snapshot must then run
+  // without allocating a single heap block per event.
+  CgParams warm;
+  warm.fixed_iterations = 1;
+  cg_solve(op, x, b, warm);
+  const u64 heap0 = sim::detail::action_alloc_stats().heap_blocks();
+  x.zero();
   CgParams params;
   params.fixed_iterations = iterations;
   cg_solve(op, x, b, params);
@@ -130,6 +139,8 @@ EngineRun run_engine(std::array<int, 6> shape, Coord4 global, int threads,
   er.wall_seconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
+  er.heap_blocks_steady =
+      sim::detail::action_alloc_stats().heap_blocks() - heap0;
   er.digest = m.engine().trace_digest();
   er.events = m.engine().events_executed();
   er.end_cycle = m.engine().now();
@@ -163,20 +174,51 @@ void engine_scaling_section() {
   std::printf("  4 threads:%7.2fs wall, %llu events, digest %016llx\n",
               par.wall_seconds, static_cast<unsigned long long>(par.events),
               static_cast<unsigned long long>(par.digest));
-  std::printf("  %s, %.2fs barrier stall\n",
-              perf::format_engine_report(par.report).c_str(),
-              par.report.barrier_stall_seconds);
+  std::printf("  %s\n",
+              perf::format_engine_report(par.report, /*wall_clock=*/true)
+                  .c_str());
+  const EngineRun par2 = run_engine(shape, global, 2, 2);
 
   const bool identical = serial.digest == par.digest &&
                          serial.events == par.events &&
-                         serial.end_cycle == par.end_cycle;
+                         serial.end_cycle == par.end_cycle &&
+                         serial.digest == par2.digest &&
+                         serial.events == par2.events;
   const double speedup = par.wall_seconds > 0
                              ? serial.wall_seconds / par.wall_seconds
                              : 0.0;
   std::printf("  deterministic: %s   speedup: %.2fx\n",
-              identical ? "yes (bit-identical digests)" : "NO -- BUG",
+              identical ? "yes (bit-identical digests at 1/2/4 threads)"
+                        : "NO -- BUG",
               speedup);
+
+  std::vector<bench::EngineBenchRun> runs;
+  for (const EngineRun* r : {&serial, &par2, &par}) {
+    bench::EngineBenchRun br;
+    br.engine = r->threads == 1 ? "serial" : "parallel";
+    br.threads = r->threads;
+    br.events = r->events;
+    br.wall_seconds = r->wall_seconds;
+    br.digest = r->digest;
+    br.heap_blocks_steady = r->heap_blocks_steady;
+    runs.push_back(br);
+  }
+  bench::write_engine_bench_json("BENCH_engine.json", runs, speedup,
+                                 identical);
+
   if (!identical) std::exit(1);
+  // Count-based zero-allocation gate: with the action pool warm, the
+  // measured CG phase must not allocate a single heap block per event.
+  for (const EngineRun* r : {&serial, &par2, &par}) {
+    if (r->heap_blocks_steady != 0) {
+      std::printf(
+          "  FAIL: %d-thread steady-state run allocated %llu heap blocks\n",
+          r->threads,
+          static_cast<unsigned long long>(r->heap_blocks_steady));
+      std::exit(1);
+    }
+  }
+  std::printf("  steady-state heap blocks per event: 0 (gate passed)\n");
   // The >= 2x expectation only stands where the hardware can physically
   // deliver it; on fewer than 4 cores we report the measured number and the
   // determinism guarantee carries the bench.

@@ -74,9 +74,20 @@ class HealthMonitor {
 
   /// Probe every node now (advances the engine by the JTAG round trips) and
   /// apply recovery actions.
+  ///
+  /// A sweep is genuinely GLOBAL: it reads every node's SCU fault and error
+  /// counters, every memory controller's ECC tallies, and drives retraining
+  /// on any marginal link -- its touched set is the whole machine, so it
+  /// cannot ride inside a parallel window under the bounded-affinity
+  /// host-event contract (DESIGN.md).  That is fine here: sweeps are rare
+  /// (default every 2^16 cycles) and the engine pauses at a host slice for
+  /// them.  Detectors that need to run *densely* alongside a job sample
+  /// per-node instead -- see ScuWatchdog::arm() for the pattern.
   HealthSweep sweep();
 
   /// Run the engine for `duration` cycles, sweeping every sweep_period.
+  /// Each sweep runs in its own host slice (a window seam); see sweep()
+  /// for why the sweep cannot be decomposed into node-affine events.
   void monitor_for(Cycle duration);
 
   /// Out-of-band failure report from another detector (e.g. the qdaemon's

@@ -130,6 +130,95 @@ void ScuWatchdog::watch_for(Cycle duration) {
   }
 }
 
+void ScuWatchdog::arm(Cycle duration) {
+  if (armed_) return;
+  armed_ = true;
+  const auto n = static_cast<std::size_t>(machine_->num_nodes());
+  sampled_recv_.assign(n, 0);
+  sampled_undrained_.assign(n, 0);
+  sim::Engine& engine = machine_->engine();
+  const Cycle end = engine.now() + duration;
+  // Per-node samplers carry their own node's affinity (touched set: exactly
+  // that node), so a running job keeps its parallel windows; only the
+  // correlation event, one cycle behind each sampling instant, is a host
+  // event -- and host events bound windows without demoting them.
+  for (u32 i = 0; i < static_cast<u32>(n); ++i) {
+    sim::EngineRef node_ref(&engine, i);
+    node_ref.schedule(cfg_.check_period_cycles,
+                      [this, i, end] { sample_node(i, end); });
+  }
+  sim::EngineRef host_ref(&engine);
+  const Cycle sampled_at = engine.now() + cfg_.check_period_cycles;
+  host_ref.schedule(cfg_.check_period_cycles + 1,
+                    [this, sampled_at, end] { correlate(sampled_at, end); });
+}
+
+void ScuWatchdog::sample_node(u32 i, Cycle end) {
+  const NodeId node{i};
+  scu::Scu& s = machine_->mesh().scu(node);
+  u64 received = 0;
+  u32 undrained = 0;
+  for (int l = 0; l < torus::kLinksPerNode; ++l) {
+    received += s.recv_side(torus::LinkIndex{l}).words_received();
+    if (!s.send_side(torus::LinkIndex{l}).data_drained()) {
+      undrained |= 1u << l;
+    }
+  }
+  const auto idx = static_cast<std::size_t>(i);
+  sampled_recv_[idx] = received;
+  sampled_undrained_[idx] = undrained;
+  sim::EngineRef self_ref(&machine_->engine(), i);
+  if (self_ref.now() + cfg_.check_period_cycles <= end) {
+    self_ref.schedule(cfg_.check_period_cycles,
+                      [this, i, end] { sample_node(i, end); });
+  }
+}
+
+void ScuWatchdog::correlate(Cycle sampled_at, Cycle end) {
+  ++checks_;
+  const auto& topo = machine_->topology();
+  const int n = machine_->num_nodes();
+  for (int i = 0; i < n; ++i) {
+    const NodeId node{static_cast<u32>(i)};
+    const auto idx = static_cast<std::size_t>(i);
+    if (sampled_recv_[idx] != last_recv_[idx]) {
+      last_recv_[idx] = sampled_recv_[idx];
+      last_progress_[idx] = sampled_at;
+      continue;
+    }
+    if (flagged_[idx]) continue;  // sticky: report a node at most once
+    if (sampled_at - last_progress_[idx] < cfg_.stall_cycles) continue;
+    // Same policy as check(): a frozen counter is only a hang when a facing
+    // neighbour sampled undrained send data aimed at this node.
+    bool starving_neighbor = false;
+    for (int l = 0; l < torus::kLinksPerNode && !starving_neighbor; ++l) {
+      const torus::LinkIndex link{l};
+      const NodeId peer = topo.neighbor(node, link);
+      starving_neighbor =
+          ((sampled_undrained_[peer.value] >>
+            static_cast<u32>(torus::facing_link(link).value)) &
+           1u) != 0;
+    }
+    if (!starving_neighbor) continue;
+    flagged_[idx] = true;
+    ++nodes_flagged_;
+    QCDOC_WARN << "watchdog: node " << i << " made no receive progress for "
+               << (sampled_at - last_progress_[idx])
+               << " cycles with neighbour data pending (sampled)";
+    if (health_) {
+      health_->report_external_failure(node, "SCU receive progress stalled");
+    }
+  }
+  const Cycle next_sample = sampled_at + cfg_.check_period_cycles;
+  if (next_sample > end) {
+    armed_ = false;
+    return;
+  }
+  sim::EngineRef host_ref(&machine_->engine());
+  host_ref.schedule(cfg_.check_period_cycles,
+                    [this, next_sample, end] { correlate(next_sample, end); });
+}
+
 NodeBootState Qdaemon::node_state(NodeId n) const {
   return sequencer_->state(n);
 }

@@ -62,6 +62,19 @@ struct WatchdogReport {
 /// has undrained send data is stalled, and gets reported to the
 /// HealthMonitor for quarantine.  Idle nodes (no traffic pending) are
 /// never flagged.
+///
+/// Two operating modes:
+///   - check()/watch_for(): the synchronous diagnostic path.  The host
+///     reads live node state directly, which is only legal with the engine
+///     stopped between runs.
+///   - arm(): the bounded-affinity monitoring path (DESIGN.md, "Host events
+///     and the bounded-affinity contract").  Every check period each node
+///     samples its OWN receive counters and send-drain bits with an event
+///     carrying its own node affinity -- its touched set is exactly itself,
+///     so samples execute inside parallel windows like any node traffic.
+///     A host event one cycle later correlates the sampled slots using pure
+///     host-side memory.  The watchdog therefore rides along a running job
+///     without serializing the simulation.
 class ScuWatchdog {
  public:
   /// `health` may be null (detection only, no escalation sink).
@@ -75,6 +88,13 @@ class ScuWatchdog {
   /// Run the engine for `duration` cycles, checking every check_period.
   void watch_for(Cycle duration);
 
+  /// Schedule the event-driven sampling mode for `duration` cycles from
+  /// now, then return immediately; the caller runs the engine (typically by
+  /// running a job).  Idempotent while armed; may be re-armed after the
+  /// previous watch expires.
+  void arm(Cycle duration);
+  [[nodiscard]] bool armed() const { return armed_; }
+
   [[nodiscard]] bool stalled(NodeId n) const {
     return flagged_[n.value];
   }
@@ -83,6 +103,15 @@ class ScuWatchdog {
   const WatchdogConfig& config() const { return cfg_; }
 
  private:
+  /// Node-affine sampler body: node `i` records its receive-word sum and
+  /// per-link send-undrained mask into its own slot.  Touches no other
+  /// node's state.
+  void sample_node(u32 i, Cycle end);
+  /// Host correlation body: applies the check() stall policy to the
+  /// sampled slots taken one cycle earlier; re-arms itself until the next
+  /// sampling instant would pass `end`.
+  void correlate(Cycle sampled_at, Cycle end);
+
   machine::Machine* machine_;
   HealthMonitor* health_;
   WatchdogConfig cfg_;
@@ -91,6 +120,12 @@ class ScuWatchdog {
   std::vector<u64> last_recv_;
   std::vector<Cycle> last_progress_;
   std::vector<bool> flagged_;
+  /// arm() slots, one per node, each written only by its owning node's
+  /// sampler event: receive-word sum and a bitmask of links whose send
+  /// side still holds undrained data.
+  std::vector<u64> sampled_recv_;
+  std::vector<u32> sampled_undrained_;
+  bool armed_ = false;
   u64 checks_ = 0;
   u64 nodes_flagged_ = 0;
 };

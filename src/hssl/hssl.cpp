@@ -20,6 +20,10 @@ Hssl::Hssl(sim::EngineRef engine, HsslConfig cfg, Rng error_stream,
            sim::StatSet* stats)
     : engine_(engine), delivery_(engine), cfg_(cfg), errors_(error_stream),
       stats_(stats) {
+  if (stats_) {
+    stat_frames_ = stats_->cell("hssl.frames");
+    stat_bits_ = stats_->cell("hssl.bits");
+  }
   set_bit_error_rate(cfg_.bit_error_rate);  // clamp whatever the config holds
 }
 
@@ -98,8 +102,8 @@ void Hssl::start_next() {
   }
   busy_cycles_ += static_cast<Cycle>(frame.bits);
   if (stats_) {
-    stats_->add("hssl.frames");
-    stats_->add("hssl.bits", static_cast<u64>(frame.bits));
+    ++*stat_frames_;
+    *stat_bits_ += static_cast<u64>(frame.bits);
     if (flipped > 0) stats_->add("hssl.bits_flipped", static_cast<u64>(flipped));
   }
 
@@ -116,11 +120,12 @@ void Hssl::start_next() {
   // Delivery executes at the receiving node.  The serialization time plus
   // the wire delay is never shorter than a minimum frame plus the wire
   // delay, which is exactly the parallel engine's lookahead.
-  delivery_.schedule(serialize + cfg_.wire_delay_cycles,
-                     [this, epoch = epoch_, frame = std::move(frame), flipped] {
-                       if (epoch != epoch_) return;
-                       if (frame.on_delivered) frame.on_delivered(frame.id, flipped);
-                     });
+  delivery_.schedule(
+      serialize + cfg_.wire_delay_cycles,
+      [this, epoch = epoch_, frame = std::move(frame), flipped]() mutable {
+        if (epoch != epoch_) return;
+        if (frame.on_delivered) frame.on_delivered(frame.id, flipped);
+      });
 }
 
 Cycle Hssl::idle_cycles() const {

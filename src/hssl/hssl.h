@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/engine.h"
+#include "sim/small_fn.h"
 #include "sim/stats.h"
 
 namespace qcdoc::hssl {
@@ -47,8 +48,11 @@ const char* to_string(LinkState s);
 class Hssl {
  public:
   /// `on_delivered(frame_id, flipped_bits)` fires when the last bit of a
-  /// frame (plus wire delay) reaches the receiver.
-  using DeliveryFn = std::function<void(u64 frame_id, int flipped_bits)>;
+  /// frame (plus wire delay) reaches the receiver.  A pooled small-buffer
+  /// callable, not std::function: the SCU's per-frame capture (link + wire
+  /// frame + packet) overflows std::function's inline buffer and was
+  /// costing one heap allocation per transmitted frame.
+  using DeliveryFn = sim::SmallFn<void(u64 frame_id, int flipped_bits)>;
 
   /// Returned by transmit() when the link refuses the frame (failed or
   /// unpowered).  Callers must treat it as a hard link fault.
@@ -112,6 +116,10 @@ class Hssl {
   HsslConfig cfg_;
   Rng errors_;
   sim::StatSet* stats_;
+  // Per-frame hot counters, resolved once (StatSet::cell) instead of a
+  // string-keyed map lookup per transmitted frame.
+  u64* stat_frames_ = nullptr;
+  u64* stat_bits_ = nullptr;
 
   LinkState state_ = LinkState::kDown;
   Cycle trained_at_ = 0;

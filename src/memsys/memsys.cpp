@@ -49,11 +49,18 @@ u64 NodeMemory::nth_allocated_word(u64 i) const {
 }
 
 std::vector<u64>* NodeMemory::chunk_of(u64 word_addr, u64* offset) {
+  if (word_addr - cache_base_ < cache_words_) {
+    *offset = word_addr - cache_base_;
+    return cache_chunk_;
+  }
   auto it = chunks_.upper_bound(word_addr);
   if (it == chunks_.begin()) return nullptr;
   --it;
   if (word_addr >= it->first + it->second.size()) return nullptr;
   *offset = word_addr - it->first;
+  cache_base_ = it->first;
+  cache_words_ = it->second.size();
+  cache_chunk_ = &it->second;
   return &it->second;
 }
 

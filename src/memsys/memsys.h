@@ -95,6 +95,13 @@ class NodeMemory {
   MemConfig cfg_;
   // start word address -> storage of the allocation beginning there
   std::map<u64, std::vector<u64>> chunks_;
+  // Last chunk hit by chunk_of(): DMA and scrub traffic walks allocations
+  // word by word, so nearly every lookup lands in the previous chunk.  The
+  // cache needs no invalidation -- chunks_ is append-only (alloc_in only
+  // emplaces) and each allocation's vector never resizes.
+  mutable u64 cache_base_ = ~0ull;
+  mutable u64 cache_words_ = 0;
+  mutable std::vector<u64>* cache_chunk_ = nullptr;
   u64 edram_next_ = 0;
   u64 ddr_next_;
   u64 allocated_words_ = 0;

@@ -16,6 +16,12 @@
 // are bit-identical with or without this module linked in.  Scrub events
 // carry their node's affinity, so the parallel engine shards them exactly
 // like SCU traffic and the walk order is reproducible at any thread count.
+//
+// The scrubber is the model citizen of the bounded-affinity host-event
+// contract (DESIGN.md): every event it schedules touches exactly one
+// node's memory -- its own -- so scrub bursts run inside parallel windows
+// at full concurrency, never forcing a window seam the way a global
+// host-side sweep (host::HealthMonitor::sweep) must.
 #pragma once
 
 #include "memsys/ecc.h"

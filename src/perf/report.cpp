@@ -28,13 +28,24 @@ std::string format_table(const std::vector<Row>& rows) {
   return out.str();
 }
 
-std::string format_engine_report(const sim::EngineReport& r) {
-  char line[256];
+std::string format_engine_report(const sim::EngineReport& r,
+                                 bool wall_clock) {
+  char line[512];
   if (r.kind != "parallel") {
     std::snprintf(line, sizeof(line), "engine: %s, %llu events",
                   r.kind.c_str(),
                   static_cast<unsigned long long>(r.events));
-    return line;
+    std::string out = line;
+    if (wall_clock) {
+      std::snprintf(line, sizeof(line),
+                    "\nengine wall clock: action pool %llu blocks / %llu "
+                    "reuses / %llu oversize",
+                    static_cast<unsigned long long>(r.action_pool_blocks),
+                    static_cast<unsigned long long>(r.action_pool_reuses),
+                    static_cast<unsigned long long>(r.action_oversize_allocs));
+      out += line;
+    }
+    return out;
   }
   u64 min_shard = ~u64{0}, max_shard = 0;
   for (const u64 e : r.shard_events) {
@@ -42,21 +53,42 @@ std::string format_engine_report(const sim::EngineReport& r) {
     max_shard = std::max(max_shard, e);
   }
   if (r.shard_events.empty()) min_shard = 0;
-  // Deliberately no wall-clock figures here: this line goes into example
-  // and bench output that must be bit-identical run to run.  Barrier stall
-  // time lives in EngineReport for callers that want it.
+  // Deliberately no wall-clock figures on the first line: it goes into
+  // example and bench output that must be bit-identical run to run.  The
+  // timing-dependent diagnostics (barrier stall, wait histogram, allocator
+  // counters) only appear on the opt-in wall_clock line.
   std::snprintf(line, sizeof(line),
                 "engine: parallel, %d threads, lookahead %llu cycles, "
                 "%llu events (shards %llu..%llu), windows %llu par / %llu "
-                "ser, %llu cross-shard",
+                "ff / %llu host, %llu cross-shard, peak pending %llu",
                 r.threads, static_cast<unsigned long long>(r.lookahead),
                 static_cast<unsigned long long>(r.events),
                 static_cast<unsigned long long>(min_shard),
                 static_cast<unsigned long long>(max_shard),
                 static_cast<unsigned long long>(r.windows_parallel),
                 static_cast<unsigned long long>(r.windows_serial),
-                static_cast<unsigned long long>(r.cross_shard_events));
-  return line;
+                static_cast<unsigned long long>(r.windows_host),
+                static_cast<unsigned long long>(r.cross_shard_events),
+                static_cast<unsigned long long>(r.peak_pending_events));
+  std::string out = line;
+  if (wall_clock) {
+    std::snprintf(line, sizeof(line),
+                  "\nengine wall clock: %.2fs barrier stall, action pool "
+                  "%llu blocks / %llu reuses / %llu oversize, waits",
+                  r.barrier_stall_seconds,
+                  static_cast<unsigned long long>(r.action_pool_blocks),
+                  static_cast<unsigned long long>(r.action_pool_reuses),
+                  static_cast<unsigned long long>(r.action_oversize_allocs));
+    out += line;
+    // Histogram bucket 0 is "no wait"; bucket k >= 1 covers waits of
+    // [2^(k-1), 2^k) microseconds, with the last bucket open-ended.
+    for (std::size_t b = 0; b < r.barrier_wait_hist.size(); ++b) {
+      std::snprintf(line, sizeof(line), " %llu",
+                    static_cast<unsigned long long>(r.barrier_wait_hist[b]));
+      out += line;
+    }
+  }
+  return out;
 }
 
 std::string format_mem_resilience_report(machine::Machine& m) {

@@ -26,9 +26,16 @@ struct Row {
 std::string format_table(const std::vector<Row>& rows);
 
 /// One-line summary of which simulation engine ran and how hard it worked:
-/// kind, thread count, events, and -- for the parallel engine -- window and
-/// cross-shard counts, barrier stall time, and the per-shard event spread.
-std::string format_engine_report(const sim::EngineReport& r);
+/// kind, thread count, events, and -- for the parallel engine -- slice
+/// counts (parallel windows / single-shard fast-forwards / host slices),
+/// cross-shard schedules, peak pending depth, and the per-shard event
+/// spread.  The default line carries only deterministic counters so bench
+/// and example output stays bit-identical run to run; pass
+/// `wall_clock = true` to append a second line with the timing-dependent
+/// diagnostics (barrier stall seconds, the barrier-wait histogram, and the
+/// action-pool allocation counters).
+std::string format_engine_report(const sim::EngineReport& r,
+                                 bool wall_clock = false);
 
 /// One-line summary of the machine's memory-resilience counters, summed
 /// over every node: upsets injected, ECC corrections, rewrite clears,

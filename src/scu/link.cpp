@@ -11,6 +11,10 @@ namespace qcdoc::scu {
 SendSide::SendSide(sim::EngineRef engine, hssl::Hssl* wire, LinkParams params,
                    sim::StatSet* stats)
     : engine_(engine), wire_(wire), params_(params), stats_(stats) {
+  if (stats_) {
+    stat_data_sent_ = stats_->cell("scu.data_sent");
+    stat_acks_ = stats_->cell("scu.acks");
+  }
   wire_->set_ready_callback([this] {
     frame_in_flight_ = false;
     pump();
@@ -102,7 +106,7 @@ void SendSide::pump() {
     // (Re)transmission of an already-windowed word.
     const Pending& p = unacked_[send_cursor_++];
     transmit(Packet{PacketType::kData, p.word, p.seq});
-    if (stats_) stats_->add("scu.data_sent");
+    if (stat_data_sent_) ++*stat_data_sent_;
     return;
   }
   if (!data_queue_.empty() &&
@@ -116,7 +120,7 @@ void SendSide::pump() {
     send_cursor_ = unacked_.size();
     arm_timeout();
     transmit(Packet{PacketType::kData, word, seq});
-    if (stats_) stats_->add("scu.data_sent");
+    if (stat_data_sent_) ++*stat_data_sent_;
     return;
   }
 }
@@ -198,7 +202,7 @@ std::size_t SendSide::pop_acked_below(u8 expected) {
   if (d > 0) {
     oldest_unacked_since_ = engine_.now();
     consecutive_timeouts_ = 0;  // forward progress: the link is alive
-    if (stats_) stats_->add("scu.acks", d);
+    if (stat_acks_) *stat_acks_ += d;
     if (data_drained() && on_data_drained_) on_data_drained_();
   }
   return d;
@@ -244,7 +248,9 @@ RecvSide::RecvSide(sim::EngineRef engine, LinkParams params, sim::StatSet* stats
     : engine_(engine),
       params_(params),
       stats_(stats),
-      corrupt_rng_(corruption_stream) {}
+      corrupt_rng_(corruption_stream) {
+  if (stats_) stat_data_received_ = stats_->cell("scu.data_received");
+}
 
 void RecvSide::on_frame(WireFrame frame, int flipped, const Packet& sent) {
   if (flipped > 0) frame.corrupt(flipped, corrupt_rng_);
@@ -328,7 +334,7 @@ void RecvSide::accept_data(u64 word, u8 seq) {
     expected_seq_ = static_cast<u8>((expected_seq_ + 1) & 0x3);
     checksum_ += word;
     ++words_received_;
-    if (stats_) stats_->add("scu.data_received");
+    if (stat_data_received_) ++*stat_data_received_;
     // Cumulative acknowledgement: "everything before expected_seq_".
     if (reverse_) reverse_->enqueue_control(PacketType::kAck, expected_seq_);
     data_sink_(word);
@@ -352,7 +358,7 @@ void RecvSide::set_data_sink(std::function<void(u64)> sink) {
     held_.pop_front();
     checksum_ += h.word;
     ++words_received_;
-    if (stats_) stats_->add("scu.data_received");
+    if (stat_data_received_) ++*stat_data_received_;
     // expected_seq_ already advanced when the word was held; acknowledge
     // cumulatively up to one past this word's sequence.
     if (reverse_) {

@@ -119,6 +119,10 @@ class SendSide {
   hssl::Hssl* wire_;
   LinkParams params_;
   sim::StatSet* stats_;
+  // Per-word hot counters, resolved once (StatSet::cell) instead of paying a
+  // string-keyed map lookup on every transmitted/acknowledged word.
+  u64* stat_data_sent_ = nullptr;
+  u64* stat_acks_ = nullptr;
   RecvSide* remote_ = nullptr;
 
   // Normal data stream (go-back-N with a 2-bit sequence, window 3).
@@ -208,6 +212,7 @@ class RecvSide {
   sim::EngineRef engine_;
   LinkParams params_;
   sim::StatSet* stats_;
+  u64* stat_data_received_ = nullptr;  ///< hot cell, see SendSide
   Rng corrupt_rng_;
 
   SendSide* reverse_ = nullptr;

@@ -102,6 +102,10 @@ EngineReport SerialEngine::report() const {
   EngineReport rep;
   rep.kind = "serial";
   rep.events = events_;
+  const detail::ActionAllocStats a = detail::action_alloc_stats();
+  rep.action_pool_blocks = a.pool_blocks - alloc_base_.pool_blocks;
+  rep.action_pool_reuses = a.pool_reuses - alloc_base_.pool_reuses;
+  rep.action_oversize_allocs = a.oversize_allocs - alloc_base_.oversize_allocs;
   return rep;
 }
 

@@ -31,15 +31,16 @@
 // exact same times.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
-#include <functional>
 #include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "sim/event_fn.h"
 
 namespace qcdoc::sim {
 
@@ -135,17 +136,32 @@ struct EngineReport {
   Cycle lookahead = 0;
   u64 events = 0;
   u64 windows_parallel = 0;          ///< windows run with workers engaged
-  u64 windows_serial = 0;            ///< windows run on the coordinator only
+  u64 windows_serial = 0;            ///< single-shard slices, coordinator only
+  u64 windows_host = 0;              ///< host-event slices at window seams
   u64 cross_shard_events = 0;        ///< events exchanged at window barriers
+  u64 parallel_window_events = 0;    ///< events executed inside parallel windows
+  u64 peak_pending_events = 0;       ///< high-water pending count (barrier-sampled)
   double barrier_stall_seconds = 0;  ///< coordinator wall time at barriers
-  std::vector<u64> shard_events;     ///< events executed per shard
+  /// Wall time the coordinator waited per barrier, bucketed by log2
+  /// microseconds: [0] no wait, [1] <2us, [2] <4us ... [15] >=16ms.
+  std::array<u64, 16> barrier_wait_hist{};
+  /// Action-storage heap traffic over this engine's lifetime (process-global
+  /// counter deltas; see sim/event_fn.h).  Steady state must not grow
+  /// pool_blocks or oversize_allocs -- the benches gate on exactly that.
+  u64 action_pool_blocks = 0;    ///< fresh pool blocks carved for big actions
+  u64 action_pool_reuses = 0;    ///< freelist recycles (no heap traffic)
+  u64 action_oversize_allocs = 0;  ///< actions too big even for a pool block
+  std::vector<u64> shard_events;   ///< events executed per shard
 };
 
 /// Abstract engine interface.  See the file comment for the execution-order
 /// contract shared by all implementations.
 class Engine {
  public:
-  using Action = std::function<void()>;
+  /// Event actions are pooled small-buffer callables, not std::function --
+  /// a typical action's captures overflow std::function's inline buffer and
+  /// would cost one heap allocation per scheduled event (see event_fn.h).
+  using Action = EventFn;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -305,6 +321,7 @@ class SerialEngine final : public Engine {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<Stream> streams_;
   u64 events_ = 0;
+  detail::ActionAllocStats alloc_base_ = detail::action_alloc_stats();
 };
 
 /// Worker-thread count from QCDOC_SIM_THREADS (default 1, clamped to

@@ -1,6 +1,7 @@
 #include "sim/parallel_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <utility>
 
@@ -35,6 +36,13 @@ ParallelEngine::ParallelEngine(ParallelConfig cfg) : cfg_(cfg) {
     shard_begin_[static_cast<std::size_t>(w)] =
         static_cast<u32>(static_cast<u64>(num_ranks) * static_cast<u64>(w) /
                          static_cast<u64>(cfg_.threads));
+  }
+  rank_owner_.resize(num_ranks);
+  for (int w = 0; w < cfg_.threads; ++w) {
+    for (u32 r = shard_begin_[static_cast<std::size_t>(w)];
+         r < shard_begin_[static_cast<std::size_t>(w) + 1]; ++r) {
+      rank_owner_[r] = static_cast<u32>(w);
+    }
   }
   slots_.resize(static_cast<std::size_t>(cfg_.threads));
   for (auto& s : slots_) s.owner = this;
@@ -74,12 +82,30 @@ void ParallelEngine::check_not_in_event() const {
   }
 }
 
-Cycle ParallelEngine::global_min() const {
+Cycle ParallelEngine::shard_top(int w) {
+  auto& heap = slots_[static_cast<std::size_t>(w)].heap;
+  while (!heap.empty()) {
+    const HeadPos hp = heap.front();
+    if (ranks_[hp.rank].q.min_time() == hp.time) return hp.time;
+    std::pop_heap(heap.begin(), heap.end(), HeadPosAfter{});
+    heap.pop_back();  // stale: that head was executed or displaced
+  }
+  return kNoEvent;
+}
+
+Cycle ParallelEngine::global_min() {
   Cycle m = kNoEvent;
-  for (const RankQ& rq : ranks_) {
-    if (!rq.q.empty() && rq.q.top().time < m) m = rq.q.top().time;
+  for (int w = 0; w < cfg_.threads; ++w) {
+    const Cycle t = shard_top(w);
+    if (t < m) m = t;
   }
   return m;
+}
+
+void ParallelEngine::shard_push_entry(u32 rank, Cycle t) {
+  auto& heap = slots_[rank_owner_[rank]].heap;
+  heap.push_back(HeadPos{t, rank});
+  std::push_heap(heap.begin(), heap.end(), HeadPosAfter{});
 }
 
 void ParallelEngine::schedule_at_on(Affinity dest, Cycle t, Action fn) {
@@ -93,36 +119,64 @@ void ParallelEngine::schedule_at_on(Affinity dest, Cycle t, Action fn) {
   const Cycle current = now();
   if (t < current) throw_past(t, current);
   const u32 src = detail::affinity_rank(current_affinity());
+  if (src != 0 && dest_rank != src && dest_rank != 0 &&
+      t < current + cfg_.lookahead) {
+    // Uniform lookahead enforcement: a node reaching into another node
+    // sooner than the HSSL physics allows is a model bug, and must fail on
+    // every execution path, not only when it happens to land in a parallel
+    // window.  Node-to-host schedules are exempt: the host queue serializes
+    // them exactly (see the file comment in parallel_engine.h).
+    throw std::logic_error(
+        "ParallelEngine: cross-node event violates the lookahead window "
+        "(t=" + std::to_string(t) + " < " + std::to_string(current) + " + " +
+        std::to_string(cfg_.lookahead) + ")");
+  }
+  QueuedEvent ev{t, src, ranks_[src].scheduled++, std::move(fn)};
   if (t_window_engine == this) {
     // Inside a parallel window: the seq counter of `src` belongs to the
     // executing worker, as does the destination queue iff it is our own
-    // rank.  Everything else must clear the window (the lookahead
-    // guarantee) and goes through the outbox.
-    Event ev{t, src, ranks_[src].scheduled++, std::move(fn)};
+    // rank.  Everything else must clear the window and goes through the
+    // outbox -- including host-bound events, which otherwise could land
+    // behind node events this window already executed.
+    auto* slot = static_cast<WorkerSlot*>(t_slot);
+    ++slot->window_pushed;
     if (dest_rank == src) {
       ranks_[dest_rank].q.push(std::move(ev));
       return;
     }
     if (t < win_end_) {
       throw std::logic_error(
-          "ParallelEngine: cross-node event violates the lookahead window "
-          "(t=" + std::to_string(t) +
-          " < window end " + std::to_string(win_end_) + ")");
+          "ParallelEngine: cross-shard event inside a parallel window "
+          "(t=" + std::to_string(t) + " < window end " +
+          std::to_string(win_end_) + ")");
     }
-    auto* slot = static_cast<WorkerSlot*>(t_slot);
     slot->outbox.emplace_back(dest_rank, std::move(ev));
     return;
   }
-  push_serial(dest_rank, Event{t, src, ranks_[src].scheduled++, std::move(fn)});
+  ++pushed_total_;
+  push_serial(dest_rank, std::move(ev));
 }
 
-void ParallelEngine::push_serial(u32 dest_rank, Event ev) {
+void ParallelEngine::push_serial(u32 dest_rank, QueuedEvent ev) {
   RankQ& rq = ranks_[dest_rank];
-  const bool new_head = rq.q.empty() || Later{}(rq.q.top(), ev);
-  if (index_valid_ && new_head) {
-    index_.push(HeadRef{ev.time, dest_rank, ev.src_rank, ev.seq});
+  if (index_valid_) {
+    const EventKey k{ev.time, ev.src_rank, ev.seq};
+    if (rq.q.empty() || k < rq.q.min_key()) {
+      index_.push(HeadRef{ev.time, dest_rank, ev.src_rank, ev.seq});
+    }
   }
-  rq.q.push(std::move(ev));
+  const Cycle t = ev.time;
+  if (rq.q.push(std::move(ev))) {
+    // The event became its rank's new head: cover it with a shard-heap
+    // entry, and -- when a single-shard fast-forward is running -- tighten
+    // the foreign-event bound it must respect.
+    shard_push_entry(dest_rank, t);
+    if (serial_shard_ >= 0 &&
+        rank_owner_[dest_rank] != static_cast<u32>(serial_shard_) &&
+        t < serial_foreign_min_) {
+      serial_foreign_min_ = t;
+    }
+  }
 }
 
 void ParallelEngine::rebuild_index() {
@@ -130,8 +184,8 @@ void ParallelEngine::rebuild_index() {
   for (u32 r = 0; r < ranks_.size(); ++r) {
     const RankQ& rq = ranks_[r];
     if (rq.q.empty()) continue;
-    const Event& top = rq.q.top();
-    index_.push(HeadRef{top.time, r, top.src_rank, top.seq});
+    const EventKey k = rq.q.min_key();
+    index_.push(HeadRef{k.time, r, k.src_rank, k.seq});
   }
   index_valid_ = true;
 }
@@ -140,16 +194,18 @@ u32 ParallelEngine::pop_valid_head() {
   while (!index_.empty()) {
     const HeadRef h = index_.top();
     const RankQ& rq = ranks_[h.dest_rank];
-    if (!rq.q.empty() && rq.q.top().time == h.time &&
-        rq.q.top().src_rank == h.src_rank && rq.q.top().seq == h.seq) {
-      return h.dest_rank;
+    if (!rq.q.empty()) {
+      const EventKey k = rq.q.min_key();
+      if (k.time == h.time && k.src_rank == h.src_rank && k.seq == h.seq) {
+        return h.dest_rank;
+      }
     }
     index_.pop();  // stale: that event was executed or displaced
   }
   return static_cast<u32>(ranks_.size());
 }
 
-void ParallelEngine::exec_event(u32 rank, Event ev) {
+void ParallelEngine::exec_event(u32 rank, QueuedEvent ev) {
   RankQ& rq = ranks_[rank];
   if (ev.time < rq.last_exec) {
     throw std::logic_error(
@@ -162,6 +218,11 @@ void ParallelEngine::exec_event(u32 rank, Event ev) {
   rq.digest = detail::fnv1a(rq.digest, (u64{rank} << 32) | ev.src_rank);
   rq.digest = detail::fnv1a(rq.digest, ev.seq);
   ++rq.executed;
+  if (t_window_engine == this) {
+    ++static_cast<WorkerSlot*>(t_slot)->window_executed;
+  } else {
+    ++executed_total_;
+  }
   const detail::ScopedExecCtx ctx(this, ev.time, detail::rank_affinity(rank));
   ev.fn();
 }
@@ -173,48 +234,113 @@ bool ParallelEngine::step() {
   if (rank >= ranks_.size()) return false;
   index_.pop();
   RankQ& rq = ranks_[rank];
-  Event ev = std::move(const_cast<Event&>(rq.q.top()));
-  rq.q.pop();
-  now_ = ev.time;
+  const Cycle popped_t = rq.q.min_time();
+  QueuedEvent ev = rq.q.pop_min();
+  if (ev.time > now_) now_ = ev.time;
   exec_event(rank, std::move(ev));
   if (!rq.q.empty()) {
-    const Event& top = rq.q.top();
-    index_.push(HeadRef{top.time, rank, top.src_rank, top.seq});
+    const EventKey k = rq.q.min_key();
+    index_.push(HeadRef{k.time, rank, k.src_rank, k.seq});
+    if (k.time != popped_t) shard_push_entry(rank, k.time);
   }
   return true;
 }
 
-void ParallelEngine::run_window(Cycle start, Cycle end,
-                                const ActiveCounter* stop) {
-  (void)start;
-  const RankQ& host = ranks_[0];
-  const bool host_in_window = !host.q.empty() && host.q.top().time < end;
-  if (cfg_.threads <= 1 || host_in_window) {
-    run_window_serial(end, stop);
-  } else {
-    run_window_parallel(end);
+bool ParallelEngine::run_slice(Cycle limit, const ActiveCounter* stop) {
+  const Cycle T = global_min();
+  if (T == kNoEvent || T >= limit) return false;
+  const Cycle host_head = ranks_[0].q.min_time();
+  if (host_head == T) {
+    run_host_slice(T, stop);
+    return true;
   }
-}
-
-void ParallelEngine::run_window_serial(Cycle end, const ActiveCounter* stop) {
-  ++windows_serial_;
-  if (!index_valid_) rebuild_index();
-  for (;;) {
-    if (stop && stop->value() == 0) return;
-    const u32 rank = pop_valid_head();
-    if (rank >= ranks_.size()) return;
-    if (index_.top().time >= end) return;
-    index_.pop();
-    RankQ& rq = ranks_[rank];
-    Event ev = std::move(const_cast<Event&>(rq.q.top()));
-    rq.q.pop();
-    now_ = ev.time;
-    exec_event(rank, std::move(ev));
-    if (!rq.q.empty()) {
-      const Event& top = rq.q.top();
-      index_.push(HeadRef{top.time, rank, top.src_rank, top.seq});
+  Cycle end = T + cfg_.lookahead;
+  if (limit < end) end = limit;
+  if (host_head < end) end = host_head;
+  // Count shards with work in [T, end); global_min() just cleansed every
+  // shard heap, so the fronts are live heads.
+  int occupied = 0;
+  int only = 0;
+  for (int w = 0; w < cfg_.threads; ++w) {
+    const auto& heap = slots_[static_cast<std::size_t>(w)].heap;
+    if (!heap.empty() && heap.front().time < end) {
+      ++occupied;
+      only = w;
     }
   }
+  if (occupied >= 2) {
+    run_window_parallel(end);
+  } else {
+    run_shard_serial(only, limit, stop);
+  }
+  return true;
+}
+
+void ParallelEngine::run_host_slice(Cycle t, const ActiveCounter* stop) {
+  ++windows_host_;
+  index_valid_ = false;
+  RankQ& host = ranks_[0];
+  while (host.q.min_time() == t) {
+    if (stop != nullptr && stop->value() == 0) break;
+    if (t > now_) now_ = t;
+    exec_event(0, host.q.pop_min());
+  }
+  const Cycle m = host.q.min_time();
+  if (m != kNoEvent && m != t) shard_push_entry(0, m);
+}
+
+void ParallelEngine::run_shard_serial(int w, Cycle limit,
+                                      const ActiveCounter* stop) {
+  ++windows_serial_;
+  index_valid_ = false;
+  auto& heap = slots_[static_cast<std::size_t>(w)].heap;
+  // Earliest pending event on any foreign shard.  The fronts are live
+  // (global_min() cleansed them) and while this shard runs alone only its
+  // own pushes can add foreign events, which push_serial folds in below.
+  Cycle fmin = kNoEvent;
+  for (int v = 0; v < cfg_.threads; ++v) {
+    if (v == w) continue;
+    const auto& h = slots_[static_cast<std::size_t>(v)].heap;
+    if (!h.empty() && h.front().time < fmin) fmin = h.front().time;
+  }
+  serial_shard_ = w;
+  serial_foreign_min_ = fmin;
+  bool stopped = false;
+  while (!stopped) {
+    if (stop != nullptr && stop->value() == 0) break;
+    const Cycle top = shard_top(w);
+    if (top == kNoEvent) break;
+    // Any pending foreign event bounds us exactly: when it runs it may
+    // schedule a host event at its own timestamp (node-to-host schedules
+    // have no lookahead), and host events order before everything at or
+    // after their time.  A pending host event bounds us exactly too.
+    Cycle bound = limit;
+    if (serial_foreign_min_ < bound) bound = serial_foreign_min_;
+    if (w != 0 && ranks_[0].q.min_time() < bound) {
+      bound = ranks_[0].q.min_time();
+    }
+    if (top >= bound) break;
+    const u32 r = heap.front().rank;
+    std::pop_heap(heap.begin(), heap.end(), HeadPosAfter{});
+    heap.pop_back();
+    RankQ& rq = ranks_[r];
+    while (rq.q.min_time() == top) {
+      if (top > now_) now_ = top;
+      exec_event(r, rq.q.pop_min());
+      if (stop != nullptr && stop->value() == 0) {
+        stopped = true;
+        break;
+      }
+      // A same-time schedule onto the host must run before this rank's
+      // remaining events at `top` (rank 0 orders first).  Fall back to the
+      // heap, which now holds the host's entry (w == 0), or return to the
+      // slice driver (w != 0).
+      if (r != 0 && ranks_[0].q.min_time() == top) break;
+    }
+    const Cycle m = rq.q.min_time();
+    if (m != kNoEvent) shard_push_entry(r, m);
+  }
+  serial_shard_ = -1;
 }
 
 void ParallelEngine::run_window_parallel(Cycle end) {
@@ -240,11 +366,22 @@ void ParallelEngine::run_window_parallel(Cycle end) {
       done_count_.wait(done, std::memory_order_acquire);
       done = done_count_.load(std::memory_order_acquire);
     }
-    barrier_stall_seconds_ +=
+    const double stall =
         // qcdoc-lint: allow(wall-clock) perf accounting only, as above.
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wait_start)
             .count();
+    barrier_stall_seconds_ += stall;
+    std::size_t bucket = 1;  // waited, sub-microsecond
+    if (stall * 1e6 >= 1.0) {
+      const u64 us = static_cast<u64>(stall * 1e6);
+      bucket = std::min<std::size_t>(
+          1 + static_cast<std::size_t>(std::bit_width(us)),
+          barrier_hist_.size() - 1);
+    }
+    ++barrier_hist_[bucket];
+  } else {
+    ++barrier_hist_[0];  // workers beat the coordinator: no wait at all
   }
 
   for (WorkerSlot& slot : slots_) {
@@ -258,12 +395,18 @@ void ParallelEngine::run_window_parallel(Cycle end) {
   for (WorkerSlot& slot : slots_) {
     cross_shard_events_ += slot.outbox.size();
     for (auto& [dest, ev] : slot.outbox) {
-      ranks_[dest].q.push(std::move(ev));
+      const Cycle t = ev.time;
+      if (ranks_[dest].q.push(std::move(ev))) shard_push_entry(dest, t);
     }
     slot.outbox.clear();
     if (slot.window_max > latest) latest = slot.window_max;
+    pushed_total_ += slot.window_pushed;
+    executed_total_ += slot.window_executed;
+    parallel_window_events_ += slot.window_executed;
   }
   now_ = latest;
+  const u64 pending = pushed_total_ - executed_total_;
+  if (pending > peak_pending_) peak_pending_ = pending;
 }
 
 void ParallelEngine::process_shard(int w) {
@@ -271,17 +414,35 @@ void ParallelEngine::process_shard(int w) {
   t_window_engine = this;
   t_slot = &slot;
   slot.window_max = 0;
+  slot.window_pushed = 0;
+  slot.window_executed = 0;
   try {
-    for (u32 r = shard_begin_[static_cast<std::size_t>(w)];
-         r < shard_begin_[static_cast<std::size_t>(w) + 1]; ++r) {
-      RankQ& rq = ranks_[r];
-      while (!rq.q.empty() && rq.q.top().time < win_end_) {
-        Event ev = std::move(const_cast<Event&>(rq.q.top()));
-        rq.q.pop();
-        exec_event(r, std::move(ev));
+    auto& heap = slot.heap;
+    for (;;) {
+      // Cleanse the heap top down to a live head inside the window.
+      Cycle top = kNoEvent;
+      while (!heap.empty()) {
+        const HeadPos hp = heap.front();
+        if (ranks_[hp.rank].q.min_time() == hp.time) {
+          top = hp.time;
+          break;
+        }
+        std::pop_heap(heap.begin(), heap.end(), HeadPosAfter{});
+        heap.pop_back();
       }
-      if (rq.executed > 0 && rq.last_exec > slot.window_max) {
-        slot.window_max = rq.last_exec;
+      if (top >= win_end_) break;  // includes empty (kNoEvent)
+      const u32 r = heap.front().rank;
+      std::pop_heap(heap.begin(), heap.end(), HeadPosAfter{});
+      heap.pop_back();
+      RankQ& rq = ranks_[r];
+      Cycle m;
+      while ((m = rq.q.min_time()) < win_end_) {
+        exec_event(r, rq.q.pop_min());
+      }
+      if (rq.last_exec > slot.window_max) slot.window_max = rq.last_exec;
+      if (m != kNoEvent) {
+        heap.push_back(HeadPos{m, r});
+        std::push_heap(heap.begin(), heap.end(), HeadPosAfter{});
       }
     }
   } catch (...) {
@@ -293,20 +454,15 @@ void ParallelEngine::process_shard(int w) {
 
 Cycle ParallelEngine::run_until_idle() {
   check_not_in_event();
-  for (;;) {
-    const Cycle t = global_min();
-    if (t == kNoEvent) break;
-    run_window(t, t + cfg_.lookahead, nullptr);
+  while (run_slice(kNoEvent, nullptr)) {
   }
   return now_;
 }
 
 void ParallelEngine::run_until(Cycle t) {
   check_not_in_event();
-  for (;;) {
-    const Cycle first = global_min();
-    if (first == kNoEvent || first > t) break;
-    run_window(first, std::min(first + cfg_.lookahead, t + 1), nullptr);
+  const Cycle limit = t + 1 == 0 ? kNoEvent : t + 1;
+  while (run_slice(limit, nullptr)) {
   }
   if (t > now_) now_ = t;
 }
@@ -322,9 +478,7 @@ void ParallelEngine::advance_to(Cycle t) {
 bool ParallelEngine::drain(const ActiveCounter& counter) {
   check_not_in_event();
   while (counter.value() != 0) {
-    const Cycle t = global_min();
-    if (t == kNoEvent) return false;  // stalled: no events but not done
-    run_window(t, t + cfg_.lookahead, &counter);
+    if (!run_slice(kNoEvent, &counter)) return false;  // stalled
   }
   // The serial engine stops on the exact event that zeroed the counter; a
   // parallel window may run up to lookahead-1 cycles of trailing traffic
@@ -365,8 +519,16 @@ EngineReport ParallelEngine::report() const {
   rep.events = events_executed();
   rep.windows_parallel = windows_parallel_;
   rep.windows_serial = windows_serial_;
+  rep.windows_host = windows_host_;
   rep.cross_shard_events = cross_shard_events_;
+  rep.parallel_window_events = parallel_window_events_;
+  rep.peak_pending_events = peak_pending_;
   rep.barrier_stall_seconds = barrier_stall_seconds_;
+  rep.barrier_wait_hist = barrier_hist_;
+  const detail::ActionAllocStats a = detail::action_alloc_stats();
+  rep.action_pool_blocks = a.pool_blocks - alloc_base_.pool_blocks;
+  rep.action_pool_reuses = a.pool_reuses - alloc_base_.pool_reuses;
+  rep.action_oversize_allocs = a.oversize_allocs - alloc_base_.oversize_allocs;
   rep.shard_events.resize(static_cast<std::size_t>(cfg_.threads), 0);
   for (int w = 0; w < cfg_.threads; ++w) {
     for (u32 r = shard_begin_[static_cast<std::size_t>(w)];

@@ -2,27 +2,42 @@
 // execution-order contract).
 //
 // Nodes of the 6-d torus are sharded across worker threads, each owning a
-// contiguous block of per-node event queues.  Execution proceeds in time
-// windows of `lookahead` cycles: within [T, T + L) every worker runs its own
-// nodes' events in (time, src, seq) order with no synchronization, because
-// the model guarantees no event can affect another node sooner than L cycles
-// after it was scheduled.  The lookahead comes from the HSSL physics: the
-// only cross-node interaction is a frame delivery, scheduled a full
-// serialization (>= the 16-bit minimum frame) plus the wire time-of-flight
-// after the send -- so L = min_frame_bits + wire_delay_cycles.
+// contiguous block of per-node calendar queues (calendar_queue.h).
+// Execution proceeds in adaptive slices chosen from the pending-event
+// picture at the global minimum time T:
 //
-// Cross-node schedules made inside a window (deliveries into the next
-// window) are buffered in per-worker outboxes and merged into the
-// destination queues at the window barrier; because every queue orders by
-// the deterministic key, the merge order is irrelevant and the execution
-// order is bit-identical to the serial engine's.
+//   - Host slice: the earliest pending event is a host event (rank 0).
+//     The coordinator runs every host event at T inline, in exact key
+//     order, with all node queues untouched -- host events never demote
+//     node execution to serial windows; they only bound them.
+//   - Parallel window: two or more shards have events in [T, end), where
+//     end = min(T + lookahead, next host event).  Workers drain their own
+//     shards' events concurrently with no synchronization, legal because
+//     the model guarantees no cross-node effect sooner than L cycles (the
+//     HSSL physics: a frame delivery costs a full serialization of at least
+//     the 16-bit minimum frame plus the wire time of flight, so
+//     L = min_frame_bits + wire_delay_cycles).
+//   - Single-shard fast-forward: only one shard is occupied (an idle
+//     machine with a lone scrubber, a single hot node, threads == 1).  The
+//     coordinator runs that shard serially with no barrier at all, as far
+//     as min(next host event, earliest foreign-shard event) -- which
+//     coalesces what would otherwise be thousands of 18-cycle windows.
 //
-// Host events (rank 0) are the one exception to the no-interaction rule:
-// boot, fault injection and interrupt-window code may touch any node.  A
-// window whose range contains a host event therefore runs serially on the
-// coordinator, in exact global key order, with all workers parked -- which
-// also makes single `step()` calls (and thus every predicate-bounded
-// `run_while` loop) behave exactly like the serial engine.
+// Each shard keeps a lazy min-heap of (time, rank) head positions so
+// finding its next event is O(log ranks-with-events) instead of a scan of
+// every rank per window; stale entries are dropped when they fail to match
+// the live queue head.  Cross-node schedules made inside a parallel window
+// are buffered in per-worker outboxes and merged at the barrier; because
+// every queue orders by the deterministic key, the merge order is
+// irrelevant and the execution order is bit-identical to the serial
+// engine's.
+//
+// The cross-node lookahead contract is enforced uniformly: a node event
+// scheduling onto another node closer than L cycles throws, on every
+// execution path, so model bugs cannot hide in serially-executed phases.
+// Node-to-host schedules are exempt (the host queue serializes them
+// exactly) except inside a parallel window, where they must clear the
+// window end like any other cross-rank schedule.
 #pragma once
 
 #include <atomic>
@@ -30,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/calendar_queue.h"
 #include "sim/engine.h"
 
 namespace qcdoc::sim {
@@ -60,34 +76,22 @@ class ParallelEngine final : public Engine {
   Cycle lookahead() const { return cfg_.lookahead; }
 
  private:
-  static constexpr Cycle kNoEvent = ~Cycle{0};
+  static constexpr Cycle kNoEvent = CalendarQueue::kNoEvent;
 
-  struct Event {
-    Cycle time;
-    u32 src_rank;
-    u64 seq;
-    Action fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      if (a.src_rank != b.src_rank) return a.src_rank > b.src_rank;
-      return a.seq > b.seq;
-    }
-  };
   /// One rank's event queue plus its bookkeeping.  During a parallel window
   /// each RankQ is touched only by its owning worker; outside windows only
   /// the coordinator runs.
   struct RankQ {
-    std::priority_queue<Event, std::vector<Event>, Later> q;
+    CalendarQueue q;
     u64 scheduled = 0;  ///< seq counter for events *sourced* by this rank
     u64 executed = 0;
     u64 digest = detail::kFnvOffset;
     Cycle last_exec = 0;  ///< monotonicity check: catches ordering bugs loudly
   };
+
   /// Reference to a rank queue's head, kept in the coordinator's lazy global
-  /// index for serial execution.  Entries are validated against the live
-  /// queue head on pop; stale ones are discarded.
+  /// index for exact-total-order execution (step()).  Entries are validated
+  /// against the live queue head on pop; stale ones are discarded.
   struct HeadRef {
     Cycle time;
     u32 dest_rank;
@@ -102,21 +106,51 @@ class ParallelEngine final : public Engine {
       return a.seq > b.seq;
     }
   };
+
+  /// Shard-heap entry: the head position of one rank queue.  Same lazy
+  /// validation scheme as HeadRef, but per shard and by (time, rank) only --
+  /// the within-rank tie-break lives in the calendar queue itself.
+  struct HeadPos {
+    Cycle time;
+    u32 rank;
+  };
+  struct HeadPosAfter {
+    bool operator()(const HeadPos& a, const HeadPos& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.rank > b.rank;  // host rank 0 first at equal times
+    }
+  };
+
   struct alignas(64) WorkerSlot {
     ParallelEngine* owner = nullptr;
-    std::vector<std::pair<u32, Event>> outbox;
+    std::vector<std::pair<u32, QueuedEvent>> outbox;
+    /// Lazy min-heap over this shard's rank-queue heads (std::push_heap /
+    /// std::pop_heap with HeadPosAfter).  Workers touch only their own
+    /// shard's heap inside a window; the coordinator owns all of them
+    /// between windows.
+    std::vector<HeadPos> heap;
     Cycle window_max = 0;  ///< latest event time executed this window
+    u64 window_pushed = 0;    ///< schedules made by this worker this window
+    u64 window_executed = 0;  ///< events run by this worker this window
     std::exception_ptr error;
   };
 
   void check_not_in_event() const;
-  Cycle global_min() const;
-  void run_window(Cycle start, Cycle end, const ActiveCounter* stop);
-  void run_window_serial(Cycle end, const ActiveCounter* stop);
+  /// Cleanse every shard heap's top and return the earliest pending event
+  /// time.  After it returns, every non-empty shard heap front is valid.
+  Cycle global_min();
+  Cycle shard_top(int w);
+  void shard_push_entry(u32 rank, Cycle t);
+  /// Run one adaptive slice starting at the global minimum (host slice,
+  /// parallel window, or single-shard fast-forward).  `limit` is exclusive;
+  /// returns false when nothing is pending below it.
+  bool run_slice(Cycle limit, const ActiveCounter* stop);
+  void run_host_slice(Cycle t, const ActiveCounter* stop);
+  void run_shard_serial(int w, Cycle limit, const ActiveCounter* stop);
   void run_window_parallel(Cycle end);
   void process_shard(int w);
-  void exec_event(u32 rank, Event ev);
-  void push_serial(u32 dest_rank, Event ev);
+  void exec_event(u32 rank, QueuedEvent ev);
+  void push_serial(u32 dest_rank, QueuedEvent ev);
   void rebuild_index();
   /// Pop index entries until one matches a live queue head; returns the
   /// destination rank or kNoEvent-like sentinel (ranks_.size()) when empty.
@@ -126,15 +160,21 @@ class ParallelEngine final : public Engine {
   ParallelConfig cfg_;
   std::vector<RankQ> ranks_;
   std::vector<u32> shard_begin_;  ///< shard w owns ranks [w, w+1) bounds
+  std::vector<u32> rank_owner_;   ///< rank -> owning shard
 
   // Coordinator-side lazy index over rank-queue heads, used whenever events
-  // must run in exact global order (step(), serial windows).  Invalidated by
-  // parallel windows, rebuilt on demand.
+  // must run in exact global order (step()).  Invalidated by every slice,
+  // rebuilt on demand.
   std::priority_queue<HeadRef, std::vector<HeadRef>, HeadLater> index_;
   bool index_valid_ = false;
 
   // Window state, written by the coordinator before releasing a generation.
   Cycle win_end_ = 0;
+
+  // Single-shard fast-forward state: while a shard runs serially, foreign
+  // pushes it makes tighten the execution bound live.
+  int serial_shard_ = -1;
+  Cycle serial_foreign_min_ = 0;
 
   std::vector<WorkerSlot> slots_;
   std::vector<std::thread> workers_;
@@ -143,9 +183,16 @@ class ParallelEngine final : public Engine {
   std::atomic<bool> exit_{false};
 
   u64 windows_parallel_ = 0;
-  u64 windows_serial_ = 0;
+  u64 windows_serial_ = 0;  ///< single-shard fast-forward slices
+  u64 windows_host_ = 0;
   u64 cross_shard_events_ = 0;
+  u64 pushed_total_ = 0;    ///< all schedules (slot counters folded in)
+  u64 executed_total_ = 0;  ///< all executions (slot counters folded in)
+  u64 parallel_window_events_ = 0;
+  u64 peak_pending_ = 0;
   double barrier_stall_seconds_ = 0;
+  std::array<u64, 16> barrier_hist_{};
+  detail::ActionAllocStats alloc_base_ = detail::action_alloc_stats();
 };
 
 }  // namespace qcdoc::sim

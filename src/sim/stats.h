@@ -18,6 +18,12 @@ class StatSet {
  public:
   /// Add `delta` to counter `name`, creating it at zero if absent.
   void add(const std::string& name, u64 delta = 1);
+  /// Stable pointer to the counter cell, creating it at zero if absent.
+  /// std::map nodes never move, so hot paths (per-word, per-frame counters
+  /// bumped tens of millions of times per solve) resolve the cell once at
+  /// construction and increment through the pointer instead of paying a
+  /// string-keyed tree lookup per event.
+  u64* cell(const std::string& name) { return &counters_[name]; }
   /// Overwrite counter `name`.
   void set(const std::string& name, u64 value);
   /// Value of `name`, or 0 if never touched.

@@ -253,6 +253,61 @@ TEST(Watchdog, StalledReceiverIsFlaggedAndQuarantined) {
   EXPECT_EQ(wd.nodes_flagged(), 1u);
 }
 
+// The armed (event-driven) watchdog must catch the same stall as the
+// synchronous check() path while the engine keeps running, and -- because
+// its samplers are node-affine events and its correlation reads only
+// host-side memory -- the whole run must stay bit-identical across thread
+// counts (the bounded-affinity contract, DESIGN.md).
+TEST(Watchdog, ArmedSamplingFlagsStallAndKeepsDigestThreadInvariant) {
+  struct Run {
+    u64 digest;
+    u64 events;
+    bool flagged;
+    bool quarantined;
+    u64 checks;
+  };
+  auto run = [](int threads) {
+    machine::MachineConfig cfg = small_config({2, 2, 1, 1, 1, 1});
+    cfg.sim_threads = threads;
+    machine::Machine m(cfg);
+    host::Qdaemon qd(&m);
+    qd.boot();
+    host::WatchdogConfig wcfg;
+    wcfg.check_period_cycles = 1 << 12;
+    wcfg.stall_cycles = 1 << 14;
+    host::ScuWatchdog& wd = qd.watchdog(wcfg);
+
+    const LinkIndex l0{0};
+    const NodeId receiver = m.topology().neighbor(NodeId{0}, l0);
+    m.scu(receiver).recv_side(torus::facing_link(l0)).set_data_sink([](u64) {});
+    // Dead wire with data queued behind it: the receiver's counters freeze
+    // while node 0's send side stays undrained -- the armed samplers must
+    // observe both halves and the host correlation must flag the receiver.
+    m.mesh().wire(NodeId{0}, l0).fail();
+    for (int i = 0; i < 8; ++i) {
+      m.scu(NodeId{0}).send_side(l0).enqueue_data(static_cast<u64>(i));
+    }
+    wd.arm(1 << 16);
+    EXPECT_TRUE(wd.armed());
+    m.engine().run_until(m.engine().now() + (1 << 16) + 64);
+    EXPECT_FALSE(wd.armed()) << "watch must expire at the armed horizon";
+    return Run{m.engine().trace_digest(), m.engine().events_executed(),
+               wd.stalled(receiver), qd.is_quarantined(receiver), wd.checks()};
+  };
+  const Run ref = run(1);
+  EXPECT_TRUE(ref.flagged);
+  EXPECT_TRUE(ref.quarantined);
+  EXPECT_GT(ref.checks, 0u);
+  for (const int threads : {2, 4}) {
+    const Run got = run(threads);
+    EXPECT_EQ(got.digest, ref.digest) << threads << " threads";
+    EXPECT_EQ(got.events, ref.events) << threads << " threads";
+    EXPECT_EQ(got.flagged, ref.flagged) << threads << " threads";
+    EXPECT_EQ(got.quarantined, ref.quarantined) << threads << " threads";
+    EXPECT_EQ(got.checks, ref.checks) << threads << " threads";
+  }
+}
+
 TEST(Health, MemCheckEscalationLadder) {
   machine::Machine m(small_config({2, 2, 1, 1, 1, 1}));
   host::Qdaemon qd(&m);

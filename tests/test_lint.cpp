@@ -1,4 +1,4 @@
-// Fixture tests for qcdoc-lint (tools/lint): every rule R1..R6 is exercised
+// Fixture tests for qcdoc-lint (tools/lint): every rule R1..R7 is exercised
 // with a positive hit, a clean pass, and an annotated suppression, all via
 // lint_source() under virtual paths so directory scoping is tested without
 // touching the filesystem.  The final test lints the real src/ tree and
@@ -33,16 +33,17 @@ std::string dump(const std::vector<Finding>& fs) {
 
 // --- registry ------------------------------------------------------------
 
-TEST(LintRegistry, AllSixRulesPlusSuppressionMetaRule) {
+TEST(LintRegistry, AllSevenRulesPlusSuppressionMetaRule) {
   const auto infos = rule_infos();
-  ASSERT_EQ(infos.size(), 7u);
+  ASSERT_EQ(infos.size(), 8u);
   EXPECT_EQ(infos[0].id, "wall-clock");
   EXPECT_EQ(infos[1].id, "unordered-container");
   EXPECT_EQ(infos[2].id, "raw-engine");
   EXPECT_EQ(infos[3].id, "mutable-static");
   EXPECT_EQ(infos[4].id, "nodiscard-status");
   EXPECT_EQ(infos[5].id, "cycle-narrow");
-  EXPECT_EQ(infos[6].id, "suppression");
+  EXPECT_EQ(infos[6].id, "std-function-event");
+  EXPECT_EQ(infos[7].id, "suppression");
   for (const auto& r : infos) EXPECT_FALSE(r.summary.empty()) << r.id;
 }
 
@@ -243,6 +244,42 @@ TEST(LintCycleNarrow, SuppressedWithAnnotatedReason) {
   const auto fs = run("src/scu/fixture.cpp", R"cc(
     // qcdoc-lint: allow(cycle-narrow) header field is 16 bits on the wire
     u16 stamp = static_cast<u16>(now_cycles & 0xffff);
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// --- R7: std-function-event ----------------------------------------------
+
+TEST(LintStdFunctionEvent, FlagsStdFunctionInsideSimCore) {
+  const auto fs = run("src/sim/fixture.h", R"cc(
+    struct Event {
+      Cycle time;
+      std::function<void()> fn;
+    };
+    void schedule(std::function<void()> fn);
+  )cc");
+  EXPECT_EQ(count_rule(fs, "std-function-event"), 2) << dump(fs);
+}
+
+TEST(LintStdFunctionEvent, CleanForEventFnAndOutsideSimCore) {
+  const auto fs = run("src/sim/fixture.h", R"cc(
+    struct Event {
+      Cycle time;
+      EventFn fn;
+    };
+    void schedule(EventFn fn);
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+  // std::function is fine outside the engine hot path (host job callbacks,
+  // audit hooks): scope is src/sim/ only.
+  EXPECT_TRUE(run("src/host/fixture.h",
+                  "void run_job(std::function<void()> app);").empty());
+}
+
+TEST(LintStdFunctionEvent, SuppressedWithAnnotatedReason) {
+  const auto fs = run("src/sim/fixture.cpp", R"cc(
+    // qcdoc-lint: allow(std-function-event) cold-path debug hook, not per event
+    std::function<void()> on_deadlock_;
   )cc");
   EXPECT_TRUE(fs.empty()) << dump(fs);
 }

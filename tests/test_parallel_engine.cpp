@@ -198,6 +198,95 @@ TEST(ParallelEngine, ReportCountsWindowsAndShards) {
   EXPECT_EQ(r.events, e.events_executed());
 }
 
+TEST(ParallelEngine, ReportPopulatesBarrierAndActionPoolCounters) {
+  ParallelEngine e(ParallelConfig{4, kLookahead, 8});
+  run_workload(e, 8);
+  const EngineReport r = e.report();
+  ASSERT_GT(r.windows_parallel, 0u);
+  // Every parallel window ends in exactly one barrier observation: a
+  // measured coordinator wait in some bucket >= 1, or bucket 0 when the
+  // workers finished before the coordinator even looked.
+  u64 observations = 0;
+  for (const u64 b : r.barrier_wait_hist) observations += b;
+  EXPECT_EQ(observations, r.windows_parallel);
+  EXPECT_GE(r.barrier_stall_seconds, 0.0);
+  if (r.barrier_stall_seconds > 0.0) {
+    EXPECT_GT(observations - r.barrier_wait_hist[0], 0u)
+        << "stall time was accumulated but no wait bucket was hit";
+  }
+  EXPECT_GT(r.parallel_window_events, 0u);
+  EXPECT_LE(r.parallel_window_events, r.events);
+  EXPECT_GT(r.peak_pending_events, 0u);
+  // Every capture in this workload fits EventFn's inline buffer: the engine
+  // must not have carved a single action-pool heap block for it.
+  EXPECT_EQ(r.action_pool_blocks, 0u);
+  EXPECT_EQ(r.action_oversize_allocs, 0u);
+}
+
+// Adaptive-window satellite: when only one shard holds events, the engine
+// must fast-forward that shard serially (no worker handoff, no barrier)
+// instead of running degenerate one-shard "parallel" windows.
+TEST(ParallelEngine, SingleShardBacklogFastForwardsSerially) {
+  SerialEngine serial;
+  ParallelEngine par(ParallelConfig{4, kLookahead, 8});
+  for (Engine* e : {static_cast<Engine*>(&serial), static_cast<Engine*>(&par)}) {
+    // A long self-rearming chain confined to node 2: every window sees
+    // exactly one live shard.
+    struct Chain {
+      Engine* e;
+      int left = 300;
+      void fire() {
+        if (--left > 0) e->schedule(7, [this] { fire(); });
+      }
+    };
+    Chain c{e};
+    e->schedule_on(2, 1, [&c] { c.fire(); });
+    e->run_until_idle();
+  }
+  EXPECT_EQ(par.trace_digest(), serial.trace_digest());
+  EXPECT_EQ(par.events_executed(), serial.events_executed());
+  const EngineReport r = par.report();
+  EXPECT_GT(r.windows_serial, 0u);
+  EXPECT_EQ(r.windows_parallel, 0u)
+      << "a one-shard backlog must never engage the worker barrier";
+}
+
+// Host events must ride in their own seam slices (windows_host) without
+// demoting the surrounding node windows, and the mixed schedule must stay
+// bit-identical to the serial engine at every thread count.
+TEST(ParallelEngine, MixedHostNodeWorkloadBitIdenticalWithHostSlices) {
+  struct Beat {
+    Engine* e;
+    u64 count = 0;
+    void fire() {
+      ++count;
+      if (count < 40) e->schedule_on(kHostAffinity, 9, [this] { fire(); });
+    }
+  };
+  auto run_mixed = [](Engine& e) {
+    Workload w(&e, 8);
+    Beat beat{&e};
+    e.schedule_on(kHostAffinity, 0, [&beat] { beat.fire(); });
+    w.seed_and_run();
+    EXPECT_EQ(beat.count, 40u);
+    return std::pair<u64, u64>{e.trace_digest(), e.events_executed()};
+  };
+  SerialEngine serial;
+  const auto ref = run_mixed(serial);
+  for (const int threads : {1, 2, 4}) {
+    ParallelEngine par(ParallelConfig{threads, kLookahead, 8});
+    const auto got = run_mixed(par);
+    EXPECT_EQ(got, ref) << threads << " threads";
+    const EngineReport r = par.report();
+    EXPECT_GT(r.windows_host, 0u) << threads << " threads";
+    if (threads > 1) {
+      EXPECT_GT(r.windows_parallel, 0u)
+          << "host seams must not demote node windows (" << threads
+          << " threads)";
+    }
+  }
+}
+
 // End to end: a whole machine boot must produce the same event-order digest,
 // clock and event count whether simulated serially or on worker threads.
 TEST(ParallelEngine, MachineBootIsBitIdenticalAcrossThreadCounts) {

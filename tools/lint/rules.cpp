@@ -1,4 +1,4 @@
-// The determinism & simulation-safety rules (R1..R6 of DESIGN.md "Static
+// The determinism & simulation-safety rules (R1..R7 of DESIGN.md "Static
 // analysis & determinism contracts").
 //
 // Each rule is a lexical pattern over the token stream: precise enough to
@@ -369,6 +369,32 @@ class CycleNarrowRule final : public Rule {
   }
 };
 
+// --- R7: std-function-event ----------------------------------------------
+
+class StdFunctionEventRule final : public Rule {
+ public:
+  const char* id() const override { return "std-function-event"; }
+  const char* summary() const override {
+    return "no std::function in src/sim/; event actions use sim::EventFn "
+           "(48-byte inline buffer + pooled fallback) so the hot path "
+           "allocates zero heap blocks per event";
+  }
+  void check(const SourceFile& f, std::vector<Finding>* out) const override {
+    if (!f.in_dir("src/sim/")) return;
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (is_ident(toks[i], "std") && is_punct(toks[i + 1], "::") &&
+          is_ident(toks[i + 2], "function")) {
+        add(f, toks[i].line,
+            "std::function heap-allocates nearly every event action (its "
+            "inline buffer is 16 bytes); store engine actions in "
+            "sim::EventFn",
+            out);
+      }
+    }
+  }
+};
+
 }  // namespace
 
 const std::vector<std::unique_ptr<Rule>>& rules() {
@@ -382,6 +408,7 @@ const std::vector<std::unique_ptr<Rule>>& rules() {
     v->push_back(std::make_unique<MutableStaticRule>());
     v->push_back(std::make_unique<NodiscardStatusRule>());
     v->push_back(std::make_unique<CycleNarrowRule>());
+    v->push_back(std::make_unique<StdFunctionEventRule>());
     return v;
   }();
   return *kRules;
