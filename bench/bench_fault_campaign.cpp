@@ -6,6 +6,11 @@
 // wrong (the common case): the cycle price of a whole-machine health sweep,
 // a randomized fault soak exercising detection and retraining, and the
 // overhead the incremental checksum audit adds to a clean CG solve.
+#include <bit>
+#include <chrono>
+#include <filesystem>
+#include <optional>
+
 #include "bench_util.h"
 #include "fault/checksum_audit.h"
 #include "fault/fault.h"
@@ -14,6 +19,8 @@
 #include "lattice/rig.h"
 #include "lattice/wilson.h"
 #include "memsys/scrub.h"
+#include "snapshot/machine_state.h"
+#include "snapshot/store.h"
 
 using namespace qcdoc;
 
@@ -213,6 +220,255 @@ void mem_fault_class(std::vector<perf::Row>& rows) {
                   "% of node cycles"});
 }
 
+// --- checkpoint class: cadence, size, write latency and restart recovery ---
+
+u64 field_fnv(const lattice::DistField& f) {
+  u64 h = sim::detail::kFnvOffset;
+  for (int r = 0; r < f.ranks(); ++r) {
+    for (const double v : f.data(r)) {
+      h = sim::detail::fnv1a(h, std::bit_cast<u64>(v));
+    }
+  }
+  return h;
+}
+
+void encode_solver(const lattice::CgCheckpoint& ck, snapshot::ByteSink* sink) {
+  sink->put_u32(static_cast<u32>(ck.iterations));
+  sink->put_double(ck.rsq);
+  sink->put_double(ck.rhs_norm2);
+  sink->put_u32(static_cast<u32>(ck.restarts));
+  sink->put_u64(ck.audits);
+  sink->put_u64(ck.audit_failures);
+  sink->put_u64(ck.mem_checks);
+}
+
+snapshot::Status decode_solver(const snapshot::SnapshotFile& file,
+                               lattice::CgCheckpoint* ck) {
+  std::optional<snapshot::ByteSource> src;
+  if (snapshot::Status s = file.open(snapshot::kSecSolver, &src); !s) return s;
+  u32 iterations = 0, restarts = 0;
+  if (snapshot::Status s = src->get_u32(&iterations); !s) return s;
+  if (snapshot::Status s = src->get_double(&ck->rsq); !s) return s;
+  if (snapshot::Status s = src->get_double(&ck->rhs_norm2); !s) return s;
+  if (snapshot::Status s = src->get_u32(&restarts); !s) return s;
+  if (snapshot::Status s = src->get_u64(&ck->audits); !s) return s;
+  if (snapshot::Status s = src->get_u64(&ck->audit_failures); !s) return s;
+  if (snapshot::Status s = src->get_u64(&ck->mem_checks); !s) return s;
+  ck->iterations = static_cast<int>(iterations);
+  ck->restarts = static_cast<int>(restarts);
+  return src->expect_exhausted();
+}
+
+constexpr int kCkptInterval = 5;
+
+struct CkptPoint {
+  const char* scenario = "";
+  int checkpoints = 0;
+  u64 bytes_last = 0;
+  double write_ms_mean = 0;
+  double write_ms_max = 0;
+  int iterations = 0;
+  u64 cycles = 0;
+  int restarts = 0;
+  u64 mem_checks = 0;
+  u64 final_fnv = 0;
+};
+
+/// The shrunk-memory machine config shared by the writer and the resuming
+/// process -- restore verifies these sizes match the snapshot's.
+machine::MachineConfig ckpt_config() {
+  machine::MachineConfig cfg;
+  cfg.mem.edram_words = 1 << 15;
+  cfg.mem.ddr_words = 1 << 16;
+  return cfg;
+}
+
+/// One audited CG solve under `planned` memory upsets with a generation
+/// committed at every clean checkpoint, timing each two-phase write.
+CkptPoint checkpoint_solve(const char* scenario, int planned,
+                           const std::string& dir) {
+  lattice::SolverRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 4, 4}, ckpt_config());
+  machine::Machine& m = rig.machine();
+  lattice::GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(41);
+  gauge.randomize_near_unit(rng, 0.1);
+  lattice::WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                          lattice::WilsonParams{.kappa = 0.12});
+  lattice::DistField x = op.make_field("x");
+  lattice::DistField b = op.make_field("b");
+  x.zero();
+  rig.fill_source(b);
+
+  fault::FaultInjector injector(&m.mesh(), nullptr);
+  fault::MemCheckAuditor mem_auditor(&m.mesh());
+  if (planned > 0) {
+    memsys::ScrubConfig scrub;
+    scrub.rows_per_period = 1024;
+    m.start_memory_scrubbers(scrub);
+    injector.arm(fault::FaultPlan::sustained_mem_upsets(
+        /*seed=*/17, m.config().shape, planned, m.engine().now(),
+        /*horizon=*/1 << 20, /*uncorrectable_fraction=*/0.05));
+  }
+  snapshot::MachineExtras extras;
+  extras.mem_auditor = &mem_auditor;
+  extras.injector = &injector;
+  snapshot::SnapshotStore store(dir, "bench");
+
+  CkptPoint point;
+  point.scenario = scenario;
+  lattice::CgParams params;
+  params.tolerance = 1e-8;
+  params.max_iterations = 400;
+  lattice::CgAuditParams audit;
+  audit.mem_clean = [&] { return mem_auditor.clean_since_last(); };
+  audit.interval = kCkptInterval;
+  audit.on_checkpoint = [&](const lattice::CgCheckpoint& ck) {
+    snapshot::SnapshotFile file;
+    if (snapshot::Status s = snapshot::capture_machine(m, extras, &file); !s) {
+      std::printf("  checkpoint capture failed: %s\n", s.reason.c_str());
+      return;
+    }
+    snapshot::ByteSink solver;
+    encode_solver(ck, &solver);
+    file.add_section(snapshot::kSecSolver, std::move(solver));
+    const auto t0 = std::chrono::steady_clock::now();
+    if (snapshot::Status s = store.save(&file); !s) {
+      std::printf("  checkpoint save failed: %s\n", s.reason.c_str());
+      return;
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    point.checkpoints += 1;
+    point.write_ms_mean += ms;  // sum here; divided once below
+    point.write_ms_max = std::max(point.write_ms_max, ms);
+    point.bytes_last = store.list().back().bytes;
+  };
+  const lattice::CgResult r = lattice::cg_solve_audited(op, x, b, params, audit);
+  if (point.checkpoints > 0) point.write_ms_mean /= point.checkpoints;
+  point.iterations = r.iterations;
+  point.cycles = static_cast<u64>(r.cycles);
+  point.restarts = r.restarts;
+  point.mem_checks = r.mem_checks;
+  point.final_fnv = field_fnv(x);
+  return point;
+}
+
+struct RestartPoint {
+  bool ok = false;
+  u64 recovered_generation = 0;
+  double restore_ms = 0;
+  int iterations = 0;
+  u64 final_fnv = 0;
+};
+
+/// Process-restart leg: replay the writer's construction in a fresh machine,
+/// restore the newest generation and finish the solve from the checkpoint.
+RestartPoint restart_solve(const std::string& dir) {
+  RestartPoint point;
+  lattice::SolverRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 4, 4}, ckpt_config());
+  machine::Machine& m = rig.machine();
+  lattice::GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(41);
+  gauge.randomize_near_unit(rng, 0.1);
+  lattice::WilsonDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                          lattice::WilsonParams{.kappa = 0.12});
+  lattice::DistField x = op.make_field("x");
+  lattice::DistField b = op.make_field("b");
+  x.zero();
+  rig.fill_source(b);
+  lattice::CgWorkspace ws = lattice::CgWorkspace::make(op);
+
+  fault::FaultInjector injector(&m.mesh(), nullptr);
+  fault::MemCheckAuditor mem_auditor(&m.mesh());
+  snapshot::MachineExtras extras;
+  extras.mem_auditor = &mem_auditor;
+  extras.injector = &injector;
+
+  snapshot::SnapshotStore store(dir, "bench");
+  snapshot::SnapshotFile file;
+  lattice::CgCheckpoint ck;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (snapshot::Status s = store.load_latest(&file); !s) {
+    std::printf("  restart load failed: %s\n", s.reason.c_str());
+    return point;
+  }
+  if (snapshot::Status s = snapshot::restore_machine(m, extras, file); !s) {
+    std::printf("  restart restore failed: %s\n", s.reason.c_str());
+    return point;
+  }
+  if (snapshot::Status s = decode_solver(file, &ck); !s) {
+    std::printf("  restart solver decode failed: %s\n", s.reason.c_str());
+    return point;
+  }
+  point.restore_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  point.recovered_generation = file.generation();
+
+  lattice::CgParams params;
+  params.tolerance = 1e-8;
+  params.max_iterations = 400;
+  lattice::CgAuditParams audit;
+  audit.mem_clean = [&] { return mem_auditor.clean_since_last(); };
+  audit.interval = kCkptInterval;
+  audit.workspace = &ws;
+  audit.resume = &ck;
+  const lattice::CgResult r = lattice::cg_solve_audited(op, x, b, params, audit);
+  point.ok = true;
+  point.iterations = r.iterations;
+  point.final_fnv = field_fnv(x);
+  return point;
+}
+
+void checkpoint_class(std::vector<perf::Row>& rows) {
+  std::printf("checkpoint class: cadence, snapshot size and write latency\n");
+  std::vector<CkptPoint> points;
+  for (const auto& [scenario, planned] :
+       {std::pair<const char*, int>{"clean", 0}, {"mem_upset_restart", 128}}) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         (std::string("qcdoc_bench_ckpt_") + scenario))
+            .string();
+    std::filesystem::remove_all(dir);
+    points.push_back(checkpoint_solve(scenario, planned, dir));
+    const CkptPoint& p = points.back();
+    std::printf(
+        "{\"checkpoint_point\": {\"scenario\": \"%s\", \"interval_iters\": %d, "
+        "\"checkpoints\": %d, \"snapshot_bytes\": %llu, "
+        "\"write_ms_mean\": %.3f, \"write_ms_max\": %.3f, "
+        "\"iterations\": %d, \"cycles\": %llu, \"restarts\": %d, "
+        "\"mem_checks\": %llu}}\n",
+        p.scenario, kCkptInterval, p.checkpoints,
+        static_cast<unsigned long long>(p.bytes_last), p.write_ms_mean,
+        p.write_ms_max, p.iterations,
+        static_cast<unsigned long long>(p.cycles), p.restarts,
+        static_cast<unsigned long long>(p.mem_checks));
+
+    if (planned > 0) {
+      // The restart leg: recover from the newest generation in a replayed
+      // process and finish the solve.  Bit-exactness means the recovered
+      // trajectory lands on the writer's exact solution field.
+      const RestartPoint rp = restart_solve(dir);
+      const bool bit_exact = rp.ok && rp.final_fnv == p.final_fnv;
+      std::printf(
+          "{\"checkpoint_restart\": {\"scenario\": \"%s\", "
+          "\"recovered_generation\": %llu, \"restore_ms\": %.3f, "
+          "\"iterations\": %d, \"bit_exact\": %s}}\n",
+          p.scenario, static_cast<unsigned long long>(rp.recovered_generation),
+          rp.restore_ms, rp.iterations, bit_exact ? "true" : "false");
+      rows.push_back({"E14", "restart resume bit-exact", 0,
+                      bit_exact ? 1.0 : 0.0, "1=yes"});
+    }
+  }
+  const CkptPoint& upset = points.back();
+  rows.push_back({"E14", "snapshot size under mem upsets", 0,
+                  static_cast<double>(upset.bytes_last) / (1024.0 * 1024.0),
+                  "MB"});
+  rows.push_back({"E14", "checkpoint write latency (mean)", 0,
+                  upset.write_ms_mean, "ms"});
+}
+
 }  // namespace
 
 int main() {
@@ -243,6 +499,8 @@ int main() {
   };
   std::printf("\n");
   mem_fault_class(rows);
+  std::printf("\n");
+  checkpoint_class(rows);
   bench::print_rows(rows);
   return 0;
 }

@@ -40,6 +40,7 @@ void Log::write(LogLevel level, const std::string& msg) {
     g_sink(level, msg);
     return;
   }
+  // qcdoc-lint: allow(raw-state-io) human-readable stderr logging, not state
   std::fprintf(stderr, "[qcdoc %s] %s\n", level_name(level), msg.c_str());
 }
 

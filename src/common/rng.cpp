@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace qcdoc {
 namespace {
@@ -80,6 +81,20 @@ bool Rng::next_bool(double p) { return next_double() < p; }
 Rng Rng::split() {
   Rng child(next_u64() ^ 0xa02bdbf7bb3c0a7ull);
   return child;
+}
+
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.have_spare = have_spare_gaussian_;
+  std::memcpy(&st.spare_bits, &spare_gaussian_, sizeof(st.spare_bits));
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  have_spare_gaussian_ = st.have_spare;
+  std::memcpy(&spare_gaussian_, &st.spare_bits, sizeof(spare_gaussian_));
 }
 
 }  // namespace qcdoc

@@ -34,6 +34,17 @@ class Rng {
   /// continued output (used for per-link error-injection streams).
   Rng split();
 
+  /// Complete generator state: the four xoshiro words plus the Box-Muller
+  /// spare (its presence flag and bit pattern).  Restoring this resumes the
+  /// exact stream, which snapshots need for bit-identical replay.
+  struct State {
+    u64 s[4] = {0, 0, 0, 0};
+    bool have_spare = false;
+    u64 spare_bits = 0;  ///< IEEE-754 bit pattern of the spare gaussian
+  };
+  State state() const;
+  void set_state(const State& st);
+
  private:
   u64 s_[4];
   bool have_spare_gaussian_ = false;

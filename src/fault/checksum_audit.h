@@ -34,6 +34,17 @@ class ChecksumAuditor {
   u64 audits() const { return audits_; }
   u64 failures() const { return failures_; }
 
+  /// Snapshot hooks.  Only lifetime counters are serialized: snapshots are
+  /// taken at audit boundaries, where the baselines equal the live link
+  /// checksums, so rebaseline() after the machine restore reconstructs
+  /// them exactly.
+  void restore_counters(u64 audits, u64 failures) {
+    audits_ = audits;
+    failures_ = failures;
+  }
+  /// Re-baseline every edge now without auditing.
+  void rebaseline() { snapshot(&send_base_, &recv_base_); }
+
  private:
   void snapshot(std::vector<u64>* send, std::vector<u64>* recv) const;
 
@@ -64,6 +75,14 @@ class MemCheckAuditor {
   u64 audits() const { return audits_; }
   u64 failures() const { return failures_; }
   u64 machine_checks() const { return machine_checks_; }
+
+  /// Snapshot hook (see ChecksumAuditor::restore_counters): latches are
+  /// captured with the per-node ECC state, so only counters live here.
+  void restore_counters(u64 audits, u64 failures, u64 machine_checks) {
+    audits_ = audits;
+    failures_ = failures;
+    machine_checks_ = machine_checks;
+  }
 
  private:
   net::MeshNet* mesh_;

@@ -170,6 +170,12 @@ FaultPlan FaultPlan::random_campaign(u64 seed, const torus::Shape& shape,
   return plan;
 }
 
+FaultPlan FaultPlan::from_events(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  plan.events_ = std::move(events);
+  return plan;
+}
+
 FaultInjector::FaultInjector(net::MeshNet* mesh, sim::StatSet* stats)
     : mesh_(mesh), stats_(stats) {}
 
@@ -180,8 +186,29 @@ void FaultInjector::arm(const FaultPlan& plan) {
   const sim::EngineRef host(&mesh_->engine());
   for (const FaultEvent& e : plan.events()) {
     const Cycle at = std::max(e.at, host.now());
-    host.schedule_at(at, [this, e] { apply(e); });
+    const std::size_t idx = armed_.size();
+    armed_.emplace_back(e, false);
+    host.schedule_at(at, [this, idx] {
+      armed_[idx].second = true;
+      apply(armed_[idx].first);
+    });
   }
+}
+
+std::vector<FaultEvent> FaultInjector::pending_plan() const {
+  std::vector<FaultEvent> out;
+  for (const auto& [e, fired] : armed_) {
+    if (!fired) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t FaultInjector::pending_count() const {
+  std::size_t n = 0;
+  for (const auto& [e, fired] : armed_) {
+    if (!fired) ++n;
+  }
+  return n;
 }
 
 void FaultInjector::apply(const FaultEvent& e) {

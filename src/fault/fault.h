@@ -79,6 +79,10 @@ class FaultPlan {
   [[nodiscard]] bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
 
+  /// Rebuild a plan from raw events (the snapshot layer re-arms the unfired
+  /// remainder of a campaign after a process restart).
+  static FaultPlan from_events(std::vector<FaultEvent> events);
+
   /// A seed-deterministic soak campaign: `n` events of mixed kinds spread
   /// uniformly over [start, start + horizon) against random wires of a
   /// machine of the given shape.  Node crashes are excluded (they end a
@@ -115,10 +119,22 @@ class FaultInjector {
 
   u64 injected() const { return injected_; }
 
+  /// Armed-but-unfired events: the plan remainder a snapshot carries so a
+  /// restored process can re-arm exactly the faults still to come.  These
+  /// are also the injector's pending events in the engine queue, which the
+  /// snapshot layer must account for when requiring quiescence.
+  std::vector<FaultEvent> pending_plan() const;
+  std::size_t pending_count() const;
+  /// Snapshot hook: restore the lifetime injected counter.
+  void restore_injected(u64 n) { injected_ = n; }
+
  private:
   net::MeshNet* mesh_;
   sim::StatSet* stats_;
   u64 injected_ = 0;
+  /// Every event ever armed, with its fired flag.  Host-affinity events run
+  /// only on the coordinator thread, so no locking is needed.
+  std::vector<std::pair<FaultEvent, bool>> armed_;
 };
 
 }  // namespace qcdoc::fault

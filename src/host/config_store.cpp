@@ -85,17 +85,38 @@ IoReport ConfigStore::load(lattice::GaugeField* gauge,
                            const std::string& name) {
   IoReport report;
   auto it = disk_.find(name);
-  if (it == disk_.end()) return report;
+  if (it == disk_.end()) {
+    report.error = "no configuration named '" + name + "'";
+    return report;
+  }
   const Stored& stored = it->second;
 
   const auto& geom = gauge->geometry();
   const auto& extent = geom.global_extent();
   if (stored.dims != extent) {
-    QCDOC_WARN << "configuration '" << name << "' has wrong dimensions";
+    report.error = "configuration '" + name +
+                   "' header dimensions do not match the target geometry";
+    QCDOC_WARN << report.error;
+    return report;
+  }
+  // Header/payload consistency *before* any per-site copy: a payload
+  // shorter than the header's volume would otherwise be read past its end.
+  const std::size_t expect_doubles =
+      static_cast<std::size_t>(extent[0]) * extent[1] * extent[2] *
+      extent[3] * kLinkDoubles;
+  if (stored.data.size() != expect_doubles) {
+    report.error = "configuration '" + name + "' payload is " +
+                   (stored.data.size() < expect_doubles ? "truncated"
+                                                        : "oversized") +
+                   ": header implies " + std::to_string(expect_doubles) +
+                   " doubles, stored " + std::to_string(stored.data.size());
+    QCDOC_WARN << report.error;
     return report;
   }
   if (payload_checksum(stored.data) != stored.checksum) {
-    QCDOC_WARN << "configuration '" << name << "' failed its checksum";
+    report.error = "configuration '" + name +
+                   "' failed its checksum (corrupt payload or header)";
+    QCDOC_WARN << report.error;
     return report;
   }
 
@@ -125,8 +146,9 @@ IoReport ConfigStore::load(lattice::GaugeField* gauge,
   // Header verification: the reloaded field must reproduce the plaquette.
   const double plaq = gauge->average_plaquette();
   if (plaq != stored.plaquette) {
-    QCDOC_WARN << "configuration '" << name
-               << "' plaquette mismatch after load";
+    report.error =
+        "configuration '" + name + "' plaquette mismatch after load";
+    QCDOC_WARN << report.error;
     return report;
   }
   report.ok = true;
@@ -135,6 +157,42 @@ IoReport ConfigStore::load(lattice::GaugeField* gauge,
   report.mb_per_s =
       report.seconds > 0 ? report.bytes / report.seconds / 1e6 : 0;
   return report;
+}
+
+bool ConfigStore::truncate_stored(const std::string& name,
+                                  std::size_t keep_doubles) {
+  auto it = disk_.find(name);
+  if (it == disk_.end() || keep_doubles >= it->second.data.size()) {
+    return false;
+  }
+  it->second.data.resize(keep_doubles);
+  return true;
+}
+
+bool ConfigStore::flip_stored_payload_bit(const std::string& name,
+                                          std::size_t index, int bit) {
+  auto it = disk_.find(name);
+  if (it == disk_.end() || index >= it->second.data.size()) return false;
+  u64 bits;
+  std::memcpy(&bits, &it->second.data[index], sizeof(bits));
+  bits ^= u64{1} << (bit & 63);
+  std::memcpy(&it->second.data[index], &bits, sizeof(bits));
+  return true;
+}
+
+bool ConfigStore::flip_stored_checksum_bit(const std::string& name, int bit) {
+  auto it = disk_.find(name);
+  if (it == disk_.end()) return false;
+  it->second.checksum ^= u64{1} << (bit & 63);
+  return true;
+}
+
+bool ConfigStore::override_stored_dims(const std::string& name,
+                                       const lattice::Coord4& dims) {
+  auto it = disk_.find(name);
+  if (it == disk_.end()) return false;
+  it->second.dims = dims;
+  return true;
 }
 
 std::vector<std::string> ConfigStore::list() const {

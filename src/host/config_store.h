@@ -21,8 +21,12 @@
 
 namespace qcdoc::host {
 
-struct IoReport {
+/// Outcome of a configuration transfer.  [[nodiscard]]: silently dropping
+/// an I/O failure is how corrupted gauge fields sneak into a run, so call
+/// sites must look at `ok` (and `error` explains any failure).
+struct [[nodiscard]] IoReport {
   bool ok = false;
+  std::string error;  ///< empty when ok; otherwise why the transfer failed
   u64 bytes = 0;
   Cycle cycles = 0;
   double seconds = 0;
@@ -40,9 +44,23 @@ class ConfigStore {
   IoReport save(const lattice::GaugeField& gauge, const std::string& name);
 
   /// Read a configuration back into (possibly differently distributed)
-  /// node memories; fails if the header does not match the target geometry
-  /// or the checksum disagrees with the payload.
+  /// node memories; fails -- with `error` naming the layer -- if the header
+  /// does not match the target geometry, the payload is truncated relative
+  /// to the header dimensions, or the checksum disagrees with the payload.
   IoReport load(lattice::GaugeField* gauge, const std::string& name);
+
+  // Disk-corruption hooks for robustness tests: damage a stored image in
+  // place the way a failing host disk or interrupted NFS write would.
+  /// Drop all but the first `keep_doubles` payload values (torn write).
+  bool truncate_stored(const std::string& name, std::size_t keep_doubles);
+  /// Flip one bit of one payload double (silent media corruption).
+  bool flip_stored_payload_bit(const std::string& name, std::size_t index,
+                               int bit);
+  /// Flip one bit of the stored header checksum.
+  bool flip_stored_checksum_bit(const std::string& name, int bit);
+  /// Overwrite the stored header dimensions (header/payload skew).
+  bool override_stored_dims(const std::string& name,
+                            const lattice::Coord4& dims);
 
   bool exists(const std::string& name) const { return disk_.count(name) != 0; }
   std::vector<std::string> list() const;

@@ -172,6 +172,34 @@ void HealthMonitor::report_external_failure(NodeId n,
   if (cfg_.auto_quarantine && qdaemon_) qdaemon_->quarantine_node(n);
 }
 
+HealthMonitor::State HealthMonitor::capture_state() const {
+  State st;
+  st.health.reserve(health_.size());
+  for (const NodeHealth h : health_) st.health.push_back(static_cast<u8>(h));
+  st.resend_base = resend_base_;
+  st.recv_err_base = recv_err_base_;
+  st.mem_corrected_base = mem_corrected_base_;
+  st.sweeps = sweeps_;
+  return st;
+}
+
+bool HealthMonitor::restore_state(const State& state) {
+  if (state.health.size() != health_.size() ||
+      state.resend_base.size() != resend_base_.size() ||
+      state.recv_err_base.size() != recv_err_base_.size() ||
+      state.mem_corrected_base.size() != mem_corrected_base_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < health_.size(); ++i) {
+    health_[i] = static_cast<NodeHealth>(state.health[i]);
+  }
+  resend_base_ = state.resend_base;
+  recv_err_base_ = state.recv_err_base;
+  mem_corrected_base_ = state.mem_corrected_base;
+  sweeps_ = state.sweeps;
+  return true;
+}
+
 void HealthMonitor::monitor_for(Cycle duration) {
   sim::Engine& engine = machine_->engine();
   const Cycle end = engine.now() + duration;

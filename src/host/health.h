@@ -100,6 +100,21 @@ class HealthMonitor {
   const sim::StatSet& stats() const { return stats_; }
   const HealthConfig& config() const { return cfg_; }
 
+  /// Classification plus per-wire/per-node counter baselines as captured
+  /// into a snapshot, so the first post-restore sweep judges the same
+  /// interval it would have judged uninterrupted.
+  struct State {
+    std::vector<u8> health;  ///< NodeHealth per node
+    std::vector<u64> resend_base;
+    std::vector<u64> recv_err_base;
+    std::vector<u64> mem_corrected_base;
+    u64 sweeps = 0;
+  };
+  State capture_state() const;
+  /// Returns false (and changes nothing) when the vector sizes do not match
+  /// this machine's geometry.
+  [[nodiscard]] bool restore_state(const State& state);
+
  private:
   machine::Machine* machine_;
   net::EthernetTree* eth_;

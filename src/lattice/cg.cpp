@@ -24,12 +24,28 @@ CgResult cg_run(DiracOperator& op, DistField& x, DistField& b,
   const double start_comm = bsp.comm_cycles();
   const double start_global = bsp.global_cycles();
 
-  DistField tmp = op.make_field("cg.tmp");
-  DistField r = op.make_field("cg.r");
-  DistField p = op.make_field("cg.p");
-  DistField ap = op.make_field("cg.ap");
-  std::optional<DistField> xck;  // last known-clean checkpoint of x
-  if (audit) xck.emplace(op.make_field("cg.xck"));
+  // Working fields: an externally supplied workspace (the resume path, which
+  // must allocate before restoring memory contents) or internal allocations
+  // in the exact same order.  The plain solver keeps its original layout
+  // (no checkpoint field).
+  std::optional<CgWorkspace> own_ws;
+  CgWorkspace* ws = audit ? audit->workspace : nullptr;
+  if (audit && ws == nullptr) {
+    own_ws.emplace(CgWorkspace::make(op));
+    ws = &*own_ws;
+  }
+  std::optional<DistField> plain_tmp, plain_r, plain_p, plain_ap;
+  if (ws == nullptr) {
+    plain_tmp.emplace(op.make_field("cg.tmp"));
+    plain_r.emplace(op.make_field("cg.r"));
+    plain_p.emplace(op.make_field("cg.p"));
+    plain_ap.emplace(op.make_field("cg.ap"));
+  }
+  DistField& tmp = ws ? ws->tmp : *plain_tmp;
+  DistField& r = ws ? ws->r : *plain_r;
+  DistField& p = ws ? ws->p : *plain_p;
+  DistField& ap = ws ? ws->ap : *plain_ap;
+  DistField* xck = ws ? &ws->xck : nullptr;  // last known-clean checkpoint
 
   double rsq = 0;
   // r = M^+ b - M^+ M x (normal equations); with x = 0 this is r = M^+ b.
@@ -60,18 +76,46 @@ CgResult cg_run(DiracOperator& op, DistField& x, DistField& b,
     }
     return ok;
   };
-  if (audit) ops.copy(x, *xck);
-  recompute_residual();
-  if (audit) {
-    // Baseline audit: the initial residual itself crosses the mesh, and a
-    // corruption here would poison the reference scale.
-    while (!interval_clean() && result.restarts < audit->max_restarts) {
-      ++result.restarts;
-      ops.copy(*xck, x);
-      recompute_residual();
+  double rhs_norm2 = 0;  // reference scale: |M^+ b| for x0 = 0
+  const auto fire_checkpoint = [&] {
+    if (!audit || !audit->on_checkpoint) return;
+    CgCheckpoint ck;
+    ck.iterations = result.iterations;
+    ck.rsq = rsq;
+    ck.rhs_norm2 = rhs_norm2;
+    ck.restarts = result.restarts;
+    ck.audits = result.audits;
+    ck.audit_failures = result.audit_failures;
+    ck.mem_checks = result.mem_checks;
+    audit->on_checkpoint(ck);
+  };
+  if (audit && audit->resume) {
+    // x and the workspace fields already hold the checkpoint's restored
+    // contents (loop-top state); recomputing anything would diverge from
+    // the uninterrupted run's event trace.
+    const CgCheckpoint& ck = *audit->resume;
+    result.iterations = ck.iterations;
+    result.restarts = ck.restarts;
+    result.audits = ck.audits;
+    result.audit_failures = ck.audit_failures;
+    result.mem_checks = ck.mem_checks;
+    rsq = ck.rsq;
+    rhs_norm2 = ck.rhs_norm2;
+  } else {
+    if (audit) ops.copy(x, *xck);
+    recompute_residual();
+    if (audit) {
+      // Baseline audit: the initial residual itself crosses the mesh, and a
+      // corruption here would poison the reference scale.
+      while (!interval_clean() && result.restarts < audit->max_restarts) {
+        ++result.restarts;
+        ops.copy(*xck, x);
+        recompute_residual();
+      }
     }
+    rhs_norm2 = rsq;
+    fire_checkpoint();
   }
-  const double rhs_norm2 = rsq;  // reference scale: |M^+ b| for x0 = 0
   const double target =
       params.tolerance * params.tolerance * (rhs_norm2 > 0 ? rhs_norm2 : 1.0);
 
@@ -84,6 +128,7 @@ CgResult cg_run(DiracOperator& op, DistField& x, DistField& b,
   int since_audit = 0;
   bool gave_up = false;
   for (int trip = 0; trip < max_trips && result.iterations < iters; ++trip) {
+    bool checkpointed = false;
     // ap = M^+ M p   (two Dirac applications per iteration)
     op.apply(tmp, p);
     op.apply_dag(ap, tmp);
@@ -129,6 +174,7 @@ CgResult cg_run(DiracOperator& op, DistField& x, DistField& b,
       }
       ops.copy(x, *xck);
       since_audit = 0;
+      checkpointed = true;
     }
 
     if (looks_converged) {
@@ -141,6 +187,9 @@ CgResult cg_run(DiracOperator& op, DistField& x, DistField& b,
     const double beta = rsq_new / rsq;
     rsq = rsq_new;
     ops.xpay(r, beta, p);
+    // Loop-top state is complete (p updated): a clean checkpoint taken this
+    // trip is now resumable, so let the snapshot layer persist it.
+    if (checkpointed) fire_checkpoint();
   }
   result.relative_residual =
       rhs_norm2 > 0 ? std::sqrt(rsq / rhs_norm2) : std::sqrt(rsq);
@@ -162,6 +211,15 @@ CgResult cg_run(DiracOperator& op, DistField& x, DistField& b,
 
 }  // namespace
 
+CgWorkspace CgWorkspace::make(DiracOperator& op) {
+  // Allocation order is load-bearing: it must match what cg_run would
+  // allocate internally, so a resuming process reproduces the snapshotted
+  // memory layout exactly.
+  return CgWorkspace{op.make_field("cg.tmp"), op.make_field("cg.r"),
+                     op.make_field("cg.p"), op.make_field("cg.ap"),
+                     op.make_field("cg.xck")};
+}
+
 CgResult cg_solve(DiracOperator& op, DistField& x, DistField& b,
                   const CgParams& params) {
   return cg_run(op, x, b, params, nullptr);
@@ -170,7 +228,10 @@ CgResult cg_solve(DiracOperator& op, DistField& x, DistField& b,
 CgResult cg_solve_audited(DiracOperator& op, DistField& x, DistField& b,
                           const CgParams& params,
                           const CgAuditParams& audit) {
-  if (!audit.clean && !audit.mem_clean) return cg_run(op, x, b, params, nullptr);
+  if (!audit.clean && !audit.mem_clean && !audit.on_checkpoint &&
+      audit.workspace == nullptr && audit.resume == nullptr) {
+    return cg_run(op, x, b, params, nullptr);
+  }
   return cg_run(op, x, b, params, &audit);
 }
 

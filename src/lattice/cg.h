@@ -22,6 +22,30 @@ struct CgParams {
   int fixed_iterations = 0;
 };
 
+/// Solver scalars at a clean audit checkpoint.  Together with the field
+/// contents -- x and the workspace fields live in simulated node memory and
+/// ride a machine snapshot -- this is everything needed to resume the exact
+/// Krylov trajectory in a fresh process.
+struct CgCheckpoint {
+  int iterations = 0;
+  double rsq = 0;        ///< |r|^2 at the checkpoint (bit pattern matters)
+  double rhs_norm2 = 0;  ///< reference scale |M^+ b|^2
+  int restarts = 0;
+  u64 audits = 0;
+  u64 audit_failures = 0;
+  u64 mem_checks = 0;
+};
+
+/// The audited solver's working fields, in the solver's canonical
+/// allocation order.  Normally allocated internally; a resuming process
+/// must create the allocations *before* overwriting node memory from a
+/// snapshot, so it builds a workspace first, restores into it, and passes
+/// it to the solver.
+struct CgWorkspace {
+  DistField tmp, r, p, ap, xck;
+  static CgWorkspace make(DiracOperator& op);
+};
+
 /// Checksum-audit policy for the fault-tolerant solver.  The paper compares
 /// per-link checksums at the end of a calculation; auditing every few
 /// iterations instead lets a multi-day run restart from its last known-clean
@@ -41,6 +65,19 @@ struct CgAuditParams {
   std::function<bool()> mem_clean;
   int interval = 10;     ///< iterations between audits
   int max_restarts = 8;  ///< give up after this many rollbacks
+
+  /// Fired whenever the solver lands on a clean checkpoint: after the
+  /// baseline audit, and at the end of every loop trip whose audit passed.
+  /// The mesh is quiescent and the fields hold exactly loop-top state, so
+  /// this is where the snapshot layer writes a generation.
+  std::function<void(const CgCheckpoint&)> on_checkpoint;
+  /// Pre-allocated working fields (see CgWorkspace); null = allocate
+  /// internally.  Required when `resume` is set.
+  CgWorkspace* workspace = nullptr;
+  /// Resume from these scalars instead of computing the initial residual.
+  /// x and the workspace fields must already hold the checkpoint's restored
+  /// contents; the solver continues the trajectory bit-identically.
+  const CgCheckpoint* resume = nullptr;
 };
 
 struct CgResult {

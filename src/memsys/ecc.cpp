@@ -131,4 +131,36 @@ u64 EccModel::poisoned_codewords() const {
   return n;
 }
 
+EccState EccModel::capture_state() const {
+  EccState st;
+  st.counters = counters_;
+  for (const auto& [key, cw] : codewords_) {
+    EccState::CodewordState c;
+    c.key = key;
+    c.poisoned = cw.poisoned;
+    for (const Flip& f : cw.flips) {
+      c.flips.push_back({f.word_addr, f.bit, f.corrupted_value, f.applied});
+    }
+    st.codewords.push_back(std::move(c));
+  }
+  st.latched = latched_;
+  st.scrub_cursor = scrub_cursor_;
+  return st;
+}
+
+void EccModel::restore_state(const EccState& state) {
+  counters_ = state.counters;
+  codewords_.clear();
+  for (const EccState::CodewordState& c : state.codewords) {
+    Codeword cw;
+    cw.poisoned = c.poisoned;
+    for (const EccState::FlipState& f : c.flips) {
+      cw.flips.push_back(Flip{f.word_addr, f.bit, f.corrupted_value, f.applied});
+    }
+    codewords_.emplace(c.key, std::move(cw));
+  }
+  latched_ = state.latched;
+  scrub_cursor_ = state.scrub_cursor;
+}
+
 }  // namespace qcdoc::memsys

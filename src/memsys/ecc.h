@@ -75,6 +75,28 @@ struct MemCheckEvent {
   Region region = Region::kEdram;
 };
 
+/// Full SECDED bookkeeping of one node as captured into a snapshot: the
+/// lifetime counters, every outstanding flip, latched machine checks and
+/// the scrub cursor.  Plain data -- the snapshot layer owns serialization.
+struct EccState {
+  struct FlipState {
+    u64 word_addr = 0;
+    int bit = 0;
+    u64 corrupted_value = 0;
+    bool applied = false;
+  };
+  struct CodewordState {
+    u64 key = 0;
+    std::vector<FlipState> flips;
+    bool poisoned = false;
+  };
+
+  EccCounters counters;
+  std::vector<CodewordState> codewords;
+  std::vector<MemCheckEvent> latched;
+  u64 scrub_cursor = 0;
+};
+
 /// Per-node SECDED state.  Owned by NodeMemory; exercised by the
 /// FaultInjector (upsets), MemScrubber (background correction) and the
 /// host health monitor (machine-check consumption).
@@ -109,6 +131,12 @@ class EccModel {
 
   const EccCounters& counters() const { return counters_; }
   const EccConfig& config() const { return cfg_; }
+
+  /// Snapshot hooks: the complete bookkeeping (counters, outstanding flips,
+  /// latched machine checks, scrub cursor).  restore_state() replaces all
+  /// of it; storage contents are restored separately by NodeMemory.
+  EccState capture_state() const;
+  void restore_state(const EccState& state);
 
  private:
   struct Flip {

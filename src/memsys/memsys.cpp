@@ -1,5 +1,7 @@
 #include "memsys/memsys.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "memsys/ddr.h"
 #include "memsys/edram.h"
@@ -101,6 +103,22 @@ std::span<u64> NodeMemory::words(const Block& b) {
   auto* chunk = chunk_of(b.word_addr, &offset);
   assert(chunk && offset + b.words <= chunk->size());
   return {chunk->data() + offset, b.words};
+}
+
+std::vector<NodeMemory::ChunkView> NodeMemory::chunks() const {
+  std::vector<ChunkView> out;
+  out.reserve(chunks_.size());
+  for (const auto& [start, storage] : chunks_) {
+    out.push_back({start, std::span<const u64>(storage)});
+  }
+  return out;
+}
+
+bool NodeMemory::restore_chunk(u64 base, std::span<const u64> words) {
+  auto it = chunks_.find(base);
+  if (it == chunks_.end() || it->second.size() != words.size()) return false;
+  std::copy(words.begin(), words.end(), it->second.begin());
+  return true;
 }
 
 double MemTiming::stream_cycles(Region region, double bytes,

@@ -88,6 +88,22 @@ class NodeMemory {
   std::span<const double> doubles(const Block& b) const;
   std::span<u64> words(const Block& b);
 
+  /// One allocation as seen by the snapshot subsystem: base word address
+  /// plus a read-only view of its storage (valid for this object's life).
+  struct ChunkView {
+    u64 base = 0;
+    std::span<const u64> words;
+  };
+  /// Every allocation in address order; with nth_allocated_word this fully
+  /// describes the node's software-visible memory.
+  std::vector<ChunkView> chunks() const;
+  /// Overwrite the allocation starting at `base` with `words`.  Returns
+  /// false when no allocation with exactly this base and size exists --
+  /// i.e. the restoring process did not replay the same allocation
+  /// sequence.  Deliberately bypasses ECC bookkeeping: EccModel state is
+  /// restored separately by the snapshot layer.
+  bool restore_chunk(u64 base, std::span<const u64> words);
+
  private:
   std::vector<u64>* chunk_of(u64 word_addr, u64* offset);
   const std::vector<u64>* chunk_of(u64 word_addr, u64* offset) const;

@@ -107,6 +107,16 @@ class SendSide {
   u64 words_accepted() const { return words_accepted_; }
   u64 resends() const { return resends_; }
 
+  /// Snapshot hook: restore the running payload checksum and lifetime
+  /// counters so the end-of-run send/recv checksum comparison (the paper's
+  /// final integrity check) spans process restarts.  Only valid on a
+  /// drained link; in-flight protocol state is never serialized.
+  void restore_integrity(u64 checksum, u64 words_accepted, u64 resends) {
+    checksum_ = checksum;
+    words_accepted_ = words_accepted;
+    resends_ = resends;
+  }
+
  private:
   void pump();
   void transmit(const Packet& p);
@@ -205,6 +215,18 @@ class RecvSide {
   int held_words() const { return static_cast<int>(held_.size()); }
   u64 detected_errors() const { return detected_errors_; }
   u64 undetected_errors() const { return undetected_errors_; }
+
+  /// Snapshot hooks (see SendSide::restore_integrity).
+  void restore_integrity(u64 checksum, u64 words_received, u64 detected,
+                         u64 undetected) {
+    checksum_ = checksum;
+    words_received_ = words_received;
+    detected_errors_ = detected;
+    undetected_errors_ = undetected;
+  }
+  /// The per-link corruption stream, exposed so its RNG state can be
+  /// captured/restored with the rest of the machine.
+  Rng& corruption_rng() { return corrupt_rng_; }
 
  private:
   void accept_data(u64 word, u8 seq);

@@ -98,6 +98,33 @@ u64 SerialEngine::trace_digest() const {
   return h;
 }
 
+EngineClockState SerialEngine::capture_clock() const {
+  EngineClockState st;
+  st.now = now_;
+  st.events_executed = events_;
+  for (u32 r = 0; r < streams_.size(); ++r) {
+    const Stream& s = streams_[r];
+    if (s.scheduled == 0 && s.executed == 0) continue;
+    st.streams.push_back({r, s.scheduled, s.executed, s.digest});
+  }
+  return st;
+}
+
+void SerialEngine::restore_clock(const EngineClockState& state) {
+  if (!queue_.empty()) {
+    throw std::logic_error("SerialEngine::restore_clock with pending events");
+  }
+  now_ = state.now;
+  events_ = state.events_executed;
+  streams_.clear();
+  for (const EngineStreamState& s : state.streams) {
+    Stream& dst = stream(s.rank);
+    dst.scheduled = s.scheduled;
+    dst.executed = s.executed;
+    dst.digest = s.digest;
+  }
+}
+
 EngineReport SerialEngine::report() const {
   EngineReport rep;
   rep.kind = "serial";

@@ -154,6 +154,26 @@ struct EngineReport {
   std::vector<u64> shard_events;   ///< events executed per shard
 };
 
+/// One rank's order-bookkeeping stream as captured into a snapshot.  Rank
+/// numbering follows detail::affinity_rank (host 0, node i at i+1).
+struct EngineStreamState {
+  u32 rank = 0;
+  u64 scheduled = 0;
+  u64 executed = 0;
+  u64 digest = detail::kFnvOffset;
+};
+
+/// The engine state that must survive a process restart for the order digest
+/// to stay continuous: the clock plus every rank's stream.  Pending events
+/// are deliberately NOT here -- snapshots are taken at quiescent points
+/// (pending_events() == 0, or events owned by re-armable services), because
+/// pooled EventFn closures capture raw pointers and cannot be serialized.
+struct EngineClockState {
+  Cycle now = 0;
+  u64 events_executed = 0;
+  std::vector<EngineStreamState> streams;
+};
+
 /// Abstract engine interface.  See the file comment for the execution-order
 /// contract shared by all implementations.
 class Engine {
@@ -239,6 +259,17 @@ class Engine {
 
   virtual EngineReport report() const = 0;
 
+  /// Capture now() plus every rank's (scheduled, executed, digest) stream.
+  /// Restored via restore_clock() -- possibly on the other implementation or
+  /// at a different thread count -- the digest continues bit-identically.
+  virtual EngineClockState capture_clock() const = 0;
+
+  /// Install captured clock state on a fresh engine.  Throws
+  /// std::logic_error when events are pending (restore order: clock first,
+  /// then services re-arm their standing events) or when a stream's rank
+  /// does not exist on this engine (geometry mismatch).
+  virtual void restore_clock(const EngineClockState& state) = 0;
+
  protected:
   Affinity current_affinity() const {
     const detail::ExecCtx& ctx = detail::exec_ctx();
@@ -291,6 +322,8 @@ class SerialEngine final : public Engine {
   u64 events_executed() const override { return events_; }
   u64 trace_digest() const override;
   EngineReport report() const override;
+  EngineClockState capture_clock() const override;
+  void restore_clock(const EngineClockState& state) override;
 
  private:
   struct Event {

@@ -511,6 +511,44 @@ u64 ParallelEngine::trace_digest() const {
   return h;
 }
 
+EngineClockState ParallelEngine::capture_clock() const {
+  EngineClockState st;
+  st.now = now_;
+  st.events_executed = executed_total_;
+  for (u32 r = 0; r < ranks_.size(); ++r) {
+    const RankQ& rq = ranks_[r];
+    if (rq.scheduled == 0 && rq.executed == 0) continue;
+    st.streams.push_back({r, rq.scheduled, rq.executed, rq.digest});
+  }
+  return st;
+}
+
+void ParallelEngine::restore_clock(const EngineClockState& state) {
+  if (pending_events() != 0) {
+    throw std::logic_error("ParallelEngine::restore_clock with pending events");
+  }
+  now_ = state.now;
+  executed_total_ = state.events_executed;
+  pushed_total_ = 0;
+  for (const EngineStreamState& s : state.streams) {
+    if (s.rank >= ranks_.size()) {
+      throw std::logic_error(
+          "ParallelEngine::restore_clock: stream rank " +
+          std::to_string(s.rank) + " outside this machine's " +
+          std::to_string(ranks_.size()) + " ranks (geometry mismatch)");
+    }
+    RankQ& rq = ranks_[s.rank];
+    rq.scheduled = s.scheduled;
+    rq.executed = s.executed;
+    rq.digest = s.digest;
+    // Monotonicity floor: nothing restored may execute before the snapshot
+    // time.
+    rq.last_exec = state.now;
+    pushed_total_ += s.scheduled;
+  }
+  index_valid_ = false;
+}
+
 EngineReport ParallelEngine::report() const {
   EngineReport rep;
   rep.kind = "parallel";

@@ -71,6 +71,8 @@ class ParallelEngine final : public Engine {
   u64 events_executed() const override;
   u64 trace_digest() const override;
   EngineReport report() const override;
+  EngineClockState capture_clock() const override;
+  void restore_clock(const EngineClockState& state) override;
 
   int threads() const { return cfg_.threads; }
   Cycle lookahead() const { return cfg_.lookahead; }

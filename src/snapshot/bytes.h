@@ -1,0 +1,108 @@
+// Byte-level serialization primitives for the snapshot subsystem.
+//
+// Every quantity crossing a process boundary goes through these helpers:
+// explicit little-endian integer encodings, doubles as their IEEE-754 bit
+// patterns (bit-exact restore is the whole point), length-prefixed strings
+// and vectors, and a CRC-32 over the encoded bytes.  Readers never trust
+// lengths in the payload -- every get_* checks the remaining byte budget and
+// returns a Status with a reason instead of walking off the end, which is
+// what turns a torn write into a clean "section truncated" diagnostic
+// rather than undefined behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qcdoc::snapshot {
+
+/// Outcome of a decode/restore step.  [[nodiscard]] on the type: a dropped
+/// failure (a half-restored machine) must not compile silently.
+struct [[nodiscard]] Status {
+  bool ok = true;
+  std::string reason;
+
+  static Status good() { return Status{}; }
+  static Status fail(std::string why) { return Status{false, std::move(why)}; }
+  explicit operator bool() const { return ok; }
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte span.
+u32 crc32(std::span<const u8> bytes, u32 seed = 0);
+
+/// Append-only encoder.  All integers little-endian; doubles by bit pattern.
+class ByteSink {
+ public:
+  void put_u8(u8 v) { bytes_.push_back(v); }
+  void put_u16(u16 v) { put_le(v, 2); }
+  void put_u32(u32 v) { put_le(v, 4); }
+  void put_u64(u64 v) { put_le(v, 8); }
+  void put_i64(i64 v) { put_le(static_cast<u64>(v), 8); }
+  void put_double(double v) {
+    u64 bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  /// Length-prefixed (u32) byte string.
+  void put_string(const std::string& s);
+  /// Length-prefixed (u64) vector of words / doubles.
+  void put_u64_span(std::span<const u64> v);
+  void put_double_span(std::span<const double> v);
+  void put_raw(std::span<const u8> v) {
+    bytes_.insert(bytes_.end(), v.begin(), v.end());
+  }
+
+  const std::vector<u8>& bytes() const { return bytes_; }
+  std::vector<u8> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  void put_le(u64 v, int n) {
+    for (int i = 0; i < n; ++i) {
+      bytes_.push_back(static_cast<u8>(v & 0xffu));
+      v >>= 8;
+    }
+  }
+  std::vector<u8> bytes_;
+};
+
+/// Bounds-checked decoder over a borrowed byte span.  Every getter reports
+/// truncation through Status instead of reading past the end; `context`
+/// names the section being decoded so diagnostics say *what* was torn.
+class ByteSource {
+ public:
+  ByteSource(std::span<const u8> bytes, std::string context)
+      : bytes_(bytes), context_(std::move(context)) {}
+
+  Status get_u8(u8* out);
+  Status get_u16(u16* out);
+  Status get_u32(u32* out);
+  Status get_u64(u64* out);
+  Status get_i64(i64* out);
+  Status get_double(double* out);
+  Status get_bool(bool* out);
+  Status get_string(std::string* out);
+  Status get_u64_vec(std::vector<u64>* out);
+  Status get_double_vec(std::vector<double>* out);
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  std::size_t pos() const { return pos_; }
+  /// A fully consumed source; decoders call this last so trailing garbage
+  /// (a mis-versioned writer) is caught, not ignored.
+  Status expect_exhausted() const;
+
+ private:
+  Status need(std::size_t n, const char* what);
+  u64 get_le(int n);
+
+  std::span<const u8> bytes_;
+  std::string context_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace qcdoc::snapshot

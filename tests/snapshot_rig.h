@@ -1,0 +1,206 @@
+// Shared rig for the crash-consistent checkpoint/restart tests: one audited
+// CG solve on a Qdaemon-managed partition that can run in three modes --
+// uninterrupted reference, snapshot writer (optionally SIGKILLing itself at
+// a chosen checkpoint, mid-CG), and resume (restore the latest good
+// generation into a freshly replayed process and continue bit-exactly).
+//
+// The same function drives the tier-1 smoke test (4-node machine) and the
+// slow 64-node acceptance test; only the scenario dimensions differ.
+#pragma once
+
+#include <bit>
+#include <csignal>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/checksum_audit.h"
+#include "fault/fault.h"
+#include "host/qdaemon.h"
+#include "lattice/cg.h"
+#include "lattice/linalg.h"
+#include "lattice/wilson.h"
+#include "lattice_fixture.h"
+#include "snapshot/machine_state.h"
+#include "snapshot/store.h"
+
+namespace qcdoc::snapshot::testing {
+
+struct SolveScenario {
+  std::array<int, 6> machine_extents;
+  torus::Shape partition_box;
+  lattice::Coord4 global;
+  double kappa = 0.12;
+  int fixed_iterations = 6;
+  int audit_interval = 2;
+  int sim_threads = 1;
+};
+
+struct SolveOutcome {
+  bool job_ok = false;
+  bool capture_ok = true;  ///< false if any checkpoint failed to persist
+  int iterations = 0;
+  u64 residual_bits = 0;  ///< std::bit_cast of the final relative residual
+  u64 field_fnv = 0;      ///< FNV-1a over every bit of the solution field
+  u64 trace_digest = 0;   ///< the engine's event-order digest
+  Cycle end_cycle = 0;
+  bool resumed = false;
+  u64 recovered_generation = 0;
+  std::vector<std::string> diagnostics;  ///< store fallback notes (resume)
+  std::vector<std::string> log;
+};
+
+inline u64 field_bits_fnv(const lattice::DistField& f) {
+  u64 h = sim::detail::kFnvOffset;
+  for (int r = 0; r < f.ranks(); ++r) {
+    for (const double v : f.data(r)) {
+      h = sim::detail::fnv1a(h, std::bit_cast<u64>(v));
+    }
+  }
+  return h;
+}
+
+inline void encode_solver(const lattice::CgCheckpoint& ck, ByteSink* sink) {
+  sink->put_u32(static_cast<u32>(ck.iterations));
+  sink->put_double(ck.rsq);
+  sink->put_double(ck.rhs_norm2);
+  sink->put_u32(static_cast<u32>(ck.restarts));
+  sink->put_u64(ck.audits);
+  sink->put_u64(ck.audit_failures);
+  sink->put_u64(ck.mem_checks);
+}
+
+inline Status decode_solver(const SnapshotFile& file,
+                            lattice::CgCheckpoint* ck) {
+  std::optional<ByteSource> src;
+  if (Status s = file.open(kSecSolver, &src); !s) return s;
+  u32 iterations = 0, restarts = 0;
+  if (Status s = src->get_u32(&iterations); !s) return s;
+  if (Status s = src->get_double(&ck->rsq); !s) return s;
+  if (Status s = src->get_double(&ck->rhs_norm2); !s) return s;
+  if (Status s = src->get_u32(&restarts); !s) return s;
+  if (Status s = src->get_u64(&ck->audits); !s) return s;
+  if (Status s = src->get_u64(&ck->audit_failures); !s) return s;
+  if (Status s = src->get_u64(&ck->mem_checks); !s) return s;
+  ck->iterations = static_cast<int>(iterations);
+  ck->restarts = static_cast<int>(restarts);
+  return src->expect_exhausted();
+}
+
+/// Run the scenario's audited CG solve.
+///   - `snapshot_dir == nullptr`: uninterrupted reference run.
+///   - writer (`snapshot_dir` set, `resume` false): every clean checkpoint
+///     is captured and committed as a new generation.  When
+///     `kill_at_iteration >= 0`, the process raises SIGKILL right after the
+///     save whose checkpoint is at that iteration -- dying mid-CG with the
+///     generation durable on disk.
+///   - resume (`resume` true): allocate the identical fields, restore the
+///     newest good generation and continue the trajectory.
+inline SolveOutcome run_solve(const SolveScenario& sc,
+                              const std::string* snapshot_dir, bool resume,
+                              int kill_at_iteration = -1) {
+  SolveOutcome out;
+  machine::MachineConfig cfg;
+  cfg.shape.extent = sc.machine_extents;
+  cfg.sim_threads = sc.sim_threads;
+  machine::Machine m(cfg);
+  host::Qdaemon qd(&m);
+  qd.boot();
+  auto handle = qd.allocate_partition("cg", sc.partition_box, 4);
+  if (!handle) return out;
+
+  fault::ChecksumAuditor auditor(&m.mesh());
+  fault::MemCheckAuditor mem_auditor(&m.mesh(), handle->partition->nodes());
+  fault::FaultInjector injector(&m.mesh());
+  MachineExtras extras;
+  extras.health = &qd.health();
+  extras.auditor = &auditor;
+  extras.mem_auditor = &mem_auditor;
+  extras.injector = &injector;
+
+  std::optional<SnapshotStore> store;
+  if (snapshot_dir != nullptr) store.emplace(*snapshot_dir, "cg");
+
+  const auto job = qd.run_job(*handle, [&](comms::Communicator& comm,
+                                           std::vector<std::string>& log) {
+    lattice::GlobalGeometry geom(handle->partition, sc.global);
+    machine::BspRunner bsp(&m);
+    cpu::CpuModel cpu(m.hw(), m.mem_timing());
+    lattice::FieldOps ops(&bsp, &cpu, &comm);
+    lattice::GaugeField gauge(&comm, &geom);
+    Rng rng(77);
+    gauge.randomize_near_unit(rng, 0.1);
+    lattice::WilsonDirac op(&ops, &geom, &gauge,
+                            lattice::WilsonParams{.kappa = sc.kappa});
+    lattice::DistField x = op.make_field("x");
+    lattice::DistField b = op.make_field("b");
+    x.zero();
+    lattice::testing::fill_by_global_site(geom, b);
+
+    lattice::CgParams params;
+    params.tolerance = 1e-8;
+    params.fixed_iterations = sc.fixed_iterations;
+    lattice::CgAuditParams audit;
+    audit.clean = [&] { return auditor.clean_since_last(); };
+    audit.mem_clean = [&] { return mem_auditor.clean_since_last(); };
+    audit.interval = sc.audit_interval;
+
+    lattice::CgCheckpoint resume_ck;
+    std::optional<lattice::CgWorkspace> ws;
+    if (resume) {
+      // Allocation replay: the workspace must exist (in the solver's own
+      // allocation order) before node memory is overwritten from disk.
+      ws.emplace(lattice::CgWorkspace::make(op));
+      SnapshotFile file;
+      if (Status s = store->load_latest(&file, &out.diagnostics); !s) {
+        log.push_back("restore failed: " + s.reason);
+        return;
+      }
+      out.recovered_generation = file.generation();
+      if (Status s = restore_machine(m, extras, file); !s) {
+        log.push_back("restore failed: " + s.reason);
+        return;
+      }
+      if (Status s = decode_solver(file, &resume_ck); !s) {
+        log.push_back("restore failed: " + s.reason);
+        return;
+      }
+      audit.workspace = &*ws;
+      audit.resume = &resume_ck;
+      out.resumed = true;
+    } else if (store.has_value()) {
+      audit.on_checkpoint = [&](const lattice::CgCheckpoint& ck) {
+        SnapshotFile file;
+        if (Status s = capture_machine(m, extras, &file); !s) {
+          out.capture_ok = false;
+          log.push_back("capture failed: " + s.reason);
+          return;
+        }
+        ByteSink solver;
+        encode_solver(ck, &solver);
+        file.add_section(kSecSolver, std::move(solver));
+        if (Status s = store->save(&file); !s) {
+          out.capture_ok = false;
+          log.push_back("save failed: " + s.reason);
+          return;
+        }
+        if (kill_at_iteration >= 0 && ck.iterations == kill_at_iteration) {
+          raise(SIGKILL);  // die mid-CG; the generation above is durable
+        }
+      };
+    }
+
+    const lattice::CgResult r = cg_solve_audited(op, x, b, params, audit);
+    out.iterations = r.iterations;
+    out.residual_bits = std::bit_cast<u64>(r.relative_residual);
+    out.field_fnv = field_bits_fnv(x);
+  });
+  out.job_ok = job.ok;
+  out.log = job.output;
+  out.end_cycle = m.engine().now();
+  out.trace_digest = m.engine().trace_digest();
+  return out;
+}
+
+}  // namespace qcdoc::snapshot::testing

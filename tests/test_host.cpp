@@ -304,11 +304,77 @@ TEST(ConfigStore, RejectsWrongGeometryAndMissingNames) {
   ConfigStore store(&rig.m, &rig.daemon->ethernet());
   lattice::GaugeField gauge(rig.comm.get(), rig.geom.get());
   gauge.set_unit();
-  EXPECT_FALSE(store.load(&gauge, "missing").ok);
-  store.save(gauge, "conf");
+  const auto missing = store.load(&gauge, "missing");
+  EXPECT_FALSE(missing.ok);
+  EXPECT_NE(missing.error.find("no configuration"), std::string::npos);
+  EXPECT_TRUE(store.save(gauge, "conf").ok);
   lattice::GlobalGeometry other(rig.partition.get(), {8, 4, 2, 2});
   lattice::GaugeField wrong(rig.comm.get(), &other);
-  EXPECT_FALSE(store.load(&wrong, "conf").ok);
+  const auto skew = store.load(&wrong, "conf");
+  EXPECT_FALSE(skew.ok);
+  EXPECT_NE(skew.error.find("dimensions"), std::string::npos);
+}
+
+TEST(ConfigStore, RejectsTruncatedPayload) {
+  StoreRig rig;
+  ConfigStore store(&rig.m, &rig.daemon->ethernet());
+  lattice::GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(72);
+  gauge.randomize(rng);
+  EXPECT_TRUE(store.save(gauge, "conf").ok);
+
+  // A torn NFS write: the payload ends early but the header still claims
+  // the full volume.  Load must refuse before copying a single site.
+  ASSERT_TRUE(store.truncate_stored("conf", 100));
+  lattice::GaugeField target(rig.comm.get(), rig.geom.get());
+  target.set_unit();
+  const auto report = store.load(&target, "conf");
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("truncated"), std::string::npos);
+  // The target field was not touched.
+  EXPECT_EQ(target.average_plaquette(), 1.0);
+}
+
+TEST(ConfigStore, RejectsFlippedChecksumAndCorruptPayload) {
+  StoreRig rig;
+  ConfigStore store(&rig.m, &rig.daemon->ethernet());
+  lattice::GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(73);
+  gauge.randomize(rng);
+  EXPECT_TRUE(store.save(gauge, "ck").ok);
+  EXPECT_TRUE(store.save(gauge, "data").ok);
+
+  // Flipping a header-checksum bit and flipping a payload bit must both be
+  // caught by the same verification, with the same diagnostic layer.
+  ASSERT_TRUE(store.flip_stored_checksum_bit("ck", 17));
+  ASSERT_TRUE(store.flip_stored_payload_bit("data", 1234, 3));
+  lattice::GaugeField target(rig.comm.get(), rig.geom.get());
+  target.set_unit();
+  const auto ck = store.load(&target, "ck");
+  EXPECT_FALSE(ck.ok);
+  EXPECT_NE(ck.error.find("checksum"), std::string::npos);
+  const auto data = store.load(&target, "data");
+  EXPECT_FALSE(data.ok);
+  EXPECT_NE(data.error.find("checksum"), std::string::npos);
+}
+
+TEST(ConfigStore, RejectsHeaderDimensionSkewAgainstPayload) {
+  StoreRig rig;
+  ConfigStore store(&rig.m, &rig.daemon->ethernet());
+  lattice::GaugeField gauge(rig.comm.get(), rig.geom.get());
+  gauge.set_unit();
+  EXPECT_TRUE(store.save(gauge, "conf").ok);
+
+  // Header claims a smaller volume than the payload carries.  Geometry
+  // matches the (doctored) header, so only the payload-size check between
+  // header parse and site copy can catch it.
+  ASSERT_TRUE(store.override_stored_dims("conf", {4, 4, 2, 1}));
+  lattice::GlobalGeometry half(rig.partition.get(), {4, 4, 2, 1});
+  lattice::GaugeField target(rig.comm.get(), &half);
+  target.set_unit();
+  const auto report = store.load(&target, "conf");
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("oversized"), std::string::npos);
 }
 
 TEST(ConfigStore, IoTimeScalesWithConfigurationSize) {

@@ -1,4 +1,4 @@
-// Fixture tests for qcdoc-lint (tools/lint): every rule R1..R7 is exercised
+// Fixture tests for qcdoc-lint (tools/lint): every rule R1..R8 is exercised
 // with a positive hit, a clean pass, and an annotated suppression, all via
 // lint_source() under virtual paths so directory scoping is tested without
 // touching the filesystem.  The final test lints the real src/ tree and
@@ -33,9 +33,9 @@ std::string dump(const std::vector<Finding>& fs) {
 
 // --- registry ------------------------------------------------------------
 
-TEST(LintRegistry, AllSevenRulesPlusSuppressionMetaRule) {
+TEST(LintRegistry, AllEightRulesPlusSuppressionMetaRule) {
   const auto infos = rule_infos();
-  ASSERT_EQ(infos.size(), 8u);
+  ASSERT_EQ(infos.size(), 9u);
   EXPECT_EQ(infos[0].id, "wall-clock");
   EXPECT_EQ(infos[1].id, "unordered-container");
   EXPECT_EQ(infos[2].id, "raw-engine");
@@ -43,7 +43,8 @@ TEST(LintRegistry, AllSevenRulesPlusSuppressionMetaRule) {
   EXPECT_EQ(infos[4].id, "nodiscard-status");
   EXPECT_EQ(infos[5].id, "cycle-narrow");
   EXPECT_EQ(infos[6].id, "std-function-event");
-  EXPECT_EQ(infos[7].id, "suppression");
+  EXPECT_EQ(infos[7].id, "raw-state-io");
+  EXPECT_EQ(infos[8].id, "suppression");
   for (const auto& r : infos) EXPECT_FALSE(r.summary.empty()) << r.id;
 }
 
@@ -280,6 +281,55 @@ TEST(LintStdFunctionEvent, SuppressedWithAnnotatedReason) {
   const auto fs = run("src/sim/fixture.cpp", R"cc(
     // qcdoc-lint: allow(std-function-event) cold-path debug hook, not per event
     std::function<void()> on_deadlock_;
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// --- R8: raw-state-io ----------------------------------------------------
+
+TEST(LintRawStateIo, FlagsRawFileIoOutsideSnapshot) {
+  const auto fs = run("src/host/fixture.cpp", R"cc(
+    void dump(const Machine& m) {
+      FILE* f = fopen("state.bin", "wb");
+      fwrite(&m, 1, sizeof(m), f);
+      std::ofstream log("state.txt");
+    }
+  )cc");
+  EXPECT_EQ(count_rule(fs, "raw-state-io"), 3) << dump(fs);
+}
+
+TEST(LintRawStateIo, FlagsWholeStructMemcpy) {
+  const auto fs = run("src/fault/fixture.cpp", R"cc(
+    void stash(const FaultEvent& e, char* buf) {
+      std::memcpy(buf, &e, sizeof(FaultEvent));
+      std::memcpy(buf, &e, sizeof(fault::FaultEvent));
+    }
+  )cc");
+  EXPECT_EQ(count_rule(fs, "raw-state-io"), 2) << dump(fs);
+}
+
+TEST(LintRawStateIo, CleanForScalarPunningAndSnapshotCode) {
+  // sizeof(scalar) / sizeof(expr) copies are everyday value punning.
+  const auto fs = run("src/common/fixture.cpp", R"cc(
+    void pun(double v) {
+      u64 bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      std::memcpy(&bits, &v, sizeof(double));
+    }
+  )cc");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+  // The serializer itself is the one place allowed to touch raw bytes.
+  EXPECT_TRUE(run("src/snapshot/fixture.cpp",
+                  "void w() { fwrite(p, 1, n, f); }").empty());
+  // Tools and tests are out of scope (src/ only).
+  EXPECT_TRUE(run("tools/qsnap/fixture.cpp",
+                  "void r() { fopen(\"x\", \"rb\"); }").empty());
+}
+
+TEST(LintRawStateIo, SuppressedWithAnnotatedReason) {
+  const auto fs = run("src/host/fixture.cpp", R"cc(
+    // qcdoc-lint: allow(raw-state-io) debug hexdump, never read back
+    FILE* f = fopen("dump.txt", "w");
   )cc");
   EXPECT_TRUE(fs.empty()) << dump(fs);
 }

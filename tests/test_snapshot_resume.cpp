@@ -1,0 +1,133 @@
+// SLOW acceptance test for crash-consistent checkpoint/restart (ISSUE 6):
+// an audited CG solve on the full 2^6 = 64-node machine is checkpointed
+// mid-flight, the process is SIGKILLed between checkpoints, and a fresh
+// process restores the latest good generation at 1, 2 and 4 simulation
+// threads -- every restored run must reproduce the uninterrupted reference
+// bit-for-bit (final residual bits, solution-field FNV, event-order digest,
+// end cycle).  A second scenario truncates the newest generation on disk and
+// verifies the store falls back to the previous good generation, still
+// bit-exactly.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "snapshot_rig.h"
+
+namespace qcdoc::snapshot {
+namespace {
+
+using testing::SolveOutcome;
+using testing::SolveScenario;
+
+SolveScenario acceptance_scenario(int sim_threads) {
+  SolveScenario sc;
+  sc.machine_extents = {2, 2, 2, 2, 2, 2};      // the paper's 2^6 building block
+  sc.partition_box.extent = {2, 2, 2, 2, 1, 1};  // 16-node 4-D partition
+  sc.global = {4, 4, 4, 16};
+  sc.kappa = 0.124;
+  sc.fixed_iterations = 10;
+  sc.audit_interval = 3;
+  sc.sim_threads = sim_threads;
+  return sc;
+}
+
+void expect_same_outcome(const SolveOutcome& got, const SolveOutcome& want,
+                         const std::string& what) {
+  EXPECT_TRUE(got.job_ok) << what;
+  EXPECT_EQ(got.iterations, want.iterations) << what;
+  EXPECT_EQ(got.residual_bits, want.residual_bits) << what;
+  EXPECT_EQ(got.field_fnv, want.field_fnv) << what;
+  EXPECT_EQ(got.trace_digest, want.trace_digest) << what;
+  EXPECT_EQ(got.end_cycle, want.end_cycle) << what;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "qcdoc_snapres_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Fork a writer child that checkpoints every clean audit (iterations 0, 3,
+/// 6, ...) and SIGKILLs itself right after the generation for
+/// `kill_at_iteration` commits.  Returns once the child is reaped.
+void run_killed_writer(const std::string& dir, int kill_at_iteration) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    (void)testing::run_solve(acceptance_scenario(2), &dir, /*resume=*/false,
+                             kill_at_iteration);
+    _exit(9);  // not reached: the writer kills itself
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+TEST(SnapshotAcceptance, SixtyFourNodeCrashResumeIsBitExactAcrossThreadCounts) {
+  const std::string dir = fresh_dir("accept");
+
+  // The writer runs at 2 threads and dies right after the iteration-6
+  // checkpoint -- mid-CG, four iterations short of completion.  Retention
+  // keeps the iteration-3 and iteration-6 generations.
+  run_killed_writer(dir, /*kill_at_iteration=*/6);
+  SnapshotStore store(dir, "cg");
+  ASSERT_EQ(store.latest_generation(), 3u);
+  ASSERT_EQ(store.list().size(), 2u);
+
+  // Uninterrupted reference, single-threaded, in this process.
+  const SolveOutcome ref =
+      testing::run_solve(acceptance_scenario(1), nullptr, false);
+  ASSERT_TRUE(ref.job_ok);
+  ASSERT_EQ(ref.iterations, 10);
+
+  // Restore the iteration-6 generation at 1, 2 and 4 simulation threads.
+  // The restored trajectory's remaining four iterations must replay the
+  // reference's event trace exactly -- residual bits, field FNV, order
+  // digest and end cycle all equal, regardless of thread count.
+  for (const int threads : {1, 2, 4}) {
+    const SolveOutcome got =
+        testing::run_solve(acceptance_scenario(threads), &dir, /*resume=*/true);
+    ASSERT_TRUE(got.resumed) << (got.log.empty() ? "" : got.log.back());
+    EXPECT_EQ(got.recovered_generation, 3u);
+    expect_same_outcome(got, ref, std::to_string(threads) + " threads");
+  }
+}
+
+TEST(SnapshotAcceptance, TornNewestGenerationFallsBackAndStaysBitExact) {
+  const std::string dir = fresh_dir("torn");
+  run_killed_writer(dir, /*kill_at_iteration=*/6);
+
+  // Tear the newest generation on disk (generation 3, iteration 6): chop it
+  // mid-payload as a crash straddling the rename would.
+  SnapshotStore store(dir, "cg");
+  const auto gens = store.list();
+  ASSERT_EQ(gens.size(), 2u);
+  ASSERT_EQ(gens[1].generation, 3u);
+  std::filesystem::resize_file(gens[1].path, gens[1].bytes / 3);
+
+  const SolveOutcome ref =
+      testing::run_solve(acceptance_scenario(1), nullptr, false);
+  ASSERT_TRUE(ref.job_ok);
+
+  // The resume must skip the torn generation with a diagnostic and restore
+  // generation 2 (iteration 3) -- replaying seven iterations instead of
+  // four, to the identical bit-exact end state.
+  const SolveOutcome got =
+      testing::run_solve(acceptance_scenario(2), &dir, /*resume=*/true);
+  ASSERT_TRUE(got.resumed) << (got.log.empty() ? "" : got.log.back());
+  EXPECT_EQ(got.recovered_generation, 2u);
+  bool mentioned_fallback = false;
+  for (const auto& d : got.diagnostics) {
+    if (d.find("falling back") != std::string::npos) mentioned_fallback = true;
+  }
+  EXPECT_TRUE(mentioned_fallback);
+  expect_same_outcome(got, ref, "fallback generation");
+}
+
+}  // namespace
+}  // namespace qcdoc::snapshot

@@ -76,7 +76,7 @@ class Rule {
   }
 };
 
-/// The R1..R7 registry, in order.
+/// The R1..R8 registry, in order.
 const std::vector<std::unique_ptr<Rule>>& rules();
 
 }  // namespace qcdoc::lint

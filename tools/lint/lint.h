@@ -41,7 +41,7 @@ struct Options {
   std::vector<std::string> only;
 };
 
-/// Every registered rule, in R1..R6 order (plus the suppression meta-rule).
+/// Every registered rule, in R1..R8 order (plus the suppression meta-rule).
 std::vector<RuleInfo> rule_infos();
 
 /// Lint one in-memory translation unit.  `path` decides which directory-

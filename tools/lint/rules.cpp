@@ -1,4 +1,4 @@
-// The determinism & simulation-safety rules (R1..R7 of DESIGN.md "Static
+// The determinism & simulation-safety rules (R1..R8 of DESIGN.md "Static
 // analysis & determinism contracts").
 //
 // Each rule is a lexical pattern over the token stream: precise enough to
@@ -395,6 +395,69 @@ class StdFunctionEventRule final : public Rule {
   }
 };
 
+// --- R8: raw-state-io ----------------------------------------------------
+
+class RawStateIoRule final : public Rule {
+ public:
+  const char* id() const override { return "raw-state-io"; }
+  const char* summary() const override {
+    return "outside src/snapshot/, no raw file I/O and no memcpy of whole "
+           "structs; persisted state goes through the snapshot serializer "
+           "(versioned sections, explicit field encoding, CRCs)";
+  }
+  void check(const SourceFile& f, std::vector<Finding>* out) const override {
+    if (!f.in_dir("src/") || f.in_dir("src/snapshot/")) return;
+    static const std::set<std::string> kRawIo = {
+        "fwrite", "fread",  "fopen",   "ofstream",
+        "ifstream", "fstream", "fprintf", "fscanf"};
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (is_ident_in(t, kRawIo)) {
+        // fprintf/fscanf to stderr-style logging is fine; everything here
+        // is flagged and the rare legitimate use carries an annotation.
+        add(f, t.line,
+            "'" + t.text + "' writes or reads machine state as raw bytes "
+            "with no version tag or checksum; persist through the snapshot "
+            "serializer (src/snapshot)",
+            out);
+        continue;
+      }
+      // memcpy(dst, src, sizeof(SomeStruct) [* n]): blitting a whole struct
+      // bakes padding, layout and endianness into the byte stream.  Copies
+      // sized by sizeof(scalar) or sizeof(expr) are everyday value punning
+      // and stay legal (type names are Capitalized in this tree).
+      if (!is_ident(t, "memcpy") || !is_punct(*at(toks, i + 1), "(")) continue;
+      int depth = 1;
+      for (std::size_t j = i + 2; j < toks.size() && depth > 0; ++j) {
+        if (is_punct(toks[j], "(")) ++depth;
+        if (is_punct(toks[j], ")")) --depth;
+        if (depth == 1 && is_ident(toks[j], "sizeof") &&
+            is_punct(*at(toks, j + 1), "(")) {
+          // Skip namespace qualifiers: sizeof(fault::FaultEvent).
+          std::size_t k = j + 2;
+          while (at(toks, k)->kind == TokKind::kIdent &&
+                 is_punct(*at(toks, k + 1), "::")) {
+            k += 2;
+          }
+          const Token* ty = at(toks, k);
+          if (ty->kind == TokKind::kIdent && !ty->text.empty() &&
+              std::isupper(static_cast<unsigned char>(ty->text[0])) &&
+              is_punct(*at(toks, k + 1), ")")) {
+            add(f, t.line,
+                "memcpy of whole struct '" + ty->text + "' serializes "
+                "padding and layout; encode fields explicitly via the "
+                "snapshot ByteSink/ByteSource",
+                out);
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
 }  // namespace
 
 const std::vector<std::unique_ptr<Rule>>& rules() {
@@ -409,6 +472,7 @@ const std::vector<std::unique_ptr<Rule>>& rules() {
     v->push_back(std::make_unique<NodiscardStatusRule>());
     v->push_back(std::make_unique<CycleNarrowRule>());
     v->push_back(std::make_unique<StdFunctionEventRule>());
+    v->push_back(std::make_unique<RawStateIoRule>());
     return v;
   }();
   return *kRules;
