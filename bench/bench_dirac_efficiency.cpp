@@ -15,6 +15,7 @@
 #include "lattice/dwf.h"
 #include "lattice/rig.h"
 #include "lattice/staggered.h"
+#include "lattice/twisted_mass.h"
 #include "lattice/wilson.h"
 
 namespace {
@@ -25,6 +26,7 @@ using namespace qcdoc::lattice;
 struct RunResult {
   double efficiency = 0;
   double sustained_mflops = 0;
+  TrafficByPrecision traffic{};
 };
 
 template <typename MakeOp>
@@ -42,7 +44,7 @@ RunResult run_cg(Coord4 global, MakeOp make_op) {
   params.fixed_iterations = 10;
   const CgResult r = cg_solve(*op, x, b, params);
   return RunResult{perf::cg_efficiency(*rig.m, r),
-                   perf::cg_sustained_mflops(*rig.m, r)};
+                   perf::cg_sustained_mflops(*rig.m, r), r.traffic};
 }
 
 }  // namespace
@@ -76,6 +78,16 @@ int main() {
     return std::make_unique<DwfDirac>(rig.ops.get(), rig.geom.get(), &g,
                                       DwfParams{.ls = 8});
   });
+  const auto wilson_hp = run_cg(g44, [](SolverRig& rig, GaugeField& g) {
+    return std::make_unique<WilsonDirac>(
+        rig.ops.get(), rig.geom.get(), &g,
+        WilsonParams{.precision = Precision::kHalf});
+  });
+  const auto twisted = run_cg(g44, [](SolverRig& rig, GaugeField& g) {
+    return std::make_unique<TwistedMassDirac>(rig.ops.get(), rig.geom.get(),
+                                              &g,
+                                              TwistedMassParams{.mu = 0.05});
+  });
 
   std::vector<qcdoc::perf::Row> rows = {
       {"E1", "wilson dp", 40.0, 100 * wilson.efficiency, "% of peak"},
@@ -83,10 +95,16 @@ int main() {
       {"E1", "clover dp", 46.5, 100 * clover.efficiency, "% of peak"},
       {"E1", "wilson sp", 40.0, 100 * wilson_sp.efficiency,
        "% (paper: slightly > dp)"},
+      {"E1", "wilson hp", 40.0, 100 * wilson_hp.efficiency,
+       "% (block-float 16-bit storage)"},
+      {"E1", "twisted dp", 40.0, 100 * twisted.efficiency,
+       "% (twist term rides the Wilson kernel)"},
       {"E1", "dwf dp", 46.5, 100 * dwf.efficiency,
        "% (paper: expected > clover)"},
   };
   bench::print_rows(rows);
+  std::printf("\nwilson hp per-precision traffic (10 iterations):\n%s",
+              perf::format_traffic_report(wilson_hp.traffic).c_str());
   std::printf(
       "\nsustained per node (16-node machine, 500 MHz):\n"
       "  wilson %.0f Mflops, clover %.0f, asqtad %.0f, dwf %.0f of 1000 peak\n",

@@ -23,6 +23,7 @@ CgResult cg_run(DiracOperator& op, DistField& x, DistField& b,
   const double start_compute = bsp.compute_cycles();
   const double start_comm = bsp.comm_cycles();
   const double start_global = bsp.global_cycles();
+  const TrafficByPrecision start_traffic = ops.traffic();
 
   // Working fields: an externally supplied workspace (the resume path, which
   // must allocate before restoring memory contents) or internal allocations
@@ -202,6 +203,7 @@ CgResult cg_run(DiracOperator& op, DistField& x, DistField& b,
   result.compute_cycles = bsp.compute_cycles() - start_compute;
   result.comm_cycles = bsp.comm_cycles() - start_comm;
   result.global_cycles = bsp.global_cycles() - start_global;
+  result.traffic = ops.traffic() - start_traffic;
   QCDOC_INFO << "cg[" << op.name() << "]: " << result.iterations
              << " iterations, |r|/|b| = " << result.relative_residual
              << (audit ? (", " + std::to_string(result.restarts) + " restarts")

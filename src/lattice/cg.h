@@ -91,12 +91,19 @@ struct CgResult {
   u64 audit_failures = 0;   ///< audits that found corrupted traffic
   u64 mem_checks = 0;       ///< audits that found uncorrectable memory
 
+  // Mixed-precision accounting (reliable-update solvers only).
+  int reliable_updates = 0;  ///< double-precision residual replacements
+
   // Machine-level accounting over the solve.
   double flops = 0;          ///< total useful flops (whole machine)
   Cycle cycles = 0;          ///< machine time
   double compute_cycles = 0;
   double comm_cycles = 0;    ///< exposed (non-overlapped) communication
   double global_cycles = 0;  ///< global sums
+  /// Flop/byte traffic of the solve split by storage precision (delta of
+  /// FieldOps::traffic over the solve) -- the honest ledger behind the
+  /// predicted mixed-precision speedups.
+  TrafficByPrecision traffic{};
 
   /// Sustained fraction of machine peak.
   double efficiency(double peak_flops_per_cycle_machine) const {

@@ -223,7 +223,9 @@ void CloverDirac::apply(DistField& out, DistField& in) {
     }
   }
   const auto p = clover_profile();
-  ops_->add_external_flops(p.flops() * geom_->ranks());
+  ops_->account_kernel(p, geom_->ranks(),
+                       params_.single_precision ? Precision::kSingle
+                                                : Precision::kDouble);
   ops_->bsp().compute(ops_->cpu().kernel_cycles(p));
 }
 

@@ -292,7 +292,8 @@ void DwfDirac::run(DistField& out, DistField& in, bool dagger) {
     compute_sites(out, in, dagger);
     bsp.compute(site_cycles);
   }
-  ops_->add_external_flops((pack.flops() + site.flops()) * geom_->ranks());
+  ops_->account_kernel(pack, geom_->ranks(), Precision::kDouble);
+  ops_->account_kernel(site, geom_->ranks(), Precision::kDouble);
 }
 
 void DwfDirac::apply(DistField& out, DistField& in) { run(out, in, false); }

@@ -129,7 +129,7 @@ class ParityOps {
     }
     p.streams = reads + (writes ? 1 : 0);
     p.overhead_cycles = 32;
-    ops_->add_external_flops(p.flops());
+    ops_->account_kernel(p, 1, Precision::kDouble);
     ops_->bsp().compute(ops_->cpu().kernel_cycles(p));
   }
 
@@ -159,6 +159,7 @@ CgResult asqtad_eo_solve(AsqtadDirac& op, DistField& x, DistField& b,
   const double start_compute = bsp.compute_cycles();
   const double start_comm = bsp.comm_cycles();
   const double start_global = bsp.global_cycles();
+  const TrafficByPrecision start_traffic = ops.traffic();
 
   ParityOps even(&ops, &geom, 0);
   ParityOps odd(&ops, &geom, 1);
@@ -240,6 +241,7 @@ CgResult asqtad_eo_solve(AsqtadDirac& op, DistField& x, DistField& b,
   result.compute_cycles = bsp.compute_cycles() - start_compute;
   result.comm_cycles = bsp.comm_cycles() - start_comm;
   result.global_cycles = bsp.global_cycles() - start_global;
+  result.traffic = ops.traffic() - start_traffic;
   QCDOC_INFO << "eo-cg[asqtad]: " << result.iterations
              << " iterations, |r|/|b| = " << result.relative_residual;
   return result;
@@ -258,6 +260,7 @@ CgResult wilson_eo_solve(WilsonDirac& op, DistField& x, DistField& b,
   const double start_compute = bsp.compute_cycles();
   const double start_comm = bsp.comm_cycles();
   const double start_global = bsp.global_cycles();
+  const TrafficByPrecision start_traffic = ops.traffic();
 
   ParityOps even(&ops, &geom, 0);
 
@@ -353,6 +356,7 @@ CgResult wilson_eo_solve(WilsonDirac& op, DistField& x, DistField& b,
   result.compute_cycles = bsp.compute_cycles() - start_compute;
   result.comm_cycles = bsp.comm_cycles() - start_comm;
   result.global_cycles = bsp.global_cycles() - start_global;
+  result.traffic = ops.traffic() - start_traffic;
   QCDOC_INFO << "eo-cg[wilson]: " << result.iterations
              << " iterations, |r|/|b| = " << result.relative_residual;
   return result;

@@ -19,6 +19,7 @@
 #include "comms/comms.h"
 #include "lattice/gamma.h"
 #include "lattice/layout.h"
+#include "lattice/precision.h"
 #include "machine/bsp.h"
 
 namespace qcdoc::lattice {
@@ -52,10 +53,26 @@ class DistField {
   /// Zero the body on all ranks.
   void zero();
 
+  /// Storage precision of the body.  Values are always held as host doubles;
+  /// a narrower precision means every store through FieldOps rounds the
+  /// written words to the representable set (float, or 16-bit block float
+  /// per site block) and the timing model charges the narrow traffic.
+  Precision precision() const { return precision_; }
+  void set_precision(Precision p) { precision_ = p; }
+
+  /// Block size of the half-precision codec for this field: one site block
+  /// (capped so deep fifth-dimension fields still share per-spinor-slice
+  /// exponents rather than one exponent per 5-D column).
+  int quant_block_words() const {
+    return site_doubles_ <= 2 * kDoublesPerSpinor ? site_doubles_
+                                                  : kDoublesPerSpinor;
+  }
+
  private:
   comms::Communicator* comm_;
   const GlobalGeometry* geom_;
   int site_doubles_;
+  Precision precision_ = Precision::kDouble;
   std::vector<memsys::Block> blocks_;
 };
 

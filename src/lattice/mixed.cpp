@@ -1,0 +1,303 @@
+#include "lattice/mixed.h"
+
+#include <cmath>
+#include <optional>
+
+#include "common/log.h"
+
+namespace qcdoc::lattice {
+
+MixedCgWorkspace MixedCgWorkspace::make(DiracOperator& op, Precision sloppy) {
+  // Allocation order is load-bearing (snapshot resume replays it).
+  MixedCgWorkspace ws{
+      op.make_field("mx.tmp"), op.make_field("mx.r"),  op.make_field("mx.ap"),
+      op.make_field("mx.bp"),  op.make_field("mx.e"),  op.make_field("mx.rs"),
+      op.make_field("mx.ps"),  op.make_field("mx.aps"),
+      op.make_field("mx.tmps"), op.make_field("mx.xck")};
+  ws.e.set_precision(sloppy);
+  ws.rs.set_precision(sloppy);
+  ws.ps.set_precision(sloppy);
+  ws.aps.set_precision(sloppy);
+  ws.tmps.set_precision(sloppy);
+  return ws;
+}
+
+namespace {
+
+CgResult mixed_cg_run(DiracOperator& op, DiracOperator& sloppy_op,
+                      DistField& x, DistField& b, const MixedCgParams& params,
+                      const MixedCgAuditParams* audit) {
+  FieldOps& ops = op.ops();
+  auto& bsp = ops.bsp();
+
+  const Cycle start_cycle = bsp.now();
+  const double start_flops = ops.flops();
+  const double start_compute = bsp.compute_cycles();
+  const double start_comm = bsp.comm_cycles();
+  const double start_global = bsp.global_cycles();
+  const TrafficByPrecision start_traffic = ops.traffic();
+
+  std::optional<MixedCgWorkspace> own_ws;
+  MixedCgWorkspace* ws = audit ? audit->workspace : nullptr;
+  if (ws == nullptr) {
+    own_ws.emplace(MixedCgWorkspace::make(op, params.sloppy));
+    ws = &*own_ws;
+  }
+  DistField& tmp = ws->tmp;
+  DistField& r = ws->r;
+  DistField& ap = ws->ap;
+  DistField& bp = ws->bp;
+
+  double rsq = 0;
+  // True residual in double: r = M^+ b - M^+ M x (bp caches M^+ b so a
+  // resumed process never re-derives it -- it rides the snapshot).
+  const auto recompute_residual = [&] {
+    op.apply(tmp, x);
+    op.apply_dag(ap, tmp);
+    ops.copy(bp, r);
+    ops.axpy(-1.0, ap, r);
+    rsq = ops.norm2(r);
+  };
+
+  CgResult result;
+  const auto interval_clean = [&]() -> bool {
+    ++result.audits;
+    bool ok = true;
+    if (audit->clean && !audit->clean()) {
+      ++result.audit_failures;
+      ok = false;
+    }
+    if (audit->mem_clean && !audit->mem_clean()) {
+      ++result.mem_checks;
+      ok = false;
+    }
+    return ok;
+  };
+  double rhs_norm2 = 0;
+  int outer = 0;
+  const auto fire_checkpoint = [&] {
+    if (!audit || !audit->on_checkpoint) return;
+    MixedCgCheckpoint ck;
+    ck.outer = outer;
+    ck.iterations = result.iterations;
+    ck.rsq = rsq;
+    ck.rhs_norm2 = rhs_norm2;
+    ck.restarts = result.restarts;
+    ck.audits = result.audits;
+    ck.audit_failures = result.audit_failures;
+    ck.mem_checks = result.mem_checks;
+    audit->on_checkpoint(ck);
+  };
+
+  if (audit && audit->resume) {
+    // x, r, bp and xck already hold the checkpoint's restored contents.
+    const MixedCgCheckpoint& ck = *audit->resume;
+    outer = ck.outer;
+    result.iterations = ck.iterations;
+    result.restarts = ck.restarts;
+    result.audits = ck.audits;
+    result.audit_failures = ck.audit_failures;
+    result.mem_checks = ck.mem_checks;
+    rsq = ck.rsq;
+    rhs_norm2 = ck.rhs_norm2;
+  } else {
+    op.apply_dag(bp, b);
+    if (audit) ops.copy(x, ws->xck);
+    recompute_residual();
+    if (audit) {
+      while (!interval_clean() && result.restarts < audit->max_restarts) {
+        ++result.restarts;
+        ops.copy(ws->xck, x);
+        op.apply_dag(bp, b);
+        recompute_residual();
+      }
+    }
+    rhs_norm2 = rsq;
+    fire_checkpoint();
+  }
+  const double target =
+      params.tolerance * params.tolerance * (rhs_norm2 > 0 ? rhs_norm2 : 1.0);
+
+  const int max_trips = audit ? params.max_outer * (audit->max_restarts + 1) +
+                                    audit->max_restarts
+                              : params.max_outer;
+  int since_audit = 0;
+  bool gave_up = false;
+  for (int trip = 0; trip < max_trips && outer < params.max_outer; ++trip) {
+    if (rsq < target) {
+      result.converged = true;
+      break;
+    }
+    // Sloppy inner cycle on the correction equation A e = r: copying the
+    // double residual into rs rounds it to the sloppy representable set,
+    // and every inner load/store moves narrow bytes.
+    ops.zero(ws->e);
+    ops.copy(r, ws->rs);
+    ops.copy(ws->rs, ws->ps);
+    double in_rsq = ops.norm2(ws->rs);
+    const double in_target = params.delta * params.delta * in_rsq;
+    for (int it = 0; it < params.max_inner && in_rsq > in_target; ++it) {
+      sloppy_op.apply(ws->tmps, ws->ps);
+      sloppy_op.apply_dag(ws->aps, ws->tmps);
+      const double p_ap = ops.dot_re(ws->ps, ws->aps);
+      if (p_ap == 0.0) break;
+      const double alpha = in_rsq / p_ap;
+      ops.axpy(alpha, ws->ps, ws->e);
+      ops.axpy(-alpha, ws->aps, ws->rs);
+      const double in_rsq_new = ops.norm2(ws->rs);
+      ++result.iterations;
+      if (in_rsq_new <= in_target || in_rsq_new == 0.0) {
+        in_rsq = in_rsq_new;
+        break;
+      }
+      const double beta = in_rsq_new / in_rsq;
+      in_rsq = in_rsq_new;
+      ops.xpay(ws->rs, beta, ws->ps);
+    }
+
+    // Reliable update: fold the correction in and replace the residual in
+    // double precision, so sloppy rounding never outlives one cycle.
+    ops.axpy(1.0, ws->e, x);
+    recompute_residual();
+    ++result.reliable_updates;
+    ++outer;
+    ++since_audit;
+
+    const bool looks_converged = rsq < target;
+    if (audit && (looks_converged || since_audit >= audit->interval ||
+                  outer == params.max_outer)) {
+      if (!interval_clean()) {
+        bool recovered = false;
+        while (result.restarts < audit->max_restarts) {
+          ++result.restarts;
+          outer -= since_audit;
+          ops.copy(ws->xck, x);
+          recompute_residual();
+          since_audit = 0;
+          if (interval_clean()) {
+            recovered = true;
+            break;
+          }
+        }
+        if (!recovered) {
+          gave_up = true;
+          break;
+        }
+        continue;
+      }
+      ops.copy(x, ws->xck);
+      since_audit = 0;
+      // Loop-top state (x, r, rsq) is complete and the mesh quiescent:
+      // let the snapshot layer persist a generation.
+      fire_checkpoint();
+    }
+    if (looks_converged) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (gave_up) result.converged = false;
+  result.relative_residual =
+      rhs_norm2 > 0 ? std::sqrt(rsq / rhs_norm2) : std::sqrt(rsq);
+
+  result.cycles = bsp.now() - start_cycle;
+  result.flops = ops.flops() - start_flops;
+  result.compute_cycles = bsp.compute_cycles() - start_compute;
+  result.comm_cycles = bsp.comm_cycles() - start_comm;
+  result.global_cycles = bsp.global_cycles() - start_global;
+  result.traffic = ops.traffic() - start_traffic;
+  QCDOC_INFO << "mixed-cg[" << op.name() << "/"
+             << precision_name(params.sloppy) << "]: " << result.iterations
+             << " sloppy iterations, " << result.reliable_updates
+             << " reliable updates, |r|/|b| = " << result.relative_residual;
+  return result;
+}
+
+}  // namespace
+
+CgResult mixed_cg_solve(DiracOperator& op, DiracOperator& sloppy_op,
+                        DistField& x, DistField& b,
+                        const MixedCgParams& params) {
+  return mixed_cg_run(op, sloppy_op, x, b, params, nullptr);
+}
+
+CgResult mixed_cg_solve_audited(DiracOperator& op, DiracOperator& sloppy_op,
+                                DistField& x, DistField& b,
+                                const MixedCgParams& params,
+                                const MixedCgAuditParams& audit) {
+  if (!audit.clean && !audit.mem_clean && !audit.on_checkpoint &&
+      audit.workspace == nullptr && audit.resume == nullptr) {
+    return mixed_cg_run(op, sloppy_op, x, b, params, nullptr);
+  }
+  return mixed_cg_run(op, sloppy_op, x, b, params, &audit);
+}
+
+CgResult mixed_bicgstab_solve(DiracOperator& op, DiracOperator& sloppy_op,
+                              DistField& x, DistField& b,
+                              const MixedCgParams& params) {
+  FieldOps& ops = op.ops();
+  auto& bsp = ops.bsp();
+
+  const Cycle start_cycle = bsp.now();
+  const double start_flops = ops.flops();
+  const double start_compute = bsp.compute_cycles();
+  const double start_comm = bsp.comm_cycles();
+  const double start_global = bsp.global_cycles();
+  const TrafficByPrecision start_traffic = ops.traffic();
+
+  DistField r = op.make_field("mxb.r");
+  DistField tmp = op.make_field("mxb.tmp");
+  DistField e = op.make_field("mxb.e");
+  DistField rs = op.make_field("mxb.rs");
+  e.set_precision(params.sloppy);
+  rs.set_precision(params.sloppy);
+  auto inner_ws = BicgWorkspace::make(op);
+  inner_ws.set_precision(params.sloppy);
+
+  // r = b - M x in double.
+  const auto recompute_residual = [&] {
+    op.apply(tmp, x);
+    ops.copy(b, r);
+    ops.axpy(-1.0, tmp, r);
+  };
+  recompute_residual();
+  const double rhs_norm2 = ops.norm2(r);
+  const double target =
+      params.tolerance * params.tolerance * (rhs_norm2 > 0 ? rhs_norm2 : 1.0);
+
+  CgResult result;
+  double rsq = rhs_norm2;
+  CgParams inner_params;
+  inner_params.tolerance = params.delta;
+  inner_params.max_iterations = params.max_inner;
+  for (int cycle = 0; cycle < params.max_outer && rsq >= target; ++cycle) {
+    // Sloppy BiCGstab on M e = r, one delta-reduction cycle.
+    ops.copy(r, rs);
+    e.zero();
+    const CgResult inner = bicgstab_solve(sloppy_op, e, rs, inner_params,
+                                          inner_ws);
+    result.iterations += inner.iterations;
+    ops.axpy(1.0, e, x);
+    recompute_residual();
+    rsq = ops.norm2(r);
+    ++result.reliable_updates;
+    if (inner.iterations == 0) break;  // inner breakdown; don't spin
+  }
+  result.converged = rsq < target;
+  result.relative_residual =
+      rhs_norm2 > 0 ? std::sqrt(rsq / rhs_norm2) : std::sqrt(rsq);
+
+  result.cycles = bsp.now() - start_cycle;
+  result.flops = ops.flops() - start_flops;
+  result.compute_cycles = bsp.compute_cycles() - start_compute;
+  result.comm_cycles = bsp.comm_cycles() - start_comm;
+  result.global_cycles = bsp.global_cycles() - start_global;
+  result.traffic = ops.traffic() - start_traffic;
+  QCDOC_INFO << "mixed-bicgstab[" << op.name() << "/"
+             << precision_name(params.sloppy) << "]: " << result.iterations
+             << " sloppy iterations, " << result.reliable_updates
+             << " reliable updates, |r|/|b| = " << result.relative_residual;
+  return result;
+}
+
+}  // namespace qcdoc::lattice

@@ -1,0 +1,89 @@
+// Reliable-update mixed-precision Krylov solvers.
+//
+// The iteration runs in a sloppy precision (single, or half with the
+// block-float codec) whose narrow loads and stores are what the EDRAM
+// bandwidth actually sees, with periodic double-precision residual
+// replacement: after each inner cycle reduces the sloppy residual by
+// `delta`, the true residual r = M^+b - M^+M x is recomputed in double and
+// the inner correction restarts from it.  Rounding noise therefore never
+// accumulates past one cycle, and the solver reaches full double-precision
+// tolerances while moving a fraction of the memory traffic -- the QUDA
+// recipe, which on this machine model converts directly into predicted
+// EDRAM/DDR cycle savings.
+#pragma once
+
+#include "lattice/bicgstab.h"
+#include "lattice/cg.h"
+
+namespace qcdoc::lattice {
+
+struct MixedCgParams {
+  double tolerance = 1e-8;  ///< on |r| / |rhs|, in DOUBLE precision
+  int max_outer = 100;      ///< reliable-update cycles
+  int max_inner = 100;      ///< sloppy iterations per cycle
+  /// Inner cycle ends once the sloppy residual has dropped by this factor
+  /// (|r_inner|^2 < delta^2 |r_cycle_start|^2).
+  double delta = 0.1;
+  Precision sloppy = Precision::kSingle;
+};
+
+/// Solver scalars at a clean outer-cycle checkpoint (the mixed solver's
+/// quiescent points).  With x, r and the stored right-hand side restored
+/// from a machine snapshot, these resume the exact trajectory.
+struct MixedCgCheckpoint {
+  int outer = 0;       ///< completed reliable-update cycles
+  int iterations = 0;  ///< total sloppy inner iterations
+  double rsq = 0;      ///< double-precision |r|^2 at the checkpoint
+  double rhs_norm2 = 0;
+  int restarts = 0;
+  u64 audits = 0;
+  u64 audit_failures = 0;
+  u64 mem_checks = 0;
+};
+
+/// Working fields in canonical allocation order (simulated memory is never
+/// freed, so the solver allocates once; a resuming process allocates the
+/// same workspace before restoring node memory from a snapshot).
+struct MixedCgWorkspace {
+  DistField tmp, r, ap, bp;          // double: true-residual recompute
+  DistField e, rs, ps, aps, tmps;    // sloppy inner solve
+  DistField xck;                     // last known-clean solution copy
+  static MixedCgWorkspace make(DiracOperator& op, Precision sloppy);
+};
+
+/// Fault auditing + crash-consistency hooks, mirroring CgAuditParams but
+/// with outer cycles as the audit/checkpoint grain.
+struct MixedCgAuditParams {
+  std::function<bool()> clean;
+  std::function<bool()> mem_clean;
+  int interval = 2;  ///< outer cycles between audits
+  int max_restarts = 8;
+  std::function<void(const MixedCgCheckpoint&)> on_checkpoint;
+  MixedCgWorkspace* workspace = nullptr;
+  const MixedCgCheckpoint* resume = nullptr;
+};
+
+/// Solve M^+M x = M^+b to double-precision tolerance, iterating at
+/// params.sloppy precision with reliable updates.  `sloppy_op` applies the
+/// same physical operator in the sloppy precision (e.g. a WilsonDirac built
+/// with precision = kHalf over the same gauge field); `op` is the double
+/// reference.  x must be zero-initialized.  result.iterations counts
+/// sloppy inner iterations; result.reliable_updates counts double residual
+/// replacements.
+CgResult mixed_cg_solve(DiracOperator& op, DiracOperator& sloppy_op,
+                        DistField& x, DistField& b,
+                        const MixedCgParams& params);
+
+/// Audited / crash-consistent variant (see MixedCgAuditParams).
+CgResult mixed_cg_solve_audited(DiracOperator& op, DiracOperator& sloppy_op,
+                                DistField& x, DistField& b,
+                                const MixedCgParams& params,
+                                const MixedCgAuditParams& audit);
+
+/// Reliable-update mixed-precision BiCGstab on M x = b: sloppy BiCGstab
+/// inner cycles (tolerance `delta` each) with double residual replacement.
+CgResult mixed_bicgstab_solve(DiracOperator& op, DiracOperator& sloppy_op,
+                              DistField& x, DistField& b,
+                              const MixedCgParams& params);
+
+}  // namespace qcdoc::lattice

@@ -1,0 +1,272 @@
+#include "lattice/multishift.h"
+
+#include <cassert>
+#include <cmath>
+#include <optional>
+
+#include "common/log.h"
+
+namespace qcdoc::lattice {
+
+namespace {
+
+/// Per-shift recurrence state (Jegerlehner zeta coefficients) plus the
+/// shared step scalars -- everything a rollback must restore that cannot be
+/// recomputed from the iterates.
+struct ShiftScalars {
+  double rsq = 0;
+  double alpha_prev = 1.0;  // a_{k-1}; a_{-1} = 1 by convention
+  double beta_prev = 0.0;   // b_{k-1}; b_{-1} = 0
+  std::vector<double> zeta;       // zeta_k per shift
+  std::vector<double> zeta_prev;  // zeta_{k-1} per shift
+  std::vector<double> res2;       // |r_i|^2 = zeta_i^2 |r|^2, last update
+  std::vector<char> frozen;       // shift reached tolerance; stop updating
+};
+
+MultishiftResult ms_run(DiracOperator& op, std::vector<DistField>& x,
+                        DistField& b, const MultishiftParams& params,
+                        const MultishiftAuditParams* audit) {
+  const std::size_t ns = params.shifts.size();
+  assert(ns >= 1 && x.size() == ns);
+  FieldOps& ops = op.ops();
+  auto& bsp = ops.bsp();
+
+  const Cycle start_cycle = bsp.now();
+  const double start_flops = ops.flops();
+  const double start_compute = bsp.compute_cycles();
+  const double start_comm = bsp.comm_cycles();
+  const double start_global = bsp.global_cycles();
+  const TrafficByPrecision start_traffic = ops.traffic();
+
+  const double sigma0 = params.shifts[0];
+
+  // Working set: base vectors plus one direction per extra shift.
+  DistField tmp = op.make_field("ms.tmp");
+  DistField r = op.make_field("ms.r");
+  DistField p = op.make_field("ms.p");
+  DistField ap = op.make_field("ms.ap");
+  std::vector<DistField> ps;
+  ps.reserve(ns - 1);
+  for (std::size_t i = 1; i < ns; ++i) {
+    ps.push_back(op.make_field("ms.p" + std::to_string(i)));
+  }
+
+  // Shadow copies for the audited variant: the zeta recurrence cannot be
+  // re-derived from the iterates, so a clean checkpoint snapshots the full
+  // working set and a dirty audit restores it exactly.
+  std::optional<std::vector<DistField>> shadow;
+  if (audit) {
+    std::vector<DistField> sh;
+    sh.push_back(op.make_field("ms.rck"));
+    sh.push_back(op.make_field("ms.pck"));
+    for (std::size_t i = 1; i < ns; ++i) {
+      sh.push_back(op.make_field("ms.pck" + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < ns; ++i) {
+      sh.push_back(op.make_field("ms.xck" + std::to_string(i)));
+    }
+    shadow.emplace(std::move(sh));
+  }
+
+  ShiftScalars sc;
+  sc.zeta.assign(ns, 1.0);
+  sc.zeta_prev.assign(ns, 1.0);
+  sc.res2.assign(ns, 0.0);
+  sc.frozen.assign(ns, 0);
+  ShiftScalars sck;  // scalar state at the shadow checkpoint
+
+  MultishiftResult result;
+  const auto interval_clean = [&]() -> bool {
+    ++result.audits;
+    bool ok = true;
+    if (audit->clean && !audit->clean()) {
+      ++result.audit_failures;
+      ok = false;
+    }
+    if (audit->mem_clean && !audit->mem_clean()) {
+      ++result.mem_checks;
+      ok = false;
+    }
+    return ok;
+  };
+  const auto save_shadow = [&] {
+    auto& sh = *shadow;
+    std::size_t k = 0;
+    ops.copy(r, sh[k++]);
+    ops.copy(p, sh[k++]);
+    for (auto& pi : ps) ops.copy(pi, sh[k++]);
+    for (auto& xi : x) ops.copy(xi, sh[k++]);
+    sck = sc;
+  };
+  const auto restore_shadow = [&] {
+    auto& sh = *shadow;
+    std::size_t k = 0;
+    ops.copy(sh[k++], r);
+    ops.copy(sh[k++], p);
+    for (auto& pi : ps) ops.copy(sh[k++], pi);
+    for (auto& xi : x) ops.copy(sh[k++], xi);
+    sc = sck;
+  };
+
+  // Initial residual r = M^+ b (x_i = 0); every direction starts at r.
+  const auto init_residual = [&] {
+    op.apply_dag(r, b);
+    ops.copy(r, p);
+    for (auto& pi : ps) ops.copy(r, pi);
+    for (auto& xi : x) ops.zero(xi);
+    sc.rsq = ops.norm2(r);
+    sc.alpha_prev = 1.0;
+    sc.beta_prev = 0.0;
+    std::fill(sc.zeta.begin(), sc.zeta.end(), 1.0);
+    std::fill(sc.zeta_prev.begin(), sc.zeta_prev.end(), 1.0);
+    std::fill(sc.res2.begin(), sc.res2.end(), sc.rsq);
+    std::fill(sc.frozen.begin(), sc.frozen.end(), 0);
+  };
+  init_residual();
+  if (audit) {
+    // Baseline audit: the initial residual itself crosses the mesh.
+    while (!interval_clean() && result.restarts < audit->max_restarts) {
+      ++result.restarts;
+      init_residual();
+    }
+    save_shadow();
+  }
+  const double rhs_norm2 = sc.rsq;
+  const double target =
+      params.tolerance * params.tolerance * (rhs_norm2 > 0 ? rhs_norm2 : 1.0);
+
+  const int iters = params.max_iterations;
+  const int max_trips =
+      audit ? iters * (audit->max_restarts + 1) + audit->max_restarts : iters;
+  int since_audit = 0;
+  bool gave_up = false;
+  std::vector<double> zeta_next(ns, 1.0);
+  for (int trip = 0; trip < max_trips && result.iterations < iters; ++trip) {
+    // ap = (M^+ M + sigma_0) p.  With sigma_0 == 0 the operator and vector
+    // sequence below is exactly cg_solve's, so x[0] bit-matches plain CG.
+    op.apply(tmp, p);
+    op.apply_dag(ap, tmp);
+    if (sigma0 != 0.0) ops.axpy(sigma0, p, ap);
+
+    const double p_ap = ops.dot_re(p, ap);
+    if (p_ap == 0.0) break;
+    const double alpha = sc.rsq / p_ap;
+
+    // zeta_{k+1} per shift (scalar recurrence; shifts relative to sigma_0).
+    for (std::size_t i = 1; i < ns; ++i) {
+      if (sc.frozen[i]) continue;
+      const double s = params.shifts[i] - sigma0;
+      const double num = sc.zeta[i] * sc.zeta_prev[i] * sc.alpha_prev;
+      const double den =
+          alpha * sc.beta_prev * (sc.zeta_prev[i] - sc.zeta[i]) +
+          sc.zeta_prev[i] * sc.alpha_prev * (1.0 + s * alpha);
+      zeta_next[i] = den != 0.0 ? num / den : 0.0;
+    }
+
+    ops.axpy(alpha, p, x[0]);
+    for (std::size_t i = 1; i < ns; ++i) {
+      if (sc.frozen[i]) continue;
+      const double alpha_s = alpha * zeta_next[i] / sc.zeta[i];
+      ops.axpy(alpha_s, ps[i - 1], x[i]);
+    }
+    ops.axpy(-alpha, ap, r);
+    const double rsq_new = ops.norm2(r);
+    const double beta = rsq_new / sc.rsq;
+
+    // Direction updates: base first (plain CG order), then each live shift
+    // p_i = zeta_{k+1} r + beta_i p_i, freezing shifts whose implied
+    // residual zeta^2 |r|^2 has crossed the target.
+    sc.res2[0] = rsq_new;
+    for (std::size_t i = 1; i < ns; ++i) {
+      if (sc.frozen[i]) continue;
+      const double ratio = zeta_next[i] / sc.zeta[i];
+      const double beta_s = beta * ratio * ratio;
+      ops.axpby(zeta_next[i], r, beta_s, ps[i - 1]);
+      sc.res2[i] = zeta_next[i] * zeta_next[i] * rsq_new;
+      sc.zeta_prev[i] = sc.zeta[i];
+      sc.zeta[i] = zeta_next[i];
+      if (sc.res2[i] < target) sc.frozen[i] = 1;
+    }
+    sc.alpha_prev = alpha;
+    sc.beta_prev = beta;
+    sc.rsq = rsq_new;
+    ops.xpay(r, beta, p);
+    ++result.iterations;
+    ++since_audit;
+
+    bool all_done = rsq_new < target;
+    for (std::size_t i = 1; i < ns && all_done; ++i) {
+      all_done = sc.frozen[i] != 0;
+    }
+
+    if (audit && (all_done || since_audit >= audit->interval ||
+                  result.iterations == iters)) {
+      if (!interval_clean()) {
+        // Corruption in this interval: every iterate and every zeta since
+        // the shadow copy is suspect.  Restore the full working set (which
+        // also rewrites any poisoned words) and consume audits until one
+        // interval comes back clean.
+        bool recovered = false;
+        while (result.restarts < audit->max_restarts) {
+          ++result.restarts;
+          result.iterations -= since_audit;
+          restore_shadow();
+          since_audit = 0;
+          if (interval_clean()) {
+            recovered = true;
+            break;
+          }
+        }
+        if (!recovered) {
+          gave_up = true;
+          break;
+        }
+        continue;
+      }
+      save_shadow();
+      since_audit = 0;
+    }
+    if (all_done) {
+      result.converged = !gave_up;
+      break;
+    }
+  }
+
+  result.relative_residuals.resize(ns);
+  for (std::size_t i = 0; i < ns; ++i) {
+    result.relative_residuals[i] =
+        rhs_norm2 > 0 ? std::sqrt(sc.res2[i] / rhs_norm2)
+                      : std::sqrt(sc.res2[i]);
+  }
+
+  result.cycles = bsp.now() - start_cycle;
+  result.flops = ops.flops() - start_flops;
+  result.compute_cycles = bsp.compute_cycles() - start_compute;
+  result.comm_cycles = bsp.comm_cycles() - start_comm;
+  result.global_cycles = bsp.global_cycles() - start_global;
+  result.traffic = ops.traffic() - start_traffic;
+  QCDOC_INFO << "multishift[" << op.name() << "]: " << params.shifts.size()
+             << " shifts, " << result.iterations << " iterations, |r0|/|b| = "
+             << result.relative_residuals[0]
+             << (audit ? (", " + std::to_string(result.restarts) + " restarts")
+                       : std::string());
+  return result;
+}
+
+}  // namespace
+
+MultishiftResult multishift_solve(DiracOperator& op, std::vector<DistField>& x,
+                                  DistField& b,
+                                  const MultishiftParams& params) {
+  return ms_run(op, x, b, params, nullptr);
+}
+
+MultishiftResult multishift_solve_audited(DiracOperator& op,
+                                          std::vector<DistField>& x,
+                                          DistField& b,
+                                          const MultishiftParams& params,
+                                          const MultishiftAuditParams& audit) {
+  return ms_run(op, x, b, params, &audit);
+}
+
+}  // namespace qcdoc::lattice

@@ -1,0 +1,78 @@
+#include "lattice/precision.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qcdoc::lattice {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kSingle:
+      return "single";
+    case Precision::kHalf:
+      return "half";
+    case Precision::kDouble:
+    default:
+      return "double";
+  }
+}
+
+std::int32_t block_float_encode(std::span<const double> block,
+                                std::span<std::int16_t> mant) {
+  assert(block.size() == mant.size());
+  double amax = 0;
+  for (const double v : block) amax = std::max(amax, std::abs(v));
+  if (amax == 0.0) {
+    for (auto& m : mant) m = 0;
+    return 0;
+  }
+  int e = 0;
+  (void)std::frexp(amax, &e);  // amax = f * 2^e, f in [0.5, 1)
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    // ldexp keeps the scaling exact even for denormal-adjacent exponents.
+    long long m = std::llround(std::ldexp(block[i], 15 - e));
+    if (m > 32767) m = 32767;    // overflow clamp: |f| ~ 1 rounds to 32768
+    if (m < -32767) m = -32767;  // keep the code symmetric
+    mant[i] = static_cast<std::int16_t>(m);
+  }
+  return e;
+}
+
+void block_float_decode(std::int32_t exponent,
+                        std::span<const std::int16_t> mant,
+                        std::span<double> out) {
+  assert(mant.size() == out.size());
+  for (std::size_t i = 0; i < mant.size(); ++i) {
+    out[i] = std::ldexp(static_cast<double>(mant[i]), exponent - 15);
+  }
+}
+
+void block_float_quantize(std::span<double> block) {
+  // One shared exponent for the whole span; callers pass one site block.
+  std::int16_t mant_buf[256];
+  assert(block.size() <= 256);
+  std::span<std::int16_t> mant(mant_buf, block.size());
+  const std::int32_t e = block_float_encode(block, mant);
+  block_float_decode(e, mant, block);
+}
+
+void quantize_in_place(std::span<double> data, Precision p, int block_words) {
+  switch (p) {
+    case Precision::kDouble:
+      return;
+    case Precision::kSingle:
+      for (double& v : data) v = static_cast<double>(static_cast<float>(v));
+      return;
+    case Precision::kHalf: {
+      assert(block_words > 0);
+      const auto bw = static_cast<std::size_t>(block_words);
+      for (std::size_t off = 0; off < data.size(); off += bw) {
+        block_float_quantize(
+            data.subspan(off, std::min(bw, data.size() - off)));
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace qcdoc::lattice

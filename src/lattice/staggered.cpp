@@ -264,7 +264,8 @@ void AsqtadDirac::exchange_and_compute(DistField& out, DistField& in,
     compute_sites(out, in, parity);
     bsp.compute(site_cycles);
   }
-  ops_->add_external_flops((pack.flops() + site.flops()) * geom_->ranks());
+  ops_->account_kernel(pack, geom_->ranks(), Precision::kDouble);
+  ops_->account_kernel(site, geom_->ranks(), Precision::kDouble);
 }
 
 void AsqtadDirac::dslash(DistField& out, DistField& in) {
@@ -295,7 +296,7 @@ void AsqtadDirac::apply_mass(DistField& out, DistField& in, double sign) {
   } else {
     p.edram_bytes = p.load_bytes + p.store_bytes;
   }
-  ops_->add_external_flops(p.flops() * geom_->ranks());
+  ops_->account_kernel(p, geom_->ranks(), Precision::kDouble);
   ops_->bsp().compute(ops_->cpu().kernel_cycles(p));
 }
 

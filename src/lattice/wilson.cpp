@@ -2,18 +2,42 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <cstring>
+#include <span>
 
 namespace qcdoc::lattice {
 namespace {
 
-/// Halo words per face site: half spinors travel as 12 doubles, or 12
-/// floats packed two per 64-bit word in single precision.
-int halo_words(bool single) { return single ? 6 : 12; }
+/// Halo words per face site: half spinors travel as 12 doubles, 12 packed
+/// floats (6 words), or 12 block-float mantissas + shared exponent (4 words).
+int halo_words(Precision p) {
+  switch (p) {
+    case Precision::kSingle:
+      return 6;
+    case Precision::kHalf:
+      return 4;
+    case Precision::kDouble:
+    default:
+      return 12;
+  }
+}
 
-void pack_half(double* dst, const HalfSpinor& h, bool single) {
-  if (!single) {
+void pack_half(double* dst, const HalfSpinor& h, Precision prec) {
+  if (prec == Precision::kDouble) {
     store_half_spinor(dst, h);
+    return;
+  }
+  if (prec == Precision::kHalf) {
+    double v[12];
+    store_half_spinor(v, h);
+    std::int16_t mant[12];
+    const std::int32_t e = block_float_encode(std::span<const double>(v, 12),
+                                              std::span<std::int16_t>(mant, 12));
+    unsigned char raw[32] = {};
+    std::memcpy(raw, mant, sizeof(mant));
+    std::memcpy(raw + sizeof(mant), &e, sizeof(e));
+    std::memcpy(dst, raw, sizeof(raw));
     return;
   }
   float tmp[12];
@@ -26,8 +50,20 @@ void pack_half(double* dst, const HalfSpinor& h, bool single) {
   std::memcpy(dst, tmp, sizeof(tmp));
 }
 
-HalfSpinor unpack_half(const double* src, bool single) {
-  if (!single) return load_half_spinor(src);
+HalfSpinor unpack_half(const double* src, Precision prec) {
+  if (prec == Precision::kDouble) return load_half_spinor(src);
+  if (prec == Precision::kHalf) {
+    unsigned char raw[32];
+    std::memcpy(raw, src, sizeof(raw));
+    std::int16_t mant[12];
+    std::int32_t e = 0;
+    std::memcpy(mant, raw, sizeof(mant));
+    std::memcpy(&e, raw + sizeof(mant), sizeof(e));
+    double v[12];
+    block_float_decode(e, std::span<const std::int16_t>(mant, 12),
+                       std::span<double>(v, 12));
+    return load_half_spinor(v);
+  }
   float tmp[12];
   std::memcpy(tmp, src, sizeof(tmp));
   HalfSpinor h;
@@ -39,18 +75,28 @@ HalfSpinor unpack_half(const double* src, bool single) {
   return h;
 }
 
+/// Fold the legacy single_precision flag into the precision enum (and keep
+/// the flag consistent so either spelling reads true).
+WilsonParams normalize(WilsonParams p) {
+  if (p.single_precision && p.precision == Precision::kDouble) {
+    p.precision = Precision::kSingle;
+  }
+  p.single_precision = p.precision == Precision::kSingle;
+  return p;
+}
+
 }  // namespace
 
 WilsonDirac::WilsonDirac(FieldOps* ops, const GlobalGeometry* geom,
                          GaugeField* gauge, WilsonParams params)
     : DiracOperator(ops, geom),
       gauge_(gauge),
-      params_(params),
+      params_(normalize(params)),
       halos_(&ops->comm(), geom, halo_doubles(), 1, 1, "wilson.halo") {}
 
 void WilsonDirac::pack_faces(const DistField& in) {
   const auto& local = geom_->local();
-  const bool sp = params_.single_precision;
+  const Precision sp = params_.precision;
   const int hw = halo_words(sp);
   for (int r = 0; r < in.ranks(); ++r) {
     for (int mu = 0; mu < kNd; ++mu) {
@@ -82,7 +128,7 @@ void WilsonDirac::pack_faces(const DistField& in) {
 void WilsonDirac::compute_sites(DistField& out, const DistField& in,
                                 int parity) {
   const auto& local = geom_->local();
-  const bool sp = params_.single_precision;
+  const Precision sp = params_.precision;
   const int hw = halo_words(sp);
   for (int r = 0; r < in.ranks(); ++r) {
     for (int s = 0; s < local.volume(); ++s) {
@@ -130,7 +176,7 @@ void WilsonDirac::compute_sites(DistField& out, const DistField& in,
 
 cpu::KernelProfile WilsonDirac::pack_profile() const {
   const auto& local = geom_->local();
-  const double bf = params_.single_precision ? 0.5 : 1.0;
+  const double bf = bytes_per_double(params_.precision) / 8.0;
   cpu::KernelProfile p;
   p.name = "wilson.pack";
   for (int mu = 0; mu < kNd; ++mu) {
@@ -152,7 +198,7 @@ cpu::KernelProfile WilsonDirac::site_profile(
     memsys::Region fermion_region) const {
   const auto& local = geom_->local();
   const double v = local.volume();
-  const double bf = params_.single_precision ? 0.5 : 1.0;
+  const double bf = bytes_per_double(params_.precision) / 8.0;
   cpu::KernelProfile p;
   p.name = "wilson.site";
   // Per site: 16 SU(3) half-spinor matvecs (960 fmadd-flops), projections
@@ -222,7 +268,8 @@ void WilsonDirac::exchange_and_compute(DistField& out, DistField& in,
     compute_sites(out, in, parity);
     bsp.compute(site_cycles);
   }
-  ops_->add_external_flops((pack.flops() + site.flops()) * geom_->ranks());
+  ops_->account_kernel(pack, geom_->ranks(), params_.precision);
+  ops_->account_kernel(site, geom_->ranks(), params_.precision);
 }
 
 void WilsonDirac::dslash(DistField& out, DistField& in) {

@@ -25,7 +25,13 @@ struct WilsonParams {
   /// Single-precision arithmetic: same flop rate on the 64-bit FPU but half
   /// the memory and communication traffic ("performance for single
   /// precision is slightly higher due to the decreased bandwidth").
+  /// Equivalent to precision = kSingle; kept for older call sites.
   bool single_precision = false;
+  /// Storage precision of the kernels: governs halo wire format, the
+  /// memory-traffic scale factor of the profiles, and which bucket of the
+  /// per-precision ledger the work lands in.  kHalf sends faces as 16-bit
+  /// block-float half spinors (12 mantissas + shared exponent in 4 words).
+  Precision precision = Precision::kDouble;
 };
 
 class WilsonDirac : public DiracOperator {
@@ -35,11 +41,20 @@ class WilsonDirac : public DiracOperator {
 
   const char* name() const override { return "wilson"; }
   int site_doubles() const override { return kDoublesPerSpinor; }
-  /// Half spinors travel as 12 doubles, or 12 floats packed two per word in
-  /// single precision -- the wire really carries half the bits.
+  /// Half spinors travel as 12 doubles; 12 floats packed two per word in
+  /// single precision; or 12 block-float mantissas plus the shared exponent
+  /// packed in 4 words at half precision -- the wire really carries the
+  /// narrow bits.
   int halo_doubles() const override {
-    return params_.single_precision ? kDoublesPerHalfSpinor / 2
-                                    : kDoublesPerHalfSpinor;
+    switch (params_.precision) {
+      case Precision::kSingle:
+        return kDoublesPerHalfSpinor / 2;
+      case Precision::kHalf:
+        return 4;
+      case Precision::kDouble:
+      default:
+        return kDoublesPerHalfSpinor;
+    }
   }
   int halo_slabs() const override { return 1; }
 

@@ -91,6 +91,40 @@ std::string format_engine_report(const sim::EngineReport& r,
   return out;
 }
 
+std::string format_traffic_report(const lattice::TrafficByPrecision& t) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-9s %12s %12s %12s %8s %8s %8s\n",
+                "precision", "Mflop", "load MB", "store MB", "edram%", "ddr%",
+                "flop/B");
+  out << line;
+  lattice::PrecisionTraffic total;
+  for (int i = 0; i < lattice::kNumPrecisions; ++i) {
+    const lattice::PrecisionTraffic& p = t[static_cast<std::size_t>(i)];
+    total += p;
+    if (p.flops == 0 && p.bytes() == 0) continue;
+    const double placed = p.edram_bytes + p.ddr_bytes;
+    std::snprintf(line, sizeof(line),
+                  "%-9s %12.2f %12.2f %12.2f %8.1f %8.1f %8.2f\n",
+                  lattice::precision_name(static_cast<lattice::Precision>(i)),
+                  p.flops / 1e6, p.load_bytes / 1e6, p.store_bytes / 1e6,
+                  placed > 0 ? 100.0 * p.edram_bytes / placed : 0.0,
+                  placed > 0 ? 100.0 * p.ddr_bytes / placed : 0.0,
+                  p.bytes() > 0 ? p.flops / p.bytes() : 0.0);
+    out << line;
+  }
+  const double placed = total.edram_bytes + total.ddr_bytes;
+  std::snprintf(line, sizeof(line),
+                "%-9s %12.2f %12.2f %12.2f %8.1f %8.1f %8.2f\n", "total",
+                total.flops / 1e6, total.load_bytes / 1e6,
+                total.store_bytes / 1e6,
+                placed > 0 ? 100.0 * total.edram_bytes / placed : 0.0,
+                placed > 0 ? 100.0 * total.ddr_bytes / placed : 0.0,
+                total.bytes() > 0 ? total.flops / total.bytes() : 0.0);
+  out << line;
+  return out.str();
+}
+
 std::string format_mem_resilience_report(machine::Machine& m) {
   const memsys::EccCounters c = m.mesh().total_ecc();
   char line[256];

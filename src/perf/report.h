@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lattice/cg.h"
+#include "lattice/linalg.h"
 #include "machine/cost.h"
 #include "machine/machine.h"
 #include "sim/engine.h"
@@ -36,6 +37,13 @@ std::string format_table(const std::vector<Row>& rows);
 /// action-pool allocation counters).
 std::string format_engine_report(const sim::EngineReport& r,
                                  bool wall_clock = false);
+
+/// Per-precision flop/byte table for one solve: Mflops, load/store Mbytes,
+/// EDRAM/DDR residency split and arithmetic intensity per storage
+/// precision, plus a total line.  Buckets with no traffic are omitted, so
+/// an all-double solve prints two lines and a mixed half solve shows
+/// exactly where the narrow bytes went.
+std::string format_traffic_report(const lattice::TrafficByPrecision& t);
 
 /// One-line summary of the machine's memory-resilience counters, summed
 /// over every node: upsets injected, ECC corrections, rewrite clears,

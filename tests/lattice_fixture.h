@@ -1,15 +1,20 @@
 // Shared fixture for lattice tests: a machine, a 4-D partition, a geometry
-// and the solver plumbing (BSP runner, CPU model, field ops).
+// and the solver plumbing (BSP runner, CPU model, field ops), plus the
+// residual checks and right-hand-side generators every solver/action test
+// shares.
 #pragma once
 
 #include <array>
 #include <cmath>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "comms/comms.h"
+#include "lattice/dirac.h"
 #include "lattice/gauge.h"
 #include "lattice/linalg.h"
+#include "lattice/wilson.h"
 #include "machine/bsp.h"
 
 namespace qcdoc::lattice::testing {
@@ -24,15 +29,24 @@ struct LatticeRig {
   std::unique_ptr<FieldOps> ops;
 
   /// `machine_extents`: 6-D machine shape (first 4 dims become the logical
-  /// partition); `global`: 4-D lattice extents.
-  LatticeRig(std::array<int, 6> machine_extents, Coord4 global) {
+  /// partition); `global`: 4-D lattice extents; `sim_threads`: engine
+  /// thread count (determinism tests sweep 1/2/4).
+  LatticeRig(std::array<int, 6> machine_extents, Coord4 global,
+             int sim_threads = 1)
+      : LatticeRig(machine_extents, torus::FoldSpec::identity(4), global,
+                   sim_threads) {}
+
+  /// Fold-aware variant for machines whose trailing dims are > 1 (e.g. the
+  /// paper's 2^6 building block folded into a 4-D logical torus).
+  LatticeRig(std::array<int, 6> machine_extents, torus::FoldSpec fold,
+             Coord4 global, int sim_threads = 1) {
     machine::MachineConfig cfg;
     cfg.shape.extent = machine_extents;
+    cfg.sim_threads = sim_threads;
     m = std::make_unique<machine::Machine>(cfg);
     m->power_on();
     partition = std::make_unique<torus::Partition>(
-        torus::Partition::whole_machine(m->topology(),
-                                        torus::FoldSpec::identity(4)));
+        torus::Partition::whole_machine(m->topology(), std::move(fold)));
     comm = std::make_unique<comms::Communicator>(m.get(), partition.get());
     geom = std::make_unique<GlobalGeometry>(partition.get(), global);
     bsp = std::make_unique<machine::BspRunner>(m.get());
@@ -40,6 +54,40 @@ struct LatticeRig {
     ops = std::make_unique<FieldOps>(bsp.get(), cpu.get(), comm.get());
   }
 };
+
+/// The paper's 2^6 = 64-node building block folded onto a 4x4x2x2 logical
+/// torus: dims (0,4) and (1,5) pair up, dims 2 and 3 stay bare.
+inline torus::FoldSpec fold_two_to_six() {
+  torus::FoldSpec spec;
+  spec.groups = {{0, 4}, {1, 5}, {2}, {3}};
+  return spec;
+}
+
+/// Residual check independent of the solver's own accounting, on the
+/// normal equations: |M^+ (b - M x)| / |M^+ b|.
+inline double true_residual(DiracOperator& op, DistField& x, DistField& b) {
+  FieldOps& ops = op.ops();
+  DistField mx = op.make_field("check.mx");
+  DistField r = op.make_field("check.r");
+  DistField mdr = op.make_field("check.mdr");
+  op.apply(mx, x);
+  ops.copy(b, r);
+  ops.axpy(-1.0, mx, r);  // r = b - Mx
+  op.apply_dag(mdr, r);
+  const double num = ops.norm2(mdr);
+  op.apply_dag(mdr, b);
+  const double den = ops.norm2(mdr);
+  return std::sqrt(num / den);
+}
+
+/// Residual of the unsquared system: |b - M x| / |b|.
+inline double full_residual(DiracOperator& op, DistField& x, DistField& b) {
+  FieldOps& ops = op.ops();
+  DistField mx = op.make_field("check.mx");
+  op.apply(mx, x);
+  ops.axpy(-1.0, b, mx);
+  return std::sqrt(ops.norm2(mx) / ops.norm2(b));
+}
 
 /// Fill a fermion-like field with a deterministic value per (global site,
 /// component), identical regardless of how the lattice is distributed.

@@ -13,23 +13,7 @@ namespace {
 
 using testing::LatticeRig;
 using testing::fill_by_global_site;
-
-/// Residual check independent of the solver's own accounting:
-/// |M^+ (b - M x)| / |M^+ b|.
-double true_residual(DiracOperator& op, DistField& x, DistField& b) {
-  FieldOps& ops = op.ops();
-  DistField mx = op.make_field("check.mx");
-  DistField r = op.make_field("check.r");
-  DistField mdr = op.make_field("check.mdr");
-  op.apply(mx, x);
-  ops.copy(b, r);
-  ops.axpy(-1.0, mx, r);  // r = b - Mx
-  op.apply_dag(mdr, r);
-  const double num = ops.norm2(mdr);
-  op.apply_dag(mdr, b);
-  const double den = ops.norm2(mdr);
-  return std::sqrt(num / den);
-}
+using testing::true_residual;
 
 TEST(Cg, SolvesWilsonOnWeakField) {
   LatticeRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 4, 4});

@@ -1,0 +1,142 @@
+// SLOW cross-solver acceptance matrix on the paper's 2^6 = 64-node
+// building block (folded to a 4x4x2x2 logical torus, 4x4x4x16 lattice):
+// BiCGstab and the mixed-precision reliable-update solvers must agree with
+// all-double CG within the documented tolerance, and the half-sloppy path
+// must show its predicted byte savings at full scale.  EXPERIMENTS.md
+// records the measured values these assertions pin.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "lattice/bicgstab.h"
+#include "lattice/cg.h"
+#include "lattice/mixed.h"
+#include "lattice/multishift.h"
+#include "lattice/wilson.h"
+#include "lattice_fixture.h"
+
+namespace qcdoc::lattice {
+namespace {
+
+using testing::LatticeRig;
+using testing::fill_by_global_site;
+using testing::fill_gauge_by_global_site;
+using testing::fold_two_to_six;
+using testing::full_residual;
+using testing::gather_global;
+
+constexpr double kSolveTol = 1e-9;   // per-solver |r|/|b| target
+constexpr double kAgreeTol = 1e-6;   // documented cross-solver envelope
+
+struct Rig64 {
+  LatticeRig rig;
+  GaugeField gauge;
+  std::optional<WilsonDirac> op_;
+  std::optional<WilsonDirac> sloppy_;
+  std::optional<DistField> b_;
+  explicit Rig64(Precision sloppy)
+      : rig({2, 2, 2, 2, 2, 2}, fold_two_to_six(), {4, 4, 4, 16}),
+        gauge(rig.comm.get(), rig.geom.get()) {
+    fill_gauge_by_global_site(*rig.geom, gauge, 0x2e6);
+    op_.emplace(rig.ops.get(), rig.geom.get(), &gauge,
+                WilsonParams{.kappa = 0.124});
+    sloppy_.emplace(rig.ops.get(), rig.geom.get(), &gauge,
+                    WilsonParams{.kappa = 0.124, .precision = sloppy});
+    b_.emplace(op_->make_field("b"));
+    fill_by_global_site(*rig.geom, *b_);
+  }
+  WilsonDirac& op() { return *op_; }
+  WilsonDirac& sloppy() { return *sloppy_; }
+  DistField& b() { return *b_; }
+};
+
+double worst_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+TEST(SolverMatrix, AgreementOnTwoToSixFixture) {
+  // Reference: all-double CG on the normal equations.
+  Rig64 ref_rig(Precision::kDouble);
+  DistField x_ref = ref_rig.op().make_field("x");
+  x_ref.zero();
+  CgParams cgp;
+  cgp.tolerance = kSolveTol;
+  cgp.max_iterations = 2000;
+  const CgResult r_ref = cg_solve(ref_rig.op(), x_ref, ref_rig.b(), cgp);
+  ASSERT_TRUE(r_ref.converged);
+  const auto ref = gather_global(*ref_rig.rig.geom, x_ref);
+  const double ref_bytes = total_bytes(r_ref.traffic);
+  ASSERT_GT(ref_bytes, 0.0);
+
+  {  // BiCGstab on the unsquared system.
+    Rig64 s(Precision::kDouble);
+    DistField x = s.op().make_field("x");
+    x.zero();
+    CgParams p;
+    p.tolerance = kSolveTol;
+    p.max_iterations = 4000;
+    const CgResult r = bicgstab_solve(s.op(), x, s.b(), p);
+    ASSERT_TRUE(r.converged);
+    EXPECT_LT(full_residual(s.op(), x, s.b()), 1e-8);
+    EXPECT_LT(worst_diff(gather_global(*s.rig.geom, x), ref), kAgreeTol)
+        << "bicgstab vs cg";
+  }
+
+  for (const Precision sloppy : {Precision::kSingle, Precision::kHalf}) {
+    Rig64 s(sloppy);
+    DistField x = s.op().make_field("x");
+    x.zero();
+    MixedCgParams p;
+    p.tolerance = kSolveTol;
+    p.sloppy = sloppy;
+    const CgResult r = mixed_cg_solve(s.op(), s.sloppy(), x, s.b(), p);
+    ASSERT_TRUE(r.converged) << precision_name(sloppy);
+    EXPECT_LT(r.relative_residual, kSolveTol) << precision_name(sloppy);
+    EXPECT_LT(worst_diff(gather_global(*s.rig.geom, x), ref), kAgreeTol)
+        << "mixed-" << precision_name(sloppy) << " vs cg";
+    // Narrow storage must pay off at full scale too.
+    if (sloppy == Precision::kHalf) {
+      EXPECT_GE(ref_bytes / total_bytes(r.traffic), 1.5);
+    }
+  }
+}
+
+TEST(SolverMatrix, MultishiftBaseAgreesOnTwoToSixFixture) {
+  // The sigma = 0 base of a 4-shift family against plain CG, at scale.
+  Rig64 ms_rig(Precision::kDouble);
+  MultishiftParams mp;
+  mp.shifts = {0.0, 0.1, 0.3, 0.7};
+  mp.tolerance = kSolveTol;
+  mp.max_iterations = 2000;
+  std::vector<DistField> x;
+  for (std::size_t i = 0; i < mp.shifts.size(); ++i) {
+    x.push_back(ms_rig.op().make_field("x" + std::to_string(i)));
+  }
+  const MultishiftResult mr = multishift_solve(ms_rig.op(), x, ms_rig.b(), mp);
+  ASSERT_TRUE(mr.converged);
+
+  Rig64 cg_rig(Precision::kDouble);
+  DistField xc = cg_rig.op().make_field("xc");
+  xc.zero();
+  CgParams cp;
+  cp.tolerance = kSolveTol;
+  cp.max_iterations = 2000;
+  const CgResult cr = cg_solve(cg_rig.op(), xc, cg_rig.b(), cp);
+  ASSERT_TRUE(cr.converged);
+
+  const auto a = gather_global(*ms_rig.rig.geom, x[0]);
+  const auto c = gather_global(*cg_rig.rig.geom, xc);
+  ASSERT_EQ(a.size(), c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], c[i]) << "word " << i;
+  }
+}
+
+}  // namespace
+}  // namespace qcdoc::lattice

@@ -14,14 +14,7 @@ namespace {
 
 using testing::LatticeRig;
 using testing::fill_by_global_site;
-
-double full_residual(DiracOperator& op, DistField& x, DistField& b) {
-  FieldOps& ops = op.ops();
-  DistField mx = op.make_field("check.mx");
-  op.apply(mx, x);
-  ops.axpy(-1.0, b, mx);
-  return std::sqrt(ops.norm2(mx) / ops.norm2(b));
-}
+using testing::full_residual;
 
 TEST(EoCg, SolvesAsqtadToFullSystemResidual) {
   LatticeRig rig({2, 2, 1, 1, 1, 1}, {8, 8, 4, 4});

@@ -1,0 +1,209 @@
+// Twisted-mass Wilson fermions: gamma5-relations, exact reduction to plain
+// Wilson at mu = 0 (arithmetic AND simulated machine time), CG convergence
+// and a pinned golden digest for one small twisted solve.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lattice/cg.h"
+#include "lattice/twisted_mass.h"
+#include "lattice/wilson.h"
+#include "lattice_fixture.h"
+
+namespace qcdoc::lattice {
+namespace {
+
+using testing::LatticeRig;
+using testing::fill_by_global_site;
+using testing::fill_gauge_by_global_site;
+using testing::gather_global;
+using testing::true_residual;
+
+Complex global_cdot(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  Complex sum = 0;
+  for (std::size_t i = 0; i + 1 < a.size(); i += 2) {
+    sum += std::conj(Complex(a[i], a[i + 1])) * Complex(b[i], b[i + 1]);
+  }
+  return sum;
+}
+
+u64 fnv_bits(const std::vector<double>& v) {
+  u64 h = 14695981039346656037ull;
+  for (const double d : v) {
+    u64 w = std::bit_cast<u64>(d);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (w >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+/// Deterministic second fill, distinct from fill_by_global_site.
+void fill_phi(const GlobalGeometry& geom, DistField& f) {
+  for (int r = 0; r < f.ranks(); ++r) {
+    for (int s = 0; s < geom.local().volume(); ++s) {
+      const Coord4 g = geom.global_coords(r, s);
+      double* p = f.site(r, s);
+      for (int k = 0; k < f.site_doubles(); ++k) {
+        p[k] = std::cos(0.3 * g[0] + 0.7 * g[1] - 0.2 * g[2] + g[3] + k);
+      }
+    }
+  }
+}
+
+TEST(TwistedMass, ApplyDagIsAdjointOfApply) {
+  // <phi, M psi> == <M^+ phi, psi>: the Wilson hopping term is
+  // gamma5-hermitian and the twist i mu~ gamma5 flips sign under dagger,
+  // which is exactly what apply_dag implements.
+  LatticeRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 2, 2});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(3);
+  gauge.randomize(rng);
+  TwistedMassDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                      TwistedMassParams{.kappa = 0.21, .mu = 0.3});
+  DistField psi = op.make_field("psi");
+  DistField phi = op.make_field("phi");
+  DistField mpsi = op.make_field("mpsi");
+  DistField mdphi = op.make_field("mdphi");
+  fill_by_global_site(*rig.geom, psi);
+  fill_phi(*rig.geom, phi);
+  op.apply(mpsi, psi);
+  op.apply_dag(mdphi, phi);
+  const Complex lhs = global_cdot(gather_global(*rig.geom, phi),
+                                  gather_global(*rig.geom, mpsi));
+  const Complex rhs = global_cdot(gather_global(*rig.geom, mdphi),
+                                  gather_global(*rig.geom, psi));
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9 * std::abs(lhs));
+}
+
+TEST(TwistedMass, TwistTermIsAntiHermitianAndChiral) {
+  // The twist alone (M(mu) - M(0)) psi = i mu~ gamma5 psi: check
+  // <phi, T psi> = -<T phi, psi> (anti-hermitian) and that its norm is
+  // exactly mu~^2 |psi|^2 (gamma5 is an isometry).
+  LatticeRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 2, 2});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  fill_gauge_by_global_site(*rig.geom, gauge, 0xfeed);
+  const TwistedMassParams tp{.kappa = 0.124, .mu = 0.25};
+  TwistedMassDirac tm(rig.ops.get(), rig.geom.get(), &gauge, tp);
+  WilsonDirac w(rig.ops.get(), rig.geom.get(), &gauge,
+                WilsonParams{.kappa = tp.kappa});
+
+  DistField psi = tm.make_field("psi");
+  DistField phi = tm.make_field("phi");
+  DistField t_psi = tm.make_field("t_psi");
+  DistField t_phi = tm.make_field("t_phi");
+  DistField w_out = tm.make_field("w_out");
+  fill_by_global_site(*rig.geom, psi);
+  fill_phi(*rig.geom, phi);
+
+  FieldOps& ops = tm.ops();
+  tm.apply(t_psi, psi);
+  w.apply(w_out, psi);
+  ops.axpy(-1.0, w_out, t_psi);  // T psi
+  tm.apply(t_phi, phi);
+  w.apply(w_out, phi);
+  ops.axpy(-1.0, w_out, t_phi);  // T phi
+
+  const Complex lhs = global_cdot(gather_global(*rig.geom, phi),
+                                  gather_global(*rig.geom, t_psi));
+  const Complex rhs = global_cdot(gather_global(*rig.geom, t_phi),
+                                  gather_global(*rig.geom, psi));
+  EXPECT_NEAR(std::abs(lhs + rhs), 0.0, 1e-9 * (std::abs(lhs) + 1.0));
+
+  const double mt = tm.mu_tilde();
+  EXPECT_NEAR(ops.norm2(t_psi), mt * mt * ops.norm2(psi),
+              1e-9 * ops.norm2(psi));
+}
+
+TEST(TwistedMass, MuZeroReducesToWilsonBitwise) {
+  // At mu = 0 the operator must be Wilson exactly: same bits in the output
+  // AND the same simulated cycle count (no phantom twist kernel charged).
+  const Coord4 global{4, 4, 4, 4};
+  LatticeRig rig_w({2, 2, 1, 1, 1, 1}, global);
+  LatticeRig rig_t({2, 2, 1, 1, 1, 1}, global);
+
+  auto run = [&](LatticeRig& rig, bool twisted, Cycle* cycles) {
+    GaugeField gauge(rig.comm.get(), rig.geom.get());
+    fill_gauge_by_global_site(*rig.geom, gauge, 0xabcd);
+    std::unique_ptr<DiracOperator> op;
+    if (twisted) {
+      op = std::make_unique<TwistedMassDirac>(
+          rig.ops.get(), rig.geom.get(), &gauge,
+          TwistedMassParams{.kappa = 0.124, .mu = 0.0});
+    } else {
+      op = std::make_unique<WilsonDirac>(rig.ops.get(), rig.geom.get(),
+                                         &gauge,
+                                         WilsonParams{.kappa = 0.124});
+    }
+    DistField in = op->make_field("in");
+    DistField out = op->make_field("out");
+    fill_by_global_site(*rig.geom, in);
+    const Cycle before = rig.bsp->now();
+    op->apply(out, in);
+    op->apply_dag(in, out);
+    *cycles = rig.bsp->now() - before;
+    return gather_global(*rig.geom, in);
+  };
+  Cycle cyc_w = 0, cyc_t = 0;
+  const auto a = run(rig_w, false, &cyc_w);
+  const auto b = run(rig_t, true, &cyc_t);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "word " << i;
+  }
+  EXPECT_EQ(cyc_w, cyc_t);
+}
+
+TEST(TwistedMass, CgSolvesTwistedSystem) {
+  LatticeRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 4, 4});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(45);
+  gauge.randomize_near_unit(rng, 0.1);
+  TwistedMassDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                      TwistedMassParams{.kappa = 0.124, .mu = 0.05});
+  DistField x = op.make_field("x");
+  DistField b = op.make_field("b");
+  x.zero();
+  fill_by_global_site(*rig.geom, b);
+  CgParams params;
+  params.tolerance = 1e-8;
+  params.max_iterations = 400;
+  const CgResult result = cg_solve(op, x, b, params);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(true_residual(op, x, b), 1e-6);
+  // The twist improves conditioning: it must not be slower than mu = 0.
+  EXPECT_GT(result.iterations, 3);
+}
+
+TEST(TwistedMass, GoldenSolveDigest) {
+  // Pinned bit-level digest of a fixed 10-iteration twisted solve: any
+  // change to the operator, codec or solver arithmetic on this path is a
+  // deliberate, review-worthy event (regenerate by updating the constant).
+  LatticeRig rig({2, 2, 1, 1, 1, 1}, {4, 4, 4, 4});
+  GaugeField gauge(rig.comm.get(), rig.geom.get());
+  Rng rng(2026);
+  gauge.randomize_near_unit(rng, 0.12);
+  TwistedMassDirac op(rig.ops.get(), rig.geom.get(), &gauge,
+                      TwistedMassParams{.kappa = 0.124, .mu = 0.1});
+  DistField x = op.make_field("x");
+  DistField b = op.make_field("b");
+  x.zero();
+  fill_by_global_site(*rig.geom, b);
+  CgParams params;
+  params.fixed_iterations = 10;
+  const CgResult result = cg_solve(op, x, b, params);
+  EXPECT_EQ(result.iterations, 10);
+  const u64 digest = fnv_bits(gather_global(*rig.geom, x));
+  EXPECT_EQ(digest, 0x63d2b0656faaf4baull)
+      << "twisted golden digest drifted: 0x" << std::hex << digest;
+}
+
+}  // namespace
+}  // namespace qcdoc::lattice
