@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "sim/affinity_guard.h"
 
 namespace qcdoc::fault {
 
@@ -188,7 +189,11 @@ void FaultInjector::arm(const FaultPlan& plan) {
     const Cycle at = std::max(e.at, host.now());
     const std::size_t idx = armed_.size();
     armed_.emplace_back(e, false);
+    // A fault may hit any node's wire, SCU or memory -- and corruption
+    // lands on the neighbour's receive side, so the set is the machine.
+    // qcdoc-lint: touches(all) faults reach arbitrary nodes by design
     host.schedule_at(at, [this, idx] {
+      QCDOC_AFFSAN_TOUCH_ALL();
       armed_[idx].second = true;
       apply(armed_[idx].first);
     });
@@ -227,7 +232,9 @@ void FaultInjector::apply(const FaultEvent& e) {
       wire.set_bit_error_rate(e.bit_error_rate);
       if (e.duration > 0) {
         const sim::EngineRef host(&mesh_->engine());
+        // qcdoc-lint: touches(node) restores the BER of e.node's wire only
         host.schedule(e.duration, [this, e, previous] {
+          QCDOC_AFFSAN_TOUCH(static_cast<sim::Affinity>(e.node.value));
           mesh_->wire(e.node, e.link).set_bit_error_rate(previous);
         });
       }

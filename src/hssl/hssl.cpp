@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "sim/affinity_guard.h"
 
 namespace qcdoc::hssl {
 
@@ -47,6 +48,7 @@ void Hssl::power_on() {
 }
 
 void Hssl::fail() {
+  QCDOC_AFFSAN_CHECK(this);
   if (state_ == LinkState::kDown || state_ == LinkState::kFailed) {
     state_ = LinkState::kFailed;
     return;
@@ -59,6 +61,7 @@ void Hssl::fail() {
 }
 
 void Hssl::retrain() {
+  QCDOC_AFFSAN_CHECK(this);
   if (state_ == LinkState::kDown || state_ == LinkState::kTraining) return;
   ++epoch_;
   busy_ = false;
@@ -68,12 +71,14 @@ void Hssl::retrain() {
 }
 
 void Hssl::set_bit_error_rate(double rate) {
+  QCDOC_AFFSAN_CHECK(this);
   if (!std::isfinite(rate) || rate < 0.0) rate = 0.0;
   if (rate > 1.0) rate = 1.0;
   cfg_.bit_error_rate = rate;
 }
 
 u64 Hssl::transmit(int bits, DeliveryFn on_delivered) {
+  QCDOC_AFFSAN_CHECK(this);
   if (state_ == LinkState::kDown || state_ == LinkState::kFailed ||
       bits <= 0) {
     ++rejected_frames_;
@@ -123,6 +128,10 @@ void Hssl::start_next() {
   delivery_.schedule(
       serialize + cfg_.wire_delay_cycles,
       [this, epoch = epoch_, frame = std::move(frame), flipped]() mutable {
+        // epoch_ moves only in host slices (fail/retrain), which fence every
+        // node event, so this receiver-side read can never race the sender;
+        // AFFSAN checks the mutators at runtime.
+        // qcdoc-lint: allow(cross-affinity-access) epoch_ is window-frozen
         if (epoch != epoch_) return;
         if (frame.on_delivered) frame.on_delivered(frame.id, flipped);
       });

@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "memsys/ddr.h"
 #include "memsys/edram.h"
+#include "sim/affinity_guard.h"
 
 namespace qcdoc::memsys {
 
@@ -78,6 +79,7 @@ u64 NodeMemory::read_word(u64 word_addr) const {
 }
 
 void NodeMemory::write_word(u64 word_addr, u64 value) {
+  QCDOC_AFFSAN_CHECK(this);
   u64 offset = 0;
   auto* chunk = chunk_of(word_addr, &offset);
   assert(chunk && "write to unallocated memory");

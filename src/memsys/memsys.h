@@ -46,6 +46,8 @@ struct MemConfig {
 /// goes to EDRAM until it is full, then spills to DDR (paper Section 4: "for
 /// still larger volumes, when we must put part of the problem in external
 /// DDR DRAM, the performance figures fall").
+// qcdoc-lint: owner(node) each node's memory belongs to that node; writes
+// from other affinities must declare a touched set (checked by AFFSAN).
 class NodeMemory {
  public:
   explicit NodeMemory(MemConfig cfg = MemConfig{});

@@ -36,6 +36,8 @@ struct EthernetConfig {
 /// Kind of traffic, for statistics and for the zero-software JTAG path.
 enum class EthKind { kJtag, kUdp };
 
+// qcdoc-lint: owner(host) the Ethernet/JTAG tree is host-side plumbing: its
+// delivery events run in host slices, never on a node affinity.
 class EthernetTree {
  public:
   /// The Ethernet tree is host-side plumbing (boot streams, RPC, NFS), so

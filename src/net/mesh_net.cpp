@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "sim/affinity_guard.h"
+
 namespace qcdoc::net {
 
 using torus::LinkIndex;
@@ -35,6 +37,13 @@ MeshNet::MeshNet(sim::Engine* engine, MeshConfig cfg)
         sim::EngineRef(engine_, static_cast<sim::Affinity>(i)),
         memories_.back().get(), cfg_.scu,
         Rng(cfg_.seed, NodeId{static_cast<u32>(i)}), stats_.back().get()));
+    // Tag the node's state regions for the affinity sanitizer: mutating
+    // them from an event on another affinity without a declared touched
+    // set is a trap (DESIGN.md section 6).
+    QCDOC_AFFSAN_OWN(memories_.back().get(), sizeof(memsys::NodeMemory),
+                     static_cast<sim::Affinity>(i), "memsys::NodeMemory");
+    QCDOC_AFFSAN_OWN(scus_.back().get(), sizeof(scu::Scu),
+                     static_cast<sim::Affinity>(i), "scu::Scu");
   }
   // Create the outgoing wires and attach them, then connect the endpoints.
   for (int i = 0; i < n; ++i) {
@@ -42,6 +51,8 @@ MeshNet::MeshNet(sim::Engine* engine, MeshConfig cfg)
       auto wire = std::make_unique<hssl::Hssl>(
           sim::EngineRef(engine_, static_cast<sim::Affinity>(i)), cfg_.hssl,
           machine_rng.split(), stats_[static_cast<std::size_t>(i)].get());
+      QCDOC_AFFSAN_OWN(wire.get(), sizeof(hssl::Hssl),
+                       static_cast<sim::Affinity>(i), "hssl::Hssl");
       scus_[static_cast<std::size_t>(i)]->attach_outgoing_wire(LinkIndex{l},
                                                                wire.get());
       wires_[static_cast<std::size_t>(i) * torus::kLinksPerNode +
@@ -66,6 +77,12 @@ MeshNet::MeshNet(sim::Engine* engine, MeshConfig cfg)
     pirq_->add_node(NodeId{static_cast<u32>(i)},
                     scus_[static_cast<std::size_t>(i)].get(), all_links);
   }
+}
+
+MeshNet::~MeshNet() {
+  for (const auto& m : memories_) QCDOC_AFFSAN_DISOWN(m.get());
+  for (const auto& s : scus_) QCDOC_AFFSAN_DISOWN(s.get());
+  for (const auto& w : wires_) QCDOC_AFFSAN_DISOWN(w.get());
 }
 
 void MeshNet::start_scrubbing(memsys::ScrubConfig cfg) {

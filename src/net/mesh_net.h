@@ -49,6 +49,9 @@ struct MeshConfig {
 class MeshNet {
  public:
   MeshNet(sim::Engine* engine, MeshConfig cfg);
+  /// Untags this mesh's AFFSAN regions (no-op without QCDOC_AFFSAN), so a
+  /// later mesh reusing the same heap addresses starts untainted.
+  ~MeshNet();
 
   const torus::Torus& topology() const { return topology_; }
   int num_nodes() const { return topology_.num_nodes(); }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/affinity_guard.h"
+
 namespace qcdoc::scu {
 
 PirqDomain::PirqDomain(sim::EngineRef engine, Cycle window_cycles)
@@ -65,6 +67,10 @@ bool PirqDomain::any_activity() const {
 }
 
 void PirqDomain::window_boundary() {
+  // The global clock samples and refloods across the whole partition: this
+  // host-affinity event legitimately pushes supervisor packets through every
+  // node's SCU and wires, so the whole machine is its declared touched set.
+  QCDOC_AFFSAN_TOUCH_ALL();
   ++windows_run_;
   // Sample and deliver interrupts observed during the closing window, then
   // open the next window by flooding freshly raised lines.

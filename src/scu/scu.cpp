@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/affinity_guard.h"
+
 namespace qcdoc::scu {
 
 using torus::LinkIndex;
@@ -70,14 +72,17 @@ RecvDma& Scu::recv_dma(LinkIndex l) {
 }
 
 void Scu::store_send_descriptor(LinkIndex l, const DmaDescriptor& d) {
+  QCDOC_AFFSAN_CHECK(this);
   stored_send_[static_cast<std::size_t>(l.value)] = d;
 }
 
 void Scu::store_recv_descriptor(LinkIndex l, const DmaDescriptor& d) {
+  QCDOC_AFFSAN_CHECK(this);
   stored_recv_[static_cast<std::size_t>(l.value)] = d;
 }
 
 void Scu::start_stored(u32 send_mask, u32 recv_mask) {
+  QCDOC_AFFSAN_CHECK(this);
   for (int l = 0; l < torus::kLinksPerNode; ++l) {
     const auto idx = static_cast<std::size_t>(l);
     if (recv_mask & (1u << l)) {
@@ -92,6 +97,7 @@ void Scu::start_stored(u32 send_mask, u32 recv_mask) {
 }
 
 void Scu::send_supervisor(LinkIndex l, u64 word) {
+  QCDOC_AFFSAN_CHECK(this);
   send_side(l).enqueue_supervisor(word);
 }
 
@@ -105,6 +111,7 @@ void Scu::set_link_fault_handler(std::function<void(LinkIndex)> fn) {
 }
 
 void Scu::clear_link_fault(LinkIndex l) {
+  QCDOC_AFFSAN_CHECK(this);
   faulted_links_ &= ~(1u << l.value);
   send_side(l).clear_fault();
 }

@@ -1,0 +1,150 @@
+#include "sim/affinity_guard.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+#include <vector>
+
+namespace qcdoc::sim::affsan {
+
+namespace {
+
+struct Region {
+  std::uintptr_t end = 0;  // one past the last tagged byte
+  Affinity owner = kHostAffinity;
+  const char* tag = "";
+};
+
+struct Registry {
+  std::shared_mutex mu;
+  // Keyed by numeric start address.  Looked up by upper_bound, never
+  // iterated in full, so the pointer-derived order can not leak into any
+  // event ordering decision.
+  std::map<std::uintptr_t, Region> regions;
+};
+
+Registry& registry() {
+  // Process-wide region table; populated at machine construction (single
+  // threaded), read under a shared lock from worker threads.
+  // qcdoc-lint: allow(mutable-static) sanitizer region table, lock-guarded
+  static Registry r;
+  return r;
+}
+
+/// Per-thread stack of active touched-set declarations.  `all_depth` counts
+/// enclosing touch-all scopes; `affinities` holds the single-affinity ones.
+struct TouchState {
+  int all_depth = 0;
+  std::vector<Affinity> affinities;
+};
+
+TouchState& touch_state() {
+  // Scoped strictly inside one event's execution, never across events.
+  // qcdoc-lint: allow(mutable-static) per-thread touch scopes, event-local
+  thread_local TouchState t;
+  return t;
+}
+
+}  // namespace
+
+bool enabled() {
+#if defined(QCDOC_AFFSAN)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::string affinity_name(Affinity a) {
+  return a == kHostAffinity ? std::string("host")
+                            : "node " + std::to_string(a);
+}
+
+void own(const void* base, std::size_t bytes, Affinity owner,
+         const char* tag) {
+  const auto start = reinterpret_cast<std::uintptr_t>(base);
+  Registry& reg = registry();
+  const std::unique_lock lock(reg.mu);
+  reg.regions[start] = Region{start + bytes, owner, tag};
+}
+
+void disown(const void* base) {
+  Registry& reg = registry();
+  const std::unique_lock lock(reg.mu);
+  reg.regions.erase(reinterpret_cast<std::uintptr_t>(base));
+}
+
+std::size_t region_count() {
+  Registry& reg = registry();
+  const std::shared_lock lock(reg.mu);
+  return reg.regions.size();
+}
+
+bool owner_of(const void* addr, Affinity* owner) {
+  const auto p = reinterpret_cast<std::uintptr_t>(addr);
+  Registry& reg = registry();
+  const std::shared_lock lock(reg.mu);
+  auto it = reg.regions.upper_bound(p);
+  if (it == reg.regions.begin()) return false;
+  --it;
+  if (p >= it->second.end) return false;
+  if (owner) *owner = it->second.owner;
+  return true;
+}
+
+void check(const void* addr, const char* file, int line) {
+  const detail::ExecCtx& ctx = detail::exec_ctx();
+  if (ctx.engine == nullptr) return;  // host driver code between engine runs
+
+  const auto p = reinterpret_cast<std::uintptr_t>(addr);
+  Affinity owner = kHostAffinity;
+  const char* tag = "";
+  {
+    Registry& reg = registry();
+    const std::shared_lock lock(reg.mu);
+    auto it = reg.regions.upper_bound(p);
+    if (it == reg.regions.begin()) return;
+    --it;
+    if (p >= it->second.end) return;  // untagged memory makes no claim
+    owner = it->second.owner;
+    tag = it->second.tag;
+  }
+  if (ctx.affinity == owner) return;
+
+  const TouchState& t = touch_state();
+  if (t.all_depth > 0) return;
+  if (std::find(t.affinities.begin(), t.affinities.end(), owner) !=
+      t.affinities.end()) {
+    return;
+  }
+
+  std::ostringstream msg;
+  msg << "affsan: cross-affinity access to " << tag << " (owner "
+      << affinity_name(owner) << ") from an event on "
+      << affinity_name(ctx.affinity) << " at cycle " << ctx.now
+      << " (scheduled by " << affinity_name(ctx.src) << ", seq " << ctx.seq
+      << ") at " << file << ":" << line
+      << "; declare QCDOC_AFFSAN_TOUCH at the schedule site or route the"
+         " work through the owner's EngineRef";
+  throw AffinityViolation(msg.str());
+}
+
+ScopedTouch::ScopedTouch() : all_(true) { ++touch_state().all_depth; }
+
+ScopedTouch::ScopedTouch(Affinity affinity) : all_(false) {
+  touch_state().affinities.push_back(affinity);
+}
+
+ScopedTouch::~ScopedTouch() {
+  TouchState& t = touch_state();
+  if (all_) {
+    --t.all_depth;
+  } else {
+    t.affinities.pop_back();
+  }
+}
+
+}  // namespace qcdoc::sim::affsan

@@ -57,7 +57,8 @@ bool SerialEngine::step() {
   ++dst.executed;
   ++events_;
   const detail::ScopedExecCtx ctx(this, ev.time,
-                                  detail::rank_affinity(ev.dest_rank));
+                                  detail::rank_affinity(ev.dest_rank),
+                                  detail::rank_affinity(ev.src_rank), ev.seq);
   ev.fn();
   return true;
 }

@@ -83,6 +83,11 @@ struct ExecCtx {
   const void* engine = nullptr;
   Cycle now = 0;
   Affinity affinity = kHostAffinity;
+  /// Scheduling provenance of the running event, carried so diagnostics
+  /// (the AFFSAN sanitizer above all) can say who created it: the affinity
+  /// that scheduled it and its per-source sequence number.
+  Affinity src = kHostAffinity;
+  u64 seq = 0;
 };
 
 ExecCtx& exec_ctx();
@@ -92,9 +97,10 @@ ExecCtx& exec_ctx();
 /// leave a dangling engine pointer in the thread-local context.
 class ScopedExecCtx {
  public:
-  ScopedExecCtx(const void* engine, Cycle now, Affinity affinity)
+  ScopedExecCtx(const void* engine, Cycle now, Affinity affinity,
+                Affinity src = kHostAffinity, u64 seq = 0)
       : saved_(exec_ctx()) {
-    exec_ctx() = {engine, now, affinity};
+    exec_ctx() = {engine, now, affinity, src, seq};
   }
   ~ScopedExecCtx() { exec_ctx() = saved_; }
   ScopedExecCtx(const ScopedExecCtx&) = delete;

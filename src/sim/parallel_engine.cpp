@@ -223,7 +223,8 @@ void ParallelEngine::exec_event(u32 rank, QueuedEvent ev) {
   } else {
     ++executed_total_;
   }
-  const detail::ScopedExecCtx ctx(this, ev.time, detail::rank_affinity(rank));
+  const detail::ScopedExecCtx ctx(this, ev.time, detail::rank_affinity(rank),
+                                  detail::rank_affinity(ev.src_rank), ev.seq);
   ev.fn();
 }
 

@@ -7,6 +7,7 @@
 
 #include "lint/lexer.h"
 #include "lint/lint.h"
+#include "lint/project.h"
 
 namespace qcdoc::lint {
 
@@ -22,6 +23,16 @@ struct SourceFile {
     bool has_reason = false;
   };
   std::vector<Suppression> suppressions;
+
+  /// Declared touched-affinity sets (`qcdoc-lint: touches(<set>) reason`):
+  /// a host event that mutates node state must carry one (rule R11), naming
+  /// which affinities it may touch -- the same contract the AFFSAN runtime
+  /// enforces dynamically (sim/affinity_guard.h).
+  struct TouchDecl {
+    int line = 0;
+    std::string set;  ///< e.g. "all", "node", "self"
+  };
+  std::vector<TouchDecl> touch_decls;
 
   /// Directory scoping by path substring: in_dir("src/scu/") is true for
   /// "src/scu/link.h" and "/root/repo/src/scu/link.h" alike.
@@ -62,21 +73,39 @@ inline const std::vector<const char*>& status_api_dirs() {
   return dirs;
 }
 
+/// Everywhere events are scheduled: the affinity-ownership rules R9/R10
+/// police benches and examples too, since those drive machines through the
+/// same EngineRef API and their digests gate CI.
+inline const std::vector<const char*>& scheduling_dirs() {
+  static const std::vector<const char*> dirs = {
+      "src/sim/",   "src/scu/",     "src/hssl/",  "src/net/",
+      "src/fault/", "src/machine/", "src/comms/", "src/host/",
+      "src/memsys/", "bench/",      "examples/"};
+  return dirs;
+}
+
 class Rule {
  public:
   virtual ~Rule() = default;
   virtual const char* id() const = 0;
   virtual const char* summary() const = 0;
-  virtual void check(const SourceFile& f, std::vector<Finding>* out) const = 0;
+  /// `project` is the cross-TU index built over every file of the lint
+  /// invocation; single-file invocations see an index of just that file.
+  virtual void check(const SourceFile& f, const ProjectIndex& project,
+                     std::vector<Finding>* out) const = 0;
 
  protected:
   void add(const SourceFile& f, int line, std::string message,
            std::vector<Finding>* out) const {
-    out->push_back({f.path, line, id(), std::move(message)});
+    out->push_back({f.path, line, 0, id(), std::move(message)});
+  }
+  void add(const SourceFile& f, const Token& tok, std::string message,
+           std::vector<Finding>* out) const {
+    out->push_back({f.path, tok.line, tok.col, id(), std::move(message)});
   }
 };
 
-/// The R1..R8 registry, in order.
+/// The R1..R11 registry, in order.
 const std::vector<std::unique_ptr<Rule>>& rules();
 
 }  // namespace qcdoc::lint

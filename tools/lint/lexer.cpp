@@ -13,6 +13,21 @@ bool ident_cont(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
+/// Length of a raw-string prefix (the part before the opening quote) when
+/// the source at `i` begins a raw string literal: R" uR" UR" LR" u8R".
+/// Returns 0 when this is not a raw string.
+std::size_t raw_prefix_len(const std::string& src, std::size_t i) {
+  const std::size_t n = src.size();
+  auto at = [&](std::size_t k) { return i + k < n ? src[i + k] : '\0'; };
+  if (at(0) == 'R' && at(1) == '"') return 1;
+  if ((at(0) == 'u' || at(0) == 'U' || at(0) == 'L') && at(1) == 'R' &&
+      at(2) == '"') {
+    return 2;
+  }
+  if (at(0) == 'u' && at(1) == '8' && at(2) == 'R' && at(3) == '"') return 3;
+  return 0;
+}
+
 }  // namespace
 
 LexResult lex(const std::string& src) {
@@ -20,15 +35,28 @@ LexResult lex(const std::string& src) {
   const std::size_t n = src.size();
   std::size_t i = 0;
   int line = 1;
+  // Offset of the first character of the current line; columns are
+  // 1-based distances from it.
+  std::size_t line_start = 0;
 
   auto peek = [&](std::size_t k) -> char {
     return i + k < n ? src[i + k] : '\0';
+  };
+  // Register the newline at offset `at`; subsequent characters are on the
+  // next line.  Every path that walks past a '\n' must route through here
+  // or columns drift.
+  auto newline_at = [&](std::size_t at) {
+    ++line;
+    line_start = at + 1;
+  };
+  auto col_of = [&](std::size_t at) {
+    return static_cast<int>(at - line_start) + 1;
   };
 
   while (i < n) {
     const char c = src[i];
     if (c == '\n') {
-      ++line;
+      newline_at(i);
       ++i;
       continue;
     }
@@ -37,36 +65,57 @@ LexResult lex(const std::string& src) {
       continue;
     }
 
-    // Line comment.
+    // Line comment.  Line splicing happens before comment removal in real
+    // translation, so a backslash immediately before the newline continues
+    // the comment onto the next physical line -- code there is commented
+    // out and must not produce findings.
     if (c == '/' && peek(1) == '/') {
       const int start_line = line;
+      const int start_col = col_of(i);
       std::size_t j = i;
-      while (j < n && src[j] != '\n') ++j;
+      while (j < n) {
+        if (src[j] == '\n') {
+          // Spliced? (allow trailing '\r' of CRLF files between '\' and
+          // '\n'.)
+          std::size_t back = j;
+          if (back > 0 && src[back - 1] == '\r') --back;
+          if (back > 0 && src[back - 1] == '\\') {
+            newline_at(j);
+            ++j;
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
       out.comments.push_back(
-          {TokKind::kComment, src.substr(i, j - i), start_line});
+          {TokKind::kComment, src.substr(i, j - i), start_line, start_col});
       i = j;
       continue;
     }
-    // Block comment (may span lines; attributed to its first line, and also
-    // registered once per contained line so suppressions inside multi-line
-    // comments still anchor correctly -- one entry is enough in practice).
+    // Block comment (attributed to its first line).
     if (c == '/' && peek(1) == '*') {
       const int start_line = line;
+      const int start_col = col_of(i);
       std::size_t j = i + 2;
       while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
-        if (src[j] == '\n') ++line;
+        if (src[j] == '\n') newline_at(j);
         ++j;
       }
       j = j + 1 < n ? j + 2 : n;
       out.comments.push_back(
-          {TokKind::kComment, src.substr(i, j - i), start_line});
+          {TokKind::kComment, src.substr(i, j - i), start_line, start_col});
       i = j;
       continue;
     }
 
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && peek(1) == '"') {
-      std::size_t j = i + 2;
+    // Raw string literal, with or without an encoding prefix:
+    // R"delim( ... )delim", uR"...", UR"...", LR"...", u8R"...".  The body
+    // swallows everything (quotes, comment starts, newlines) up to the
+    // matching closer; mislexing the prefix would spill the body into the
+    // code token stream and rules would fire inside literal text.
+    if (const std::size_t plen = raw_prefix_len(src, i); plen != 0) {
+      std::size_t j = i + plen + 1;  // past the opening quote
       std::string delim;
       while (j < n && src[j] != '(' && src[j] != '\n' && delim.size() < 16) {
         delim.push_back(src[j++]);
@@ -76,43 +125,50 @@ LexResult lex(const std::string& src) {
         const std::size_t body = j + 1;
         const std::size_t end = src.find(closer, body);
         const std::size_t stop = end == std::string::npos ? n : end;
-        out.tokens.push_back(
-            {TokKind::kString, src.substr(body, stop - body), line});
+        out.tokens.push_back({TokKind::kString, src.substr(body, stop - body),
+                              line, col_of(i)});
         for (std::size_t k = i; k < stop && k < n; ++k) {
-          if (src[k] == '\n') ++line;
+          if (src[k] == '\n') newline_at(k);
         }
         i = stop == n ? n : stop + closer.size();
         continue;
       }
-      // Not actually a raw string ("R" followed by a plain literal); fall
-      // through and lex `R` as an identifier.
+      // Not actually a raw string (no '(' after the delimiter scan); fall
+      // through and lex the prefix as an identifier.
     }
 
-    // String / char literal.
+    // String / char literal.  (Plain-prefixed forms u8"", u"", U"", L""
+    // arrive here as identifier-then-string, which is harmless: the body
+    // is still swallowed as one string token.)
     if (c == '"' || c == '\'') {
       const char quote = c;
+      const int start_col = col_of(i);
       std::size_t j = i + 1;
       std::string text;
       while (j < n && src[j] != quote) {
         if (src[j] == '\\' && j + 1 < n) {
+          if (src[j + 1] == '\n') newline_at(j + 1);  // spliced literal line
           text.push_back(src[j + 1]);
           j += 2;
           continue;
         }
-        if (src[j] == '\n') ++line;  // unterminated; keep line count honest
+        if (src[j] == '\n') newline_at(j);  // unterminated; keep count honest
         text.push_back(src[j++]);
       }
       out.tokens.push_back(
-          {quote == '"' ? TokKind::kString : TokKind::kChar, text, line});
+          {quote == '"' ? TokKind::kString : TokKind::kChar, text, line,
+           start_col});
       i = j < n ? j + 1 : n;
       continue;
     }
 
     // Identifier / keyword.
     if (ident_start(c)) {
+      const int start_col = col_of(i);
       std::size_t j = i + 1;
       while (j < n && ident_cont(src[j])) ++j;
-      out.tokens.push_back({TokKind::kIdent, src.substr(i, j - i), line});
+      out.tokens.push_back(
+          {TokKind::kIdent, src.substr(i, j - i), line, start_col});
       i = j;
       continue;
     }
@@ -120,6 +176,7 @@ LexResult lex(const std::string& src) {
     // Number (pp-number: digits, letters, dots, ' separators, exponent sign).
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      const int start_col = col_of(i);
       std::size_t j = i + 1;
       while (j < n) {
         const char d = src[j];
@@ -133,7 +190,8 @@ LexResult lex(const std::string& src) {
           break;
         }
       }
-      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line});
+      out.tokens.push_back(
+          {TokKind::kNumber, src.substr(i, j - i), line, start_col});
       i = j;
       continue;
     }
@@ -142,11 +200,11 @@ LexResult lex(const std::string& src) {
     // fused; everything else is emitted one character at a time.
     if ((c == '-' && peek(1) == '>') || (c == ':' && peek(1) == ':') ||
         (c == '<' && peek(1) == '<') || (c == '>' && peek(1) == '>')) {
-      out.tokens.push_back({TokKind::kPunct, src.substr(i, 2), line});
+      out.tokens.push_back({TokKind::kPunct, src.substr(i, 2), line, col_of(i)});
       i += 2;
       continue;
     }
-    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line, col_of(i)});
     ++i;
   }
   return out;

@@ -5,9 +5,16 @@
 // full parser (no libclang in the toolchain; the rules are designed so a
 // token-window heuristic decides them reliably).  The lexer therefore only
 // needs to: split identifiers/numbers/punctuation, swallow string/char
-// literals (including raw strings), and report comments separately with
-// their line numbers so the suppression annotations can be matched to
-// findings.
+// literals (including raw strings and their u8/u/U/L-prefixed forms), and
+// report comments separately with their line numbers so the suppression
+// annotations can be matched to findings.
+//
+// Two compiler behaviours the lexer must mirror exactly, or rules fire on
+// text the compiler never sees (or miss text it does):
+//   - a line comment whose last character is a backslash continues onto the
+//     next physical line (line splicing happens before comment removal);
+//   - a raw string literal swallows everything -- quotes, comment starts,
+//     backslashes -- until its )delim" closer, including over newlines.
 #pragma once
 
 #include <string>
@@ -18,7 +25,7 @@ namespace qcdoc::lint {
 enum class TokKind {
   kIdent,    ///< identifiers and keywords (including `static`, `bool`...)
   kNumber,   ///< numeric literal (pp-number)
-  kString,   ///< "..." or R"(...)" (text excludes quotes)
+  kString,   ///< "..." or R"(...)" (text excludes quotes and prefix)
   kChar,     ///< '...'
   kPunct,    ///< operator / punctuation; multi-char: -> :: << >>
   kComment,  ///< // or /* */ (only in LexResult::comments)
@@ -28,6 +35,7 @@ struct Token {
   TokKind kind = TokKind::kPunct;
   std::string text;
   int line = 0;  ///< 1-based line of the token's first character
+  int col = 0;   ///< 1-based column of the token's first character
 };
 
 struct LexResult {

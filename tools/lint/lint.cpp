@@ -7,6 +7,7 @@
 
 #include "lint/internal.h"
 #include "lint/lexer.h"
+#include "lint/project.h"
 
 namespace qcdoc::lint {
 
@@ -22,7 +23,26 @@ bool known_rule(const std::string& id) {
   return id == kSuppressionRule;
 }
 
-/// Parse "qcdoc-lint: allow(rule-a, rule-b) reason..." out of one comment.
+bool valid_owner(const std::string& o) {
+  return o == "node" || o == "host" || o == "shared" || o == "none";
+}
+
+/// The reason is everything after the closing paren; it is mandatory so an
+/// annotation always documents *why* the contract does not apply.
+bool has_reason_text(const std::string& text, std::size_t close) {
+  std::string reason = text.substr(close + 1);
+  const std::size_t star = reason.rfind("*/");
+  if (star != std::string::npos) reason = reason.substr(0, star);
+  return std::any_of(reason.begin(), reason.end(),
+                     [](unsigned char c) { return std::isalnum(c) != 0; });
+}
+
+/// Parse one marker comment (`qcdoc-lint` plus a colon).  Three forms:
+///
+///   allow(<rule>[,<rule>...]) reason   -- suppress findings (this line + next)
+///   owner(<domain>) reason             -- class ownership (read by project.cpp)
+///   touches(<set>) reason              -- host event's touched-affinity set
+///
 /// Malformed annotations become findings instead of being ignored: a
 /// suppression that silently fails to parse would un-suppress (noisy but
 /// safe), while one that silently over-matches would hide real findings.
@@ -33,46 +53,75 @@ void parse_annotation(const Token& comment, const std::string& path,
   if (at == std::string::npos) return;
   std::size_t p = at + std::string(kMarker).size();
   while (p < text.size() && text[p] == ' ') ++p;
-  if (text.compare(p, 6, "allow(") != 0) {
-    out->push_back({path, comment.line, kSuppressionRule,
+
+  const bool is_allow = text.compare(p, 6, "allow(") == 0;
+  const bool is_owner = text.compare(p, 6, "owner(") == 0;
+  const bool is_touches = text.compare(p, 8, "touches(") == 0;
+  if (!is_allow && !is_owner && !is_touches) {
+    out->push_back({path, comment.line, 0, kSuppressionRule,
                     "malformed annotation: expected 'qcdoc-lint: "
-                    "allow(<rule>[,<rule>...]) reason'"});
+                    "allow(<rule>...)', 'owner(<domain>)' or "
+                    "'touches(<set>)', each followed by a reason"});
     return;
   }
-  const std::size_t open = p + 5;
+  const std::size_t open = text.find('(', p);
   const std::size_t close = text.find(')', open);
   if (close == std::string::npos) {
-    out->push_back({path, comment.line, kSuppressionRule,
-                    "malformed annotation: unterminated allow("});
+    out->push_back({path, comment.line, 0, kSuppressionRule,
+                    "malformed annotation: unterminated parenthesis"});
+    return;
+  }
+  std::string arg = text.substr(open + 1, close - open - 1);
+
+  if (is_owner) {
+    std::string owner = arg;
+    owner.erase(std::remove(owner.begin(), owner.end(), ' '), owner.end());
+    if (!valid_owner(owner)) {
+      out->push_back({path, comment.line, 0, kSuppressionRule,
+                      "owner(" + owner + ") is not a domain; use "
+                      "node, host, shared or none"});
+    }
+    if (!has_reason_text(text, close)) {
+      out->push_back({path, comment.line, 0, kSuppressionRule,
+                      "owner(...) annotation is missing its reason text"});
+    }
+    return;  // consumed by ProjectIndex::add_file, not a suppression
+  }
+
+  if (is_touches) {
+    std::string set = arg;
+    set.erase(std::remove(set.begin(), set.end(), ' '), set.end());
+    if (set.empty()) {
+      out->push_back({path, comment.line, 0, kSuppressionRule,
+                      "touches() names no affinity set; use e.g. "
+                      "touches(all), touches(node), touches(self)"});
+      return;
+    }
+    if (!has_reason_text(text, close)) {
+      out->push_back({path, comment.line, 0, kSuppressionRule,
+                      "touches(...) annotation is missing its reason text"});
+    }
+    file->touch_decls.push_back({comment.line, set});
     return;
   }
 
   SourceFile::Suppression sup;
   sup.line = comment.line;
-  std::string list = text.substr(open + 1, close - open - 1);
-  std::stringstream ss(list);
+  std::stringstream ss(arg);
   std::string id;
   while (std::getline(ss, id, ',')) {
     id.erase(std::remove(id.begin(), id.end(), ' '), id.end());
     if (id.empty()) continue;
     if (!known_rule(id)) {
-      out->push_back({path, comment.line, kSuppressionRule,
+      out->push_back({path, comment.line, 0, kSuppressionRule,
                       "annotation names unknown rule '" + id + "'"});
       continue;
     }
     sup.rules.push_back(id);
   }
-  // The reason is everything after the closing paren; it is mandatory so a
-  // suppression always documents *why* the contract does not apply.
-  std::string reason = text.substr(close + 1);
-  // Strip block-comment terminator and whitespace.
-  const std::size_t star = reason.rfind("*/");
-  if (star != std::string::npos) reason = reason.substr(0, star);
-  sup.has_reason =
-      std::any_of(reason.begin(), reason.end(),
-                  [](unsigned char c) { return std::isalnum(c) != 0; });
+  sup.has_reason = has_reason_text(text, close);
   if (!sup.has_reason) {
-    out->push_back({path, comment.line, kSuppressionRule,
+    out->push_back({path, comment.line, 0, kSuppressionRule,
                     "suppression is missing its reason text"});
   }
   if (!sup.rules.empty()) file->suppressions.push_back(sup);
@@ -100,6 +149,77 @@ bool rule_enabled(const Rule& rule, const Options& opts) {
          opts.only.end();
 }
 
+/// One lexed file plus the findings its annotations alone produced.
+struct ParsedFile {
+  SourceFile src;
+  std::vector<Finding> pre;
+};
+
+ParsedFile parse_file(const std::string& path, const std::string& content) {
+  ParsedFile pf;
+  pf.src.path = normalize(path);
+  LexResult lexed = lex(content);
+  pf.src.tokens = std::move(lexed.tokens);
+  pf.src.comments = std::move(lexed.comments);
+  for (const Token& c : pf.src.comments) {
+    parse_annotation(c, pf.src.path, &pf.src, &pf.pre);
+  }
+  return pf;
+}
+
+/// The two-pass core: index every file, then run the rules per file with
+/// the shared cross-TU view.
+std::vector<Finding> run(std::vector<ParsedFile> files, const Options& opts) {
+  ProjectIndex project;
+  for (const ParsedFile& pf : files) project.add_file(pf.src);
+  project.finalize();
+
+  std::vector<Finding> findings;
+  for (ParsedFile& pf : files) {
+    std::vector<Finding> file_findings = std::move(pf.pre);
+    std::vector<Finding> raw;
+    for (const auto& rule : rules()) {
+      if (rule_enabled(*rule, opts)) rule->check(pf.src, project, &raw);
+    }
+    for (Finding& f : raw) {
+      if (!suppressed(pf.src, f)) file_findings.push_back(std::move(f));
+    }
+    std::stable_sort(file_findings.begin(), file_findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                       return a.line != b.line ? a.line < b.line
+                                               : a.col < b.col;
+                     });
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+/// Minimal JSON string escaping (control chars, quotes, backslashes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<RuleInfo> rule_infos() {
@@ -114,29 +234,20 @@ std::vector<RuleInfo> rule_infos() {
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& content,
                                  const Options& opts) {
-  SourceFile file;
-  file.path = normalize(path);
-  LexResult lexed = lex(content);
-  file.tokens = std::move(lexed.tokens);
-  file.comments = std::move(lexed.comments);
+  std::vector<ParsedFile> files;
+  files.push_back(parse_file(path, content));
+  return run(std::move(files), opts);
+}
 
-  std::vector<Finding> findings;
-  for (const Token& c : file.comments) {
-    parse_annotation(c, file.path, &file, &findings);
+std::vector<Finding> lint_project(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const Options& opts) {
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(files.size());
+  for (const auto& [path, content] : files) {
+    parsed.push_back(parse_file(path, content));
   }
-
-  std::vector<Finding> raw;
-  for (const auto& rule : rules()) {
-    if (rule_enabled(*rule, opts)) rule->check(file, &raw);
-  }
-  for (Finding& f : raw) {
-    if (!suppressed(file, f)) findings.push_back(std::move(f));
-  }
-  std::stable_sort(findings.begin(), findings.end(),
-                   [](const Finding& a, const Finding& b) {
-                     return a.line < b.line;
-                   });
-  return findings;
+  return run(std::move(parsed), opts);
 }
 
 std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
@@ -163,30 +274,88 @@ std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
     } else if (fs::is_regular_file(p, ec)) {
       consider(fs::path(p));
     } else {
-      findings.push_back({normalize(p), 0, "io", "no such file or directory"});
+      findings.push_back(
+          {normalize(p), 0, 0, "io", "no such file or directory"});
     }
   }
   std::sort(files.begin(), files.end());
 
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(files.size());
   for (const auto& f : files) {
     std::ifstream in(f, std::ios::binary);
     if (!in) {
-      findings.push_back({normalize(f), 0, "io", "unreadable file"});
+      findings.push_back({normalize(f), 0, 0, "io", "unreadable file"});
       continue;
     }
     std::ostringstream ss;
     ss << in.rdbuf();
-    auto file_findings = lint_source(f, ss.str(), opts);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+    parsed.push_back(parse_file(f, ss.str()));
   }
+  std::vector<Finding> run_findings = run(std::move(parsed), opts);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(run_findings.begin()),
+                  std::make_move_iterator(run_findings.end()));
   return findings;
 }
 
 std::string format(const Finding& f) {
-  return f.path + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
-         f.message;
+  std::string loc = f.path + ":" + std::to_string(f.line);
+  if (f.col > 0) loc += ":" + std::to_string(f.col);
+  return loc + ": [" + f.rule + "] " + f.message;
+}
+
+std::string format_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"qcdoc-lint\",\n"
+      << "          \"informationUri\": "
+         "\"DESIGN.md#static-analysis--determinism-contracts\",\n"
+      << "          \"rules\": [\n";
+  const std::vector<RuleInfo> infos = rule_infos();
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    out << "            {\"id\": \"" << json_escape(infos[i].id)
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(infos[i].summary) << "\"}}"
+        << (i + 1 < infos.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(f.path) << "\"},\n"
+        << "                \"region\": {\"startLine\": "
+        << (f.line > 0 ? f.line : 1);
+    if (f.col > 0) out << ", \"startColumn\": " << f.col;
+    out << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
 }
 
 }  // namespace qcdoc::lint

@@ -1,13 +1,20 @@
-// qcdoc-lint: repo-specific determinism and simulation-safety contracts,
+// qcdoc-lint -- repo-specific determinism and simulation-safety contracts,
 // enforced at build time.
 //
 // The golden-trace tests pin a bit-identical (time, dest, src, seq) event
 // order across engines and thread counts; these rules catch the code
 // patterns that would silently break that pin (wall-clock entropy, unordered
 // iteration, raw engine access, hidden mutable statics, dropped status
-// returns, cycle-count narrowing) *before* they show up as a golden-trace
-// diff several PRs later.  See DESIGN.md "Static analysis & determinism
-// contracts" for the rationale behind every rule.
+// returns, cycle-count narrowing, cross-affinity state access) *before*
+// they show up as a golden-trace diff several PRs later.  See DESIGN.md
+// "Static analysis & determinism contracts" for the rationale behind every
+// rule.
+//
+// v2 is a cross-translation-unit pass: all files of an invocation are lexed
+// first, a ProjectIndex (include graph + class/ownership symbol table,
+// project.h) is built over them, and only then do the rules run -- so the
+// affinity-ownership rules R9..R11 can ask which classes are per-node
+// components and whether they are visible from a given TU.
 //
 // Suppressions are explicit source annotations with a mandatory reason:
 //
@@ -16,9 +23,14 @@
 // An annotation suppresses matching findings on its own line and on the
 // following line.  A missing reason or an unknown rule id is itself a
 // finding (rule id "suppression"), so annotations cannot rot silently.
+// Two further annotation forms feed the ownership model:
+//
+//   // qcdoc-lint: owner(node) <reason>     -- on a class: ownership domain
+//   // qcdoc-lint: touches(all) <reason>    -- on a host event: touched set
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace qcdoc::lint {
@@ -26,6 +38,7 @@ namespace qcdoc::lint {
 struct Finding {
   std::string path;
   int line = 0;
+  int col = 0;  ///< 1-based column; 0 when unknown (file-level findings)
   std::string rule;
   std::string message;
 };
@@ -41,22 +54,36 @@ struct Options {
   std::vector<std::string> only;
 };
 
-/// Every registered rule, in R1..R8 order (plus the suppression meta-rule).
+/// Every registered rule, in R1..R11 order (plus the suppression meta-rule).
 std::vector<RuleInfo> rule_infos();
 
 /// Lint one in-memory translation unit.  `path` decides which directory-
 /// scoped rules apply (matched by substring, e.g. "src/scu/"), so tests can
-/// lint fixture sources under virtual paths.
+/// lint fixture sources under virtual paths.  Cross-TU rules see an index
+/// of only this file.
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& content,
                                  const Options& opts = {});
 
+/// Lint a set of in-memory files as one project: the cross-TU index spans
+/// all of them (so a fixture .cpp can use classes a fixture .h defines).
+std::vector<Finding> lint_project(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const Options& opts = {});
+
 /// Lint files and directory trees (recursing into *.h / *.cpp).  Unreadable
-/// paths produce an "io" finding rather than a silent skip.
+/// paths produce an "io" finding rather than a silent skip.  All files of
+/// the invocation share one cross-TU index.
 std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
                                 const Options& opts = {});
 
-/// "file:line: [rule] message" -- the one-line CI format.
+/// "file:line:col: [rule] message" -- the one-line CI/editor format
+/// (":col" omitted when unknown).
 std::string format(const Finding& f);
+
+/// The whole run as a SARIF 2.1.0 document (one run, one result per
+/// finding, rule metadata included) -- the format GitHub code scanning and
+/// PR annotation actions ingest.
+std::string format_sarif(const std::vector<Finding>& findings);
 
 }  // namespace qcdoc::lint

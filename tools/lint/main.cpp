@@ -1,11 +1,15 @@
 // qcdoc-lint CLI.
 //
-//   qcdoc-lint [--rule=<id> ...] [--list-rules] <path>...
+//   qcdoc-lint [--rule=<id> ...] [--format=text|json] [--output=<file>]
+//              [--list-rules] <path>...
 //
 // Paths may be files or directories (recursed for *.h / *.cpp).  Exit code:
-// 0 clean, 1 findings, 2 usage error.  Every finding prints one line,
-// `file:line: [rule] message`, the format the CI lint job greps and the
-// format editors jump on.
+// 0 clean, 1 findings, 2 usage error.  With --format=text (the default)
+// every finding prints one line, `file:line:col: [rule] message`, the
+// format the CI lint job greps and the format editors jump on.  With
+// --format=json the run is emitted as a SARIF 2.1.0 document (to stdout, or
+// to --output=<file>), the format GitHub code scanning ingests; the
+// one-line findings still go to stderr so logs stay readable.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,8 +20,8 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: qcdoc-lint [--rule=<id> ...] [--list-rules] "
-               "<path>...\n");
+               "usage: qcdoc-lint [--rule=<id> ...] [--format=text|json] "
+               "[--output=<file>] [--list-rules] <path>...\n");
 }
 
 }  // namespace
@@ -29,6 +33,8 @@ int main(int argc, char** argv) {
   Options opts;
   std::vector<std::string> paths;
   bool list_rules = false;
+  bool sarif = false;
+  std::string output;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -36,6 +42,17 @@ int main(int argc, char** argv) {
       list_rules = true;
     } else if (arg.rfind("--rule=", 0) == 0) {
       opts.only.push_back(arg.substr(7));
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string fmt = arg.substr(9);
+      if (fmt == "json" || fmt == "sarif") {
+        sarif = true;
+      } else if (fmt != "text") {
+        std::fprintf(stderr, "qcdoc-lint: unknown format '%s'\n", fmt.c_str());
+        usage();
+        return 2;
+      }
+    } else if (arg.rfind("--output=", 0) == 0) {
+      output = arg.substr(9);
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -50,7 +67,7 @@ int main(int argc, char** argv) {
 
   if (list_rules) {
     for (const auto& info : qcdoc::lint::rule_infos()) {
-      std::printf("%-20s %s\n", info.id.c_str(), info.summary.c_str());
+      std::printf("%-24s %s\n", info.id.c_str(), info.summary.c_str());
     }
     return 0;
   }
@@ -60,8 +77,27 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<Finding> findings = qcdoc::lint::lint_paths(paths, opts);
-  for (const Finding& f : findings) {
-    std::printf("%s\n", qcdoc::lint::format(f).c_str());
+  if (sarif) {
+    const std::string doc = qcdoc::lint::format_sarif(findings);
+    if (output.empty()) {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::FILE* fp = std::fopen(output.c_str(), "wb");
+      if (fp == nullptr) {
+        std::fprintf(stderr, "qcdoc-lint: cannot write '%s'\n",
+                     output.c_str());
+        return 2;
+      }
+      std::fputs(doc.c_str(), fp);
+      std::fclose(fp);
+    }
+    for (const Finding& f : findings) {
+      std::fprintf(stderr, "%s\n", qcdoc::lint::format(f).c_str());
+    }
+  } else {
+    for (const Finding& f : findings) {
+      std::printf("%s\n", qcdoc::lint::format(f).c_str());
+    }
   }
   if (!findings.empty()) {
     std::fprintf(stderr, "qcdoc-lint: %zu finding(s)\n", findings.size());

@@ -1,0 +1,352 @@
+#include "lint/project.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "lint/internal.h"
+
+namespace qcdoc::lint {
+
+namespace {
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+bool is_ident(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+
+const Token* at(const std::vector<Token>& toks, std::size_t i) {
+  static const Token kNone{TokKind::kPunct, "", 0, 0};
+  return i < toks.size() ? &toks[i] : &kNone;
+}
+
+/// Identifiers that can precede '(' inside a class body without naming a
+/// member function (types in std::function members, keywords).
+bool never_a_method(const std::string& s) {
+  static const std::set<std::string> kNot = {
+      "void",   "bool",     "int",    "char",   "auto",     "double",
+      "float",  "long",     "short",  "unsigned", "signed", "const",
+      "u8",     "u16",      "u32",    "u64",    "i8",       "i16",
+      "i32",    "i64",      "Cycle",  "size_t", "sizeof",   "decltype",
+      "if",     "while",    "for",    "switch", "return",   "operator",
+      "new",    "delete",   "catch",  "assert", "static_assert",
+      "alignas", "alignof", "noexcept",
+  };
+  return kNot.count(s) > 0;
+}
+
+/// Skip a balanced (...) starting at the '(' at `i`; returns the index one
+/// past the matching ')'.
+std::size_t skip_parens(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "(")) ++depth;
+    if (is_punct(toks[i], ")") && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+Domain parse_owner(const std::string& text) {
+  const std::size_t at_pos = text.find("owner(");
+  if (at_pos == std::string::npos) return Domain::kNone;
+  const std::size_t open = at_pos + 6;
+  const std::size_t close = text.find(')', open);
+  if (close == std::string::npos) return Domain::kNone;
+  std::string v = text.substr(open, close - open);
+  v.erase(std::remove(v.begin(), v.end(), ' '), v.end());
+  if (v == "node") return Domain::kNode;
+  if (v == "host") return Domain::kHost;
+  if (v == "shared") return Domain::kShared;
+  return Domain::kNone;  // "none" and malformed both mean: no claim
+}
+
+}  // namespace
+
+const char* to_string(Domain d) {
+  switch (d) {
+    case Domain::kNone: return "none";
+    case Domain::kNode: return "node";
+    case Domain::kHost: return "host";
+    case Domain::kShared: return "shared";
+  }
+  return "?";
+}
+
+std::string ProjectIndex::path_key(const std::string& path) {
+  static const char* kRoots[] = {"src/", "tools/", "tests/", "bench/",
+                                 "examples/"};
+  std::size_t best_pos = std::string::npos;
+  std::size_t best_after = std::string::npos;
+  for (const char* root : kRoots) {
+    // Rightmost occurrence at a path-component boundary (start of string or
+    // just after '/'), so "abc-src/x" is not misread as a root.
+    std::size_t p = path.rfind(root);
+    while (p != std::string::npos && p != 0 && path[p - 1] != '/') {
+      p = path.rfind(root, p - 1);
+    }
+    if (p == std::string::npos) continue;
+    if (best_pos == std::string::npos || p > best_pos) {
+      best_pos = p;
+      best_after = p + std::string(root).size();
+    }
+  }
+  return best_after == std::string::npos ? path : path.substr(best_after);
+}
+
+void ProjectIndex::add_file(const SourceFile& f) {
+  const auto& toks = f.tokens;
+  const std::string key = path_key(f.path);
+  auto& incs = includes_[key];  // register the file even with no includes
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // --- include graph -----------------------------------------------------
+    if (is_punct(toks[i], "#") && is_ident(*at(toks, i + 1), "include") &&
+        at(toks, i + 2)->kind == TokKind::kString) {
+      incs.push_back(at(toks, i + 2)->text);
+      i += 2;
+      continue;
+    }
+
+    // --- class/struct definitions ------------------------------------------
+    if (!is_ident(toks[i], "class") && !is_ident(toks[i], "struct")) continue;
+    if (i > 0 && is_ident(toks[i - 1], "enum")) continue;
+    std::size_t j = i + 1;
+    if (is_ident(*at(toks, j), "alignas") && is_punct(*at(toks, j + 1), "(")) {
+      j = skip_parens(toks, j + 1);
+    }
+    if (at(toks, j)->kind != TokKind::kIdent) continue;
+    const Token& name_tok = toks[j];
+    // Find the body '{' before any ';' (forward declaration) or '(' (a
+    // function with a class-type return written inline).
+    std::size_t k = j + 1;
+    bool has_body = false;
+    for (; k < toks.size() && k < j + 96; ++k) {
+      if (is_punct(toks[k], "{")) {
+        has_body = true;
+        break;
+      }
+      if (is_punct(toks[k], ";") || is_punct(toks[k], "(")) break;
+    }
+    if (!has_body) continue;
+
+    ClassInfo info;
+    info.name = name_tok.text;
+    info.path = f.path;
+    info.line = name_tok.line;
+
+    // Explicit ownership annotation on or just above the class line.
+    for (const Token& c : f.comments) {
+      if (c.line < name_tok.line - 2 || c.line > name_tok.line) continue;
+      if (c.text.find("qcdoc-lint:") == std::string::npos) continue;
+      const Domain d = parse_owner(c.text);
+      if (d != Domain::kNone || c.text.find("owner(") != std::string::npos) {
+        info.domain = d;
+        info.domain_annotated = true;
+      }
+    }
+
+    // Walk the body at member depth.
+    int depth = 1;
+    std::size_t b = k + 1;
+    for (; b < toks.size() && depth > 0; ++b) {
+      const Token& t = toks[b];
+      if (is_punct(t, "{")) {
+        ++depth;
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        --depth;
+        continue;
+      }
+      if (depth != 1 || t.kind != TokKind::kIdent) continue;
+
+      // EngineRef-typed members: `sim::EngineRef name_;` / `EngineRef x_`.
+      if (t.text == "EngineRef") {
+        const Token* nm = at(toks, b + 1);
+        if (nm->kind == TokKind::kIdent) {
+          info.has_engine_ref = true;
+          info.engine_ref_members.insert(nm->text);
+          info.members.insert(nm->text);
+        }
+        continue;
+      }
+      // Data members by convention: trailing underscore, terminated like a
+      // declarator.
+      if (t.text.size() > 1 && t.text.back() == '_') {
+        const Token* nx = at(toks, b + 1);
+        if (is_punct(*nx, ";") || is_punct(*nx, "=") || is_punct(*nx, "{") ||
+            is_punct(*nx, "[")) {
+          info.members.insert(t.text);
+          continue;
+        }
+      }
+      // Member functions: `name (` ... `)` [const] (`;` | `{` | `=`).
+      if (is_punct(*at(toks, b + 1), "(") && !never_a_method(t.text) &&
+          t.text != info.name && !(b > 0 && is_punct(toks[b - 1], "~")) &&
+          !(b > 0 && is_punct(toks[b - 1], "::")) &&
+          !(b > 0 && is_punct(toks[b - 1], ".")) &&
+          !(b > 0 && is_punct(toks[b - 1], "->"))) {
+        const bool returns_void = b > 0 && is_ident(toks[b - 1], "void");
+        const std::size_t after = skip_parens(toks, b + 1);
+        bool is_const = false;
+        for (std::size_t q = after; q < toks.size() && q < after + 6; ++q) {
+          if (is_ident(toks[q], "const")) is_const = true;
+          if (is_punct(toks[q], ";") || is_punct(toks[q], "{") ||
+              is_punct(toks[q], "=")) {
+            break;
+          }
+        }
+        if (returns_void && !is_const) info.mutators.insert(t.text);
+        continue;
+      }
+    }
+    classes_[info.name] = std::move(info);
+    i = b > i ? b - 1 : i;
+  }
+}
+
+void ProjectIndex::finalize() {
+  finalized_ = true;
+  for (auto& [name, info] : classes_) {
+    // Inferred domain when not annotated.
+    if (!info.domain_annotated) {
+      const std::string key = path_key(info.path);
+      auto in = [&](const char* d) { return key.rfind(d, 0) == 0; };
+      if (in("host/") || in("fault/")) {
+        info.domain = Domain::kHost;
+      } else if (info.has_engine_ref &&
+                 (in("scu/") || in("hssl/") || in("memsys/") || in("net/"))) {
+        info.domain = Domain::kNode;
+      }
+    }
+    for (const auto& m : info.members) member_owners_[m].insert(name);
+  }
+  // Transitive include closure, BFS per file over project-resolved edges.
+  for (const auto& [key, direct] : includes_) {
+    std::set<std::string>& reach = reach_[key];
+    std::deque<std::string> work(direct.begin(), direct.end());
+    while (!work.empty()) {
+      const std::string cur = work.front();
+      work.pop_front();
+      if (!reach.insert(cur).second) continue;
+      const auto it = includes_.find(cur);
+      if (it == includes_.end()) continue;  // system / external header
+      for (const auto& next : it->second) work.push_back(next);
+    }
+  }
+}
+
+const ClassInfo* ProjectIndex::find_class(const std::string& name) const {
+  const auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+Domain ProjectIndex::domain_of(const std::string& cls) const {
+  const ClassInfo* c = find_class(cls);
+  return c ? c->domain : Domain::kNone;
+}
+
+const std::set<std::string>* ProjectIndex::owners_of_member(
+    const std::string& m) const {
+  const auto it = member_owners_.find(m);
+  return it == member_owners_.end() ? nullptr : &it->second;
+}
+
+bool ProjectIndex::visible_from(const std::string& from_path,
+                                const ClassInfo& cls) const {
+  const std::string from = path_key(from_path);
+  const std::string def = path_key(cls.path);
+  if (from == def) return true;
+  const auto it = reach_.find(from);
+  return it != reach_.end() && it->second.count(def) > 0;
+}
+
+bool ProjectIndex::is_node_mutator(const std::string& from_path,
+                                   const std::string& method,
+                                   std::string* hit) const {
+  for (const auto& [name, info] : classes_) {
+    if (info.domain != Domain::kNode) continue;
+    if (info.mutators.count(method) == 0) continue;
+    if (!visible_from(from_path, info)) continue;
+    if (hit) *hit = name;
+    return true;
+  }
+  return false;
+}
+
+std::vector<MethodSpan> method_spans(const SourceFile& f) {
+  const auto& toks = f.tokens;
+  std::vector<MethodSpan> spans;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    // `Class :: method (` at any nesting -- false matches (qualified calls
+    // like std::max(...)) are rejected below because no body follows.
+    if (toks[i].kind != TokKind::kIdent || !is_punct(toks[i + 1], "::") ||
+        toks[i + 2].kind != TokKind::kIdent ||
+        !is_punct(*at(toks, i + 3), "(")) {
+      continue;
+    }
+    // Skip deeper qualification (ns::Class::method): anchor on the last
+    // `X :: y (` pair, which this match already is.
+    const std::size_t after_params = skip_parens(toks, i + 3);
+    // Scan the params-to-body gap: modifiers, ctor initializer lists (with
+    // balanced parens and ident-prefixed brace-inits), until the body '{'
+    // or a terminator proving this is a declaration or expression.
+    std::size_t q = after_params;
+    std::size_t body_open = 0;
+    for (; q < toks.size(); ++q) {
+      const Token& t = toks[q];
+      if (is_punct(t, ";") || is_punct(t, ",") || is_punct(t, ")") ||
+          is_punct(t, "=")) {
+        break;  // declaration / call expression / `= default`
+      }
+      if (is_punct(t, "(")) {
+        q = skip_parens(toks, q) - 1;  // initializer-list element
+        continue;
+      }
+      if (is_punct(t, "{")) {
+        // Brace-init of an initializer-list member (`hist_{}`) is preceded
+        // by an identifier or '>'; the function body never is -- except via
+        // trailing qualifiers (`) const {`, `) noexcept {`, `) override {`),
+        // which are identifiers but always introduce the body.
+        const Token& prev = toks[q - 1];
+        const bool qualifier = is_ident(prev, "const") ||
+                               is_ident(prev, "noexcept") ||
+                               is_ident(prev, "override") ||
+                               is_ident(prev, "final");
+        if (!qualifier &&
+            (prev.kind == TokKind::kIdent || is_punct(prev, ">"))) {
+          int d = 0;
+          for (; q < toks.size(); ++q) {
+            if (is_punct(toks[q], "{")) ++d;
+            if (is_punct(toks[q], "}") && --d == 0) break;
+          }
+          continue;
+        }
+        body_open = q;
+        break;
+      }
+    }
+    if (body_open == 0) continue;
+    int depth = 0;
+    std::size_t end = body_open;
+    for (; end < toks.size(); ++end) {
+      if (is_punct(toks[end], "{")) ++depth;
+      if (is_punct(toks[end], "}") && --depth == 0) break;
+    }
+    spans.push_back(
+        {toks[i].text, toks[i + 2].text, body_open + 1, end});
+    i = end;  // bodies never nest out-of-line definitions
+  }
+  return spans;
+}
+
+const MethodSpan* enclosing_span(const std::vector<MethodSpan>& spans,
+                                 std::size_t i) {
+  for (const auto& s : spans) {
+    if (i >= s.body_begin && i < s.body_end) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace qcdoc::lint

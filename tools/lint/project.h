@@ -1,0 +1,122 @@
+// Cross-translation-unit index for qcdoc-lint.
+//
+// The v1 rules (R1..R8) are per-file token patterns.  The affinity-ownership
+// rules (R9..R11) need facts no single file contains: which classes are
+// per-node components, which of their members hold state, which methods
+// mutate it, and which headers a translation unit actually sees.  The
+// ProjectIndex supplies exactly that, built from the same token streams the
+// per-file rules use:
+//
+//   - an include graph over quoted #include directives, keyed by
+//     project-relative paths ("scu/scu.h"), with its transitive closure, so
+//     a rule can ask "is class X visible from this TU?";
+//   - a symbol table of class/struct definitions: trailing-underscore data
+//     members, `sim::EngineRef`-typed members, and mutating (void-returning,
+//     non-const) methods;
+//   - an ownership domain per class.  Explicit annotation wins:
+//
+//         // qcdoc-lint: owner(node) reason...
+//         class Hssl { ... };
+//
+//     (valid owners: node, host, shared, none).  Without an annotation the
+//     domain is inferred: a class holding a `sim::EngineRef` in a per-node
+//     directory (src/scu, src/hssl, src/memsys, src/net) is node-owned;
+//     classes under src/host and src/fault are host-side orchestrators.
+//
+// The index never chases type aliases or templates -- it is the same
+// deliberate trade as the v1 rules: over-matching costs one annotated line
+// with a written reason, under-matching costs a 2-or-4-thread data race that
+// only shows as a golden-trace diff if the timing happens to move.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace qcdoc::lint {
+
+struct SourceFile;
+
+/// Which affinity's events may mutate a class's state.
+enum class Domain {
+  kNone,    ///< not affinity-scoped (value types, pure-host containers)
+  kNode,    ///< per-node component: owned by one node affinity
+  kHost,    ///< host-side orchestrator: runs in host slices
+  kShared,  ///< explicitly multi-affinity (annotated; rare)
+};
+
+const char* to_string(Domain d);
+
+struct ClassInfo {
+  std::string name;
+  std::string path;  ///< normalized path of the defining file
+  int line = 0;
+  Domain domain = Domain::kNone;
+  bool domain_annotated = false;  ///< explicit owner(...) annotation
+  bool has_engine_ref = false;
+  std::set<std::string> members;             ///< trailing-'_' data members
+  std::set<std::string> engine_ref_members;  ///< EngineRef-typed members
+  std::set<std::string> mutators;  ///< void-returning non-const methods
+};
+
+/// One out-of-line member-function definition (`Class::method(...) { ... }`)
+/// located in a token stream; body bounds are token indices into
+/// SourceFile::tokens ([begin, end) covers the braces' contents).
+struct MethodSpan {
+  std::string class_name;
+  std::string method_name;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+class ProjectIndex {
+ public:
+  /// Scan one file's tokens into the symbol table and include graph.  Call
+  /// once per file, then finalize().
+  void add_file(const SourceFile& f);
+  /// Compute member ownership and the include closure.  add_file() after
+  /// finalize() is a logic error.
+  void finalize();
+
+  /// nullptr when no class of that name was indexed.
+  const ClassInfo* find_class(const std::string& name) const;
+  Domain domain_of(const std::string& cls) const;
+  /// Classes declaring data member `m` (nullptr when none).
+  const std::set<std::string>* owners_of_member(const std::string& m) const;
+  /// True when `from_path`'s translation unit (transitively) includes the
+  /// file defining `cls`, or is that file itself.
+  bool visible_from(const std::string& from_path, const ClassInfo& cls) const;
+  /// True when `method` names a mutator of some node-domain class visible
+  /// from `from_path`.  `hit` (optional) receives one such class name.
+  bool is_node_mutator(const std::string& from_path, const std::string& method,
+                       std::string* hit = nullptr) const;
+
+  std::size_t num_classes() const { return classes_.size(); }
+  std::size_t num_files() const { return includes_.size(); }
+
+  /// Project-relative key of a path: the part after the last source root
+  /// ("src/", "tools/", "tests/", "bench/", "examples/"), matching how this
+  /// tree writes its quoted #include paths.
+  static std::string path_key(const std::string& path);
+
+ private:
+  std::map<std::string, ClassInfo> classes_;
+  std::map<std::string, std::set<std::string>> member_owners_;
+  std::map<std::string, std::vector<std::string>> includes_;  ///< key -> keys
+  std::map<std::string, std::set<std::string>> reach_;  ///< transitive closure
+  bool finalized_ = false;
+};
+
+/// Locate every out-of-line `Class::method(...) { ... }` definition in `f`
+/// (constructors included).  Used by rules to attribute a token position to
+/// its enclosing class.
+std::vector<MethodSpan> method_spans(const SourceFile& f);
+
+/// The span containing token index `i`, or nullptr.
+const MethodSpan* enclosing_span(const std::vector<MethodSpan>& spans,
+                                 std::size_t i);
+
+}  // namespace qcdoc::lint
