@@ -9,6 +9,19 @@ namespace qcdoc::fault {
 
 using torus::LinkIndex;
 
+const char* to_string(JobFailure f) {
+  switch (f) {
+    case JobFailure::kNone: return "none";
+    case JobFailure::kAdmissionRejected: return "admission_rejected";
+    case JobFailure::kPartitionRevoked: return "partition_revoked";
+    case JobFailure::kLinkFault: return "link_fault";
+    case JobFailure::kDeadlineExpired: return "deadline_expired";
+    case JobFailure::kApplicationError: return "application_error";
+    case JobFailure::kCheckpointLost: return "checkpoint_lost";
+  }
+  return "?";
+}
+
 const char* to_string(FaultKind k) {
   switch (k) {
     case FaultKind::kBerSpike: return "ber_spike";

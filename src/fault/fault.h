@@ -19,6 +19,23 @@
 
 namespace qcdoc::fault {
 
+/// Scheduler-visible failure classes: why a job submitted to the host's
+/// JobScheduler ended (or re-queued) abnormally.  The scheduler classifies
+/// every abnormal outcome into exactly one of these, so the fault-campaign
+/// benches and the telemetry stream can aggregate failures by cause the
+/// same way the injection side aggregates by FaultKind.
+enum class JobFailure {
+  kNone,              ///< job ran to completion
+  kAdmissionRejected, ///< never accepted (queue bound / quota / bad request)
+  kPartitionRevoked,  ///< quarantine hit the partition; triggers migration
+  kLinkFault,         ///< SCU link fault escalated during the job
+  kDeadlineExpired,   ///< exceeded its cycle budget; bounded re-queue
+  kApplicationError,  ///< the job body reported failure
+  kCheckpointLost,    ///< migration could not capture or restore job state
+};
+
+const char* to_string(JobFailure f);
+
 enum class FaultKind {
   kBerSpike,        ///< transient: one wire's bit-error rate jumps
   kLinkDeath,       ///< permanent (until retrain): one wire dies outright

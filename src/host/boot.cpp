@@ -135,4 +135,60 @@ BootReport BootSequencer::boot() {
   return report;
 }
 
+BootImageCache::BootImageCache(machine::Machine* m, net::EthernetTree* eth,
+                               ImageCacheParams params)
+    : machine_(m), eth_(eth), params_(params) {}
+
+ImageLoadReport BootImageCache::load(const std::string& image,
+                                     std::span<const NodeId> nodes) {
+  ImageLoadReport rep;
+  auto [it, inserted] = resident_.try_emplace(
+      image, static_cast<std::size_t>(machine_->num_nodes()), false);
+  std::vector<bool>& bits = it->second;
+
+  std::vector<NodeId> cold;
+  for (const NodeId n : nodes) {
+    if (bits[n.value]) {
+      ++hits_;
+      ++rep.warm_nodes;
+    } else {
+      ++misses_;
+      ++rep.cold_nodes;
+      cold.push_back(n);
+    }
+  }
+
+  const Cycle start = machine_->engine().now();
+  if (cold.empty()) {
+    // Warm start: the image is resident everywhere; only the entry jump and
+    // SCU re-arm run, modelled as a fixed host delay.
+    machine_->engine().run_until(start + params_.warm_start_cycles);
+    rep.cycles = machine_->engine().now() - start;
+    return rep;
+  }
+  // Stream the image to the cold nodes over the Ethernet tree, exactly the
+  // run-kernel half of a full boot, and drain until every packet lands.
+  int pending = 0;
+  for (const NodeId n : cold) {
+    pending += params_.packets_per_node;
+    for (int i = 0; i < params_.packets_per_node; ++i) {
+      eth_->host_to_node(n, params_.packet_payload_bytes, net::EthKind::kUdp,
+                         [&pending] { --pending; });
+    }
+  }
+  machine_->engine().run_while([&pending] { return pending > 0; });
+  for (const NodeId n : cold) bits[n.value] = true;
+  rep.cycles = machine_->engine().now() - start;
+  return rep;
+}
+
+void BootImageCache::invalidate_node(NodeId n) {
+  for (auto& [image, bits] : resident_) bits[n.value] = false;
+}
+
+bool BootImageCache::resident(const std::string& image, NodeId n) const {
+  const auto it = resident_.find(image);
+  return it != resident_.end() && it->second[n.value];
+}
+
 }  // namespace qcdoc::host

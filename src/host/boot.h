@@ -11,6 +11,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -82,6 +84,59 @@ class BootSequencer {
   std::vector<int> packets_pending_;
   int nodes_ready_ = 0;
   int nodes_failed_ = 0;
+};
+
+struct ImageCacheParams {
+  /// A cold load streams this many UDP packets of `packet_payload_bytes`
+  /// per node (the run-kernel half of a full boot; JTAG boot already ran).
+  int packets_per_node = 100;
+  std::size_t packet_payload_bytes = 1024;
+  /// A warm start skips the stream: the image is resident, only the entry
+  /// jump and SCU re-arm run.
+  Cycle warm_start_cycles = 2000;
+};
+
+/// What one image load did and cost.
+struct ImageLoadReport {
+  Cycle cycles = 0;   ///< engine time the load consumed
+  int cold_nodes = 0; ///< nodes that needed the full packet stream
+  int warm_nodes = 0; ///< nodes that already held the image
+};
+
+/// Host-side cache of which application image is resident on which node.
+///
+/// Every job launch on real QCDOC re-streams its executable over the 100
+/// Mbit Ethernet tree (~100 packets per node).  Under a multi-tenant
+/// scheduler most launches reuse a handful of images, so the qdaemon keeps
+/// a residency map and skips the stream when the requested image is already
+/// loaded on every node of the partition -- amortizing the boot cost across
+/// jobs.  Quarantining a node invalidates its entry (the replacement node
+/// of a migrated job starts cold).
+class BootImageCache {
+ public:
+  BootImageCache(machine::Machine* m, net::EthernetTree* eth,
+                 ImageCacheParams params = ImageCacheParams{});
+
+  /// Ensure `image` is resident on every node of `nodes`, streaming it to
+  /// the cold ones (drives the engine until delivery completes).
+  ImageLoadReport load(const std::string& image, std::span<const NodeId> nodes);
+
+  /// Drop every image cached on `n` (node rebooted / quarantined / handed
+  /// to another tenant in an unknown state).
+  void invalidate_node(NodeId n);
+
+  [[nodiscard]] bool resident(const std::string& image, NodeId n) const;
+  u64 hits() const { return hits_; }     ///< warm node-loads served
+  u64 misses() const { return misses_; } ///< cold node-loads streamed
+
+ private:
+  machine::Machine* machine_;
+  net::EthernetTree* eth_;
+  ImageCacheParams params_;
+  /// image name -> per-node residency bit.
+  std::map<std::string, std::vector<bool>> resident_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
 };
 
 }  // namespace qcdoc::host

@@ -10,6 +10,7 @@
 // the qdaemon never allocates a partition over them.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,15 @@ class HealthMonitor {
   /// for why the sweep cannot be decomposed into node-affine events.
   void monitor_for(Cycle duration);
 
+  /// Targeted re-sweep: probe and re-classify only `nodes`, applying the
+  /// full sweep policy (JTAG round trip, link/ECC deltas, retraining,
+  /// quarantine) without touching the rest of the machine.  Partition
+  /// teardown uses this so freed nodes return to the allocatable pool only
+  /// after their health has been re-established -- a box released by a job
+  /// that died on marginal hardware must not be handed to the next tenant
+  /// unprobed.
+  HealthSweep probe_nodes(std::span<const NodeId> nodes);
+
   /// Out-of-band failure report from another detector (e.g. the qdaemon's
   /// SCU watchdog): mark the node failed immediately -- without waiting for
   /// the next sweep -- and quarantine it if configured.  Idempotent.
@@ -116,6 +126,10 @@ class HealthMonitor {
   [[nodiscard]] bool restore_state(const State& state);
 
  private:
+  /// One node's probe + classification + recovery actions -- the shared body
+  /// of sweep() (all nodes) and probe_nodes() (a targeted subset).
+  void classify_node(NodeId node, HealthSweep* rep);
+
   machine::Machine* machine_;
   net::EthernetTree* eth_;
   Qdaemon* qdaemon_;

@@ -1,8 +1,33 @@
 #include "host/qcsh.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace qcdoc::host {
+
+Cycle RetryPolicy::delay(int attempt, Rng& rng) const {
+  double d = static_cast<double>(base_delay_cycles);
+  for (int i = 0; i < attempt; ++i) d *= multiplier;
+  d = std::min(d, static_cast<double>(max_delay_cycles));
+  const double jitter = 0.5 + 0.5 * rng.next_double();
+  return static_cast<Cycle>(d * jitter) + 1;
+}
+
+SubmitOutcome submit_with_retry(JobScheduler& sched, const JobSpec& spec,
+                                const RetryPolicy& policy, Rng& rng) {
+  const int attempts = std::max(1, policy.max_attempts);
+  SubmitOutcome out;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    out = sched.submit(spec);
+    if (out.accepted || out.error == SubmitError::kBadRequest) return out;
+    if (attempt + 1 >= attempts) return out;
+    // Backoff in simulated time, honouring the scheduler's own hint; the
+    // scheduler keeps pumping (draining the queue) while the client waits.
+    const Cycle wait = std::max(out.retry_after, policy.delay(attempt, rng));
+    sched.run_for(wait);
+  }
+  return out;
+}
 namespace {
 
 std::vector<std::string> tokenize(const std::string& line) {
@@ -39,6 +64,16 @@ void Qcsh::register_application(const std::string& name, Application app) {
   applications_[name] = std::move(app);
 }
 
+void Qcsh::attach_scheduler(JobScheduler* sched, std::string user) {
+  scheduler_ = sched;
+  user_ = std::move(user);
+}
+
+void Qcsh::register_job(const std::string& name,
+                        std::function<StepStatus(JobContext&)> body) {
+  job_bodies_[name] = std::move(body);
+}
+
 std::vector<std::string> Qcsh::execute(const std::string& line) {
   const auto tokens = tokenize(line);
   if (tokens.empty()) return {};
@@ -50,6 +85,9 @@ std::vector<std::string> Qcsh::execute(const std::string& line) {
   if (cmd == "run") return cmd_run(args);
   if (cmd == "release") return cmd_release(args);
   if (cmd == "partitions") return cmd_partitions();
+  if (cmd == "submit") return cmd_submit(args);
+  if (cmd == "jobs") return cmd_jobs();
+  if (cmd == "job") return cmd_job(args);
   exit_code_ = 1;
   return {"qcsh: unknown command '" + cmd + "'"};
 }
@@ -171,6 +209,93 @@ std::vector<std::string> Qcsh::cmd_partitions() {
                   handle.partition->logical_shape().to_string());
   }
   if (out.empty()) out.push_back("(none)");
+  return out;
+}
+
+std::vector<std::string> Qcsh::cmd_submit(
+    const std::vector<std::string>& args) {
+  if (scheduler_ == nullptr) {
+    exit_code_ = 1;
+    return {"qcsh: no scheduler attached"};
+  }
+  if (args.size() != 4) {
+    exit_code_ = 1;
+    return {"usage: submit <job-name> <body> <e0>x<e1>x<e2>x<e3>x<e4>x<e5> "
+            "<dims>"};
+  }
+  const auto bit = job_bodies_.find(args[1]);
+  if (bit == job_bodies_.end()) {
+    exit_code_ = 1;
+    return {"qcsh: no job body '" + args[1] + "'"};
+  }
+  JobSpec spec;
+  spec.name = args[0];
+  spec.user = user_;
+  spec.image = args[1];
+  if (!parse_shape(args[2], &spec.box)) {
+    exit_code_ = 1;
+    return {"qcsh: bad shape '" + args[2] + "'"};
+  }
+  spec.logical_dims = std::atoi(args[3].c_str());
+  spec.body = bit->second;
+  const SubmitOutcome out =
+      submit_with_retry(*scheduler_, spec, retry_policy_, retry_rng_);
+  if (!out.accepted) {
+    exit_code_ = 1;
+    return {"qcsh: submit rejected (" + std::string(to_string(out.error)) +
+            "): " + out.detail};
+  }
+  return {"job " + std::to_string(out.id) + " ('" + spec.name +
+          "') accepted"};
+}
+
+std::vector<std::string> Qcsh::cmd_jobs() {
+  if (scheduler_ == nullptr) {
+    exit_code_ = 1;
+    return {"qcsh: no scheduler attached"};
+  }
+  std::vector<std::string> out;
+  for (const JobStatusInfo& j : scheduler_->jobs()) {
+    out.push_back(std::to_string(j.id) + " " + j.name + " (" + j.user +
+                  "): " + to_string(j.state) + ", " +
+                  std::to_string(j.steps) + " steps, " +
+                  std::to_string(j.migrations) + " migrations");
+  }
+  if (out.empty()) out.push_back("(no jobs)");
+  return out;
+}
+
+std::vector<std::string> Qcsh::cmd_job(const std::vector<std::string>& args) {
+  if (scheduler_ == nullptr) {
+    exit_code_ = 1;
+    return {"qcsh: no scheduler attached"};
+  }
+  if (args.size() != 1) {
+    exit_code_ = 1;
+    return {"usage: job <id>"};
+  }
+  const JobStatusInfo j = scheduler_->status(std::atoi(args[0].c_str()));
+  if (j.id < 0) {
+    exit_code_ = 1;
+    return {"qcsh: no job '" + args[0] + "'"};
+  }
+  std::vector<std::string> out;
+  out.push_back("job " + std::to_string(j.id) + " '" + j.name + "' user '" +
+                j.user + "' state " + to_string(j.state));
+  out.push_back("  steps " + std::to_string(j.steps) + ", requeues " +
+                std::to_string(j.requeues) + ", migrations " +
+                std::to_string(j.migrations) + ", cycles " +
+                std::to_string(j.cycles_run));
+  if (j.failure != fault::JobFailure::kNone) {
+    out.push_back("  failure: " + std::string(fault::to_string(j.failure)) +
+                  " (" + j.detail + ")");
+  }
+  std::size_t cursor = 0;
+  for (const JobEvent& e : scheduler_->events_since(j.id, &cursor)) {
+    out.push_back("  [" + std::to_string(e.at) + "] " +
+                  to_string(e.state) + ": " + e.note);
+  }
+  for (const std::string& line : j.output) out.push_back("  > " + line);
   return out;
 }
 

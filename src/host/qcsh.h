@@ -16,9 +16,34 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "host/qdaemon.h"
+#include "host/scheduler.h"
 
 namespace qcdoc::host {
+
+/// Client-side retry with exponential backoff and deterministic jitter: the
+/// qcsh half of the scheduler's backpressure contract.  delay(attempt)
+/// grows as base * multiplier^attempt, capped at max_delay, scaled by a
+/// jitter factor in [0.5, 1.0) drawn from the caller's Rng -- so a storm of
+/// clients de-synchronizes without wall-clock entropy, and a fixed seed
+/// replays the exact same retry schedule.
+struct RetryPolicy {
+  Cycle base_delay_cycles = 1024;
+  Cycle max_delay_cycles = 1u << 20;
+  double multiplier = 2.0;
+  int max_attempts = 8;
+
+  Cycle delay(int attempt, Rng& rng) const;
+};
+
+/// Submit with retry: on a retryable rejection, waits the maximum of the
+/// scheduler's retry_after hint and the policy's backoff (simulated time;
+/// the scheduler keeps pumping, draining its queue, while the client
+/// waits), then resubmits.  Returns the final outcome -- accepted, or the
+/// last rejection after `max_attempts`.
+SubmitOutcome submit_with_retry(JobScheduler& sched, const JobSpec& spec,
+                                const RetryPolicy& policy, Rng& rng);
 
 class Qcsh {
  public:
@@ -33,6 +58,15 @@ class Qcsh {
   /// Make an application launchable by name.
   void register_application(const std::string& name, Application app);
 
+  /// Attach the multi-tenant scheduler; enables the submit/jobs/job
+  /// commands.  `user` is the tenant this shell submits as (the real qcsh
+  /// "runs with the UID of the application programmer").
+  void attach_scheduler(JobScheduler* sched, std::string user);
+  /// Make a step-based job body submittable by name (shared across
+  /// submissions; bodies keep their state in the JobContext checkpoint).
+  void register_job(const std::string& name,
+                    std::function<StepStatus(JobContext&)> body);
+
   /// Execute one command line; returns the output lines.  Commands:
   ///   boot
   ///   status
@@ -40,6 +74,10 @@ class Qcsh {
   ///   run <partition> <application> [args...]
   ///   release <partition>
   ///   partitions
+  /// With a scheduler attached:
+  ///   submit <job-name> <body> <e0>x...x<e5> <dims>   (retries on backpressure)
+  ///   jobs
+  ///   job <id>
   /// Unknown commands report an error line (exit_code() becomes nonzero).
   std::vector<std::string> execute(const std::string& line);
 
@@ -56,10 +94,18 @@ class Qcsh {
   std::vector<std::string> cmd_run(const std::vector<std::string>& args);
   std::vector<std::string> cmd_release(const std::vector<std::string>& args);
   std::vector<std::string> cmd_partitions();
+  std::vector<std::string> cmd_submit(const std::vector<std::string>& args);
+  std::vector<std::string> cmd_jobs();
+  std::vector<std::string> cmd_job(const std::vector<std::string>& args);
 
   Qdaemon* daemon_;
   std::map<std::string, Application> applications_;
   std::map<std::string, PartitionHandle> partitions_;
+  JobScheduler* scheduler_ = nullptr;
+  std::string user_;
+  std::map<std::string, std::function<StepStatus(JobContext&)>> job_bodies_;
+  RetryPolicy retry_policy_;
+  Rng retry_rng_{0x9c5417ab12cdull};
   int exit_code_ = 0;
 };
 

@@ -40,6 +40,26 @@ void Qdaemon::quarantine_node(NodeId n) {
   if (quarantined_[n.value]) return;
   quarantined_[n.value] = true;
   QCDOC_WARN << "qdaemon: node " << n.value << " quarantined";
+  // Revoke every allocation placed over the bad node, so stale handles are
+  // detectable (valid() false) instead of dangling into a dead partition.
+  for (auto& [id, alloc] : partitions_) {
+    if (alloc.revoked) continue;
+    for (const NodeId pn : alloc.partition->nodes()) {
+      if (pn == n) {
+        alloc.revoked = true;
+        alloc.revoke_reason =
+            "node " + std::to_string(n.value) + " quarantined";
+        QCDOC_WARN << "qdaemon: partition '" << alloc.name << "' (id " << id
+                   << ") revoked: " << alloc.revoke_reason;
+        break;
+      }
+    }
+  }
+  for (const auto& cb : quarantine_callbacks_) cb(n);
+}
+
+void Qdaemon::on_quarantine(std::function<void(NodeId)> cb) {
+  quarantine_callbacks_.push_back(std::move(cb));
 }
 
 std::vector<NodeId> Qdaemon::quarantined_nodes() const {
@@ -237,6 +257,10 @@ bool Qdaemon::box_free(const torus::Coord& origin,
     }
     const NodeId n = topo.id(c);
     if (node_used_[n.value] || quarantined_[n.value]) return false;
+    if (exclude_degraded_ && health_ &&
+        health_->health(n) != NodeHealth::kHealthy) {
+      return false;
+    }
   }
   return true;
 }
@@ -316,8 +340,31 @@ std::optional<PartitionHandle> Qdaemon::allocate_partition(
 void Qdaemon::release_partition(const PartitionHandle& h) {
   auto it = partitions_.find(h.id);
   if (it == partitions_.end()) return;
+  // Re-establish the health of the freed nodes before they rejoin the
+  // allocatable pool.  The probe may quarantine nodes (which then stay out
+  // of the pool via quarantined_) or retrain marginal wires; either way the
+  // next tenant never inherits an unprobed box.
+  const std::vector<NodeId> freed = it->second.partition->nodes();
+  health().probe_nodes(freed);
   mark_box(it->second.origin, it->second.box, false);
   partitions_.erase(it);
+}
+
+bool Qdaemon::valid(const PartitionHandle& h) const {
+  const auto it = partitions_.find(h.id);
+  return it != partitions_.end() && !it->second.revoked;
+}
+
+const torus::Partition* Qdaemon::partition(const PartitionHandle& h) const {
+  const auto it = partitions_.find(h.id);
+  if (it == partitions_.end() || it->second.revoked) return nullptr;
+  return it->second.partition.get();
+}
+
+std::string Qdaemon::revocation_reason(const PartitionHandle& h) const {
+  const auto it = partitions_.find(h.id);
+  if (it == partitions_.end()) return "";
+  return it->second.revoke_reason;
 }
 
 int Qdaemon::free_nodes() const {
@@ -335,6 +382,11 @@ JobResult Qdaemon::run_job(
   JobResult result;
   auto it = partitions_.find(h.id);
   if (it == partitions_.end() || !app) return result;
+  if (it->second.revoked) {
+    result.output.push_back("job aborted: partition revoked: " +
+                            it->second.revoke_reason);
+    return result;
+  }
 
   // Pre-flight: refuse to start over hardware known to be bad, and fail the
   // job cleanly with a diagnostic instead of hanging the user's qcsh.

@@ -28,6 +28,12 @@
 
 namespace qcdoc::host {
 
+/// A user's ticket for an allocated partition.  The embedded pointer is a
+/// convenience for the common immediate-use path; code that holds a handle
+/// across quarantine events (the job scheduler) must re-validate through
+/// Qdaemon::valid() / Qdaemon::partition() instead of dereferencing a
+/// possibly-revoked pointer -- quarantine revokes every allocation placed
+/// over the bad node, and release destroys the Partition object.
 struct PartitionHandle {
   int id = -1;
   std::string name;
@@ -156,6 +162,14 @@ class Qdaemon {
   }
   std::vector<NodeId> quarantined_nodes() const;
 
+  /// Register a callback invoked synchronously whenever a node is newly
+  /// quarantined (boot hardware test, health sweep, watchdog, or an explicit
+  /// quarantine_node call).  The job scheduler uses this to learn that a
+  /// running job's partition was revoked and must be migrated.  Callbacks
+  /// run on the host thread with the engine stopped; they must not allocate
+  /// or release partitions re-entrantly.
+  void on_quarantine(std::function<void(NodeId)> cb);
+
   /// Periodic health sweeps over Ethernet/JTAG, wired back to this daemon
   /// for quarantining.  Created on first use.
   HealthMonitor& health(HealthConfig cfg = HealthConfig{});
@@ -176,9 +190,33 @@ class Qdaemon {
   std::optional<PartitionHandle> allocate_partition(const std::string& name,
                                                     const torus::Shape& box,
                                                     torus::FoldSpec fold);
+  /// Tear down a partition.  The freed nodes are re-probed by the health
+  /// monitor (JTAG round trip + counter deltas, advancing the engine) and
+  /// only then returned to the allocatable pool -- a box released by a job
+  /// that died on marginal hardware is never handed to the next tenant
+  /// unprobed, and nodes the probe quarantines stay out of the pool.
+  /// Synchronous: when this returns, the surviving nodes are allocatable.
   void release_partition(const PartitionHandle& h);
   int active_partitions() const { return static_cast<int>(partitions_.size()); }
   int free_nodes() const;
+
+  /// True while `h` refers to a live allocation that has not been revoked
+  /// by quarantine.  A handle becomes invalid when release_partition() is
+  /// called on it or when any node under it is quarantined.
+  [[nodiscard]] bool valid(const PartitionHandle& h) const;
+  /// The live partition behind `h`, or nullptr once the handle is invalid.
+  /// Holders of long-lived handles must use this instead of the pointer
+  /// embedded in the handle (which dangles after release).
+  const torus::Partition* partition(const PartitionHandle& h) const;
+  /// Why `h` stopped being valid ("" while valid or never allocated).
+  std::string revocation_reason(const PartitionHandle& h) const;
+
+  /// When set, the partition allocator also skips HealthMonitor-degraded
+  /// nodes, not just quarantined ones.  Off by default (degraded nodes are
+  /// usable, just marginal); the job scheduler turns it on so migrated jobs
+  /// land on clean hardware.
+  void set_allocation_excludes_degraded(bool on) { exclude_degraded_ = on; }
+  bool allocation_excludes_degraded() const { return exclude_degraded_; }
 
   /// Run an application (SPMD, expressed against the communications API) on
   /// a partition; output lines are returned as the qcsh data stream.
@@ -187,6 +225,7 @@ class Qdaemon {
                                              std::vector<std::string>&)>& app);
 
   net::EthernetTree& ethernet() { return *eth_; }
+  machine::Machine& machine() { return *machine_; }
 
  private:
   struct Allocation {
@@ -194,6 +233,11 @@ class Qdaemon {
     torus::Coord origin;
     torus::Shape box;
     std::unique_ptr<torus::Partition> partition;
+    /// Set when quarantine hits a node under this allocation.  The
+    /// Partition object stays alive (a draining job may still read its
+    /// geometry) but valid() is false and run_job refuses to start.
+    bool revoked = false;
+    std::string revoke_reason;
   };
 
   bool box_free(const torus::Coord& origin, const torus::Shape& box) const;
@@ -208,8 +252,12 @@ class Qdaemon {
   std::unique_ptr<ScuWatchdog> watchdog_;
   std::vector<bool> node_used_;
   std::vector<bool> quarantined_;
+  /// Keyed by partition id; ids are never reused, so a stale handle's id
+  /// simply misses the map and valid() is false.
   std::map<int, Allocation> partitions_;
   int next_partition_id_ = 0;
+  bool exclude_degraded_ = false;
+  std::vector<std::function<void(NodeId)>> quarantine_callbacks_;
 };
 
 }  // namespace qcdoc::host

@@ -1,0 +1,69 @@
+#include "host/quiesce.h"
+
+#include <algorithm>
+
+namespace qcdoc::host {
+
+namespace {
+
+/// The events a snapshot can re-create instead of serialize: the injector's
+/// unfired plan remainder plus one standing burst per running scrubber.
+/// Mirrors the accounting in snapshot::capture_machine.
+std::size_t service_owned_events(machine::Machine& m,
+                                 const fault::FaultInjector* injector) {
+  std::size_t n = 0;
+  if (injector != nullptr) n += injector->pending_count();
+  if (m.mesh().scrubbing()) {
+    n += static_cast<std::size_t>(m.num_nodes());
+  }
+  return n;
+}
+
+}  // namespace
+
+QuiesceReport drain_to_quiescence(machine::Machine& m,
+                                  const QuiesceOptions& opts) {
+  QuiesceReport rep;
+  sim::Engine& engine = m.engine();
+  const Cycle start = engine.now();
+  for (;;) {
+    // First retire any DMA transfers in flight.  drain() runs the engine;
+    // if the queue empties with transfers still pending, a link is stalled
+    // and no amount of waiting will quiesce the machine.
+    if (!m.mesh().drain()) {
+      rep.at = engine.now();
+      rep.waited = engine.now() - start;
+      rep.pending_events = engine.pending_events();
+      rep.service_owned = service_owned_events(m, opts.injector);
+      rep.detail = "mesh stalled: event queue empty with transfers in flight";
+      return rep;
+    }
+    const std::size_t service = service_owned_events(m, opts.injector);
+    const std::size_t pending = engine.pending_events();
+    if (pending == service) {
+      rep.quiescent = true;
+      rep.at = engine.now();
+      rep.waited = engine.now() - start;
+      rep.pending_events = pending;
+      rep.service_owned = service;
+      return rep;
+    }
+    if (engine.now() - start >= opts.max_wait_cycles) {
+      rep.at = engine.now();
+      rep.waited = engine.now() - start;
+      rep.pending_events = pending;
+      rep.service_owned = service;
+      rep.detail = "timed out with " + std::to_string(pending) +
+                   " events pending, " + std::to_string(service) +
+                   " service-owned (is a monitor still armed?)";
+      return rep;
+    }
+    // Stragglers are scheduled in the future (BER restores, protocol
+    // timeouts).  Step toward them in bounded increments and re-check; a
+    // service-owned event firing in the window keeps the books balanced
+    // because it leaves both populations at once.
+    engine.run_until(engine.now() + std::max<Cycle>(1, opts.step_cycles));
+  }
+}
+
+}  // namespace qcdoc::host

@@ -1,0 +1,53 @@
+// Drain-to-quiescence: the host-side primitive that makes mid-run snapshots
+// legal (ROADMAP item 5).
+//
+// snapshot::capture_machine refuses to run unless the mesh has no DMA
+// transfers in flight AND every pending engine event is owned by a
+// re-armable service (the fault injector's unfired plan, the memory
+// scrubbers' standing bursts).  During a job those conditions only hold at
+// window boundaries after the in-flight communication has retired.  This
+// helper pauses event issue (the caller stops submitting work), drains the
+// mesh, and steps the engine in bounded increments until the pending-event
+// population is exactly the service-owned set -- or reports precisely why it
+// cannot (stalled link, armed monitor that keeps re-scheduling itself,
+// timeout).  Job migration runs it before every checkpoint capture.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+#include "fault/fault.h"
+#include "machine/machine.h"
+
+namespace qcdoc::host {
+
+struct QuiesceOptions {
+  /// The fault injector whose unfired plan events are service-owned (may be
+  /// null when no campaign is armed).
+  const fault::FaultInjector* injector = nullptr;
+  /// Engine-stepping increment while waiting for stragglers to retire.
+  Cycle step_cycles = 1024;
+  /// Give up after advancing this far past the starting cycle.  A bound,
+  /// not a target: a quiet machine quiesces in zero steps.
+  Cycle max_wait_cycles = 1u << 20;
+};
+
+struct QuiesceReport {
+  bool quiescent = false;
+  Cycle at = 0;      ///< engine clock when the verdict was reached
+  Cycle waited = 0;  ///< cycles of engine time spent draining
+  std::size_t pending_events = 0;  ///< engine events pending at the verdict
+  std::size_t service_owned = 0;   ///< how many of those are re-armable
+  std::string detail;              ///< failure diagnosis ("" on success)
+  explicit operator bool() const { return quiescent; }
+};
+
+/// Drain the machine to a snapshot-capturable state.  Advances the engine
+/// (bounded by `max_wait_cycles`); the caller must not be issuing new work.
+/// On success, snapshot::capture_machine's quiescence preconditions hold
+/// until the next event is scheduled.
+[[nodiscard]] QuiesceReport drain_to_quiescence(
+    machine::Machine& m, const QuiesceOptions& opts = QuiesceOptions{});
+
+}  // namespace qcdoc::host

@@ -1,0 +1,265 @@
+// Multi-tenant job scheduling on the qdaemon (paper Section 3.1, scaled up).
+//
+// The paper's qdaemon serves a handful of physicists one blocking job at a
+// time.  This service turns it into an asynchronous multi-tenant scheduler:
+// a queued submission API (the submission hop rides the simulated Ethernet
+// tree as a host-affinity event), admission control with bounded queues and
+// typed rejections carrying a retry-after backpressure hint, per-user
+// fair-share accounting that orders both job starts and step interleaving,
+// per-job cycle deadlines with bounded re-queue, and quarantine-driven
+// migration: when the HealthMonitor quarantines a node under a running job,
+// the scheduler drains the machine to quiescence, persists the job's last
+// checkpoint through the SnapshotStore, tears down the revoked partition
+// (health re-sweep included) and resumes the job bit-exactly on a fresh
+// partition carved from clean nodes.
+//
+// Job bodies are cooperative: one call per *step*, returning kYield (more
+// work remains; `checkpoint` holds enough bytes to resume), kDone or
+// kError.  Steps run on the host with the engine stopped between them, so a
+// body drives communicator operations exactly like a classic run_job
+// application; the step boundary is where deadlines are checked, fair-share
+// usage is charged, and migration can interpose.  Everything the scheduler
+// decides is a deterministic function of submission order and engine time,
+// so the whole service replays bit-identically at 1/2/4 threads.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "fault/fault.h"
+#include "host/boot.h"
+#include "host/qdaemon.h"
+#include "host/quiesce.h"
+#include "snapshot/store.h"
+
+namespace qcdoc::host {
+
+using JobId = int;
+
+enum class JobState {
+  kSubmitting,  ///< accepted; the submission packet is still in flight
+  kQueued,      ///< waiting for capacity and a free partition
+  kRunning,     ///< resident on a partition, stepping
+  kMigrating,   ///< checkpointed off a revoked partition, awaiting re-queue
+  kDone,
+  kFailed,
+};
+const char* to_string(JobState s);
+
+enum class SubmitError {
+  kNone,
+  kQueueFull,      ///< global admission bound hit; retry after the hint
+  kUserQuotaFull,  ///< per-user quota hit; retry after the hint
+  kBadRequest,     ///< malformed spec; retrying cannot help
+};
+const char* to_string(SubmitError e);
+
+/// Admission decision, returned synchronously by submit().
+struct SubmitOutcome {
+  bool accepted = false;
+  JobId id = -1;                          ///< valid when accepted
+  SubmitError error = SubmitError::kNone; ///< set when rejected
+  /// Backpressure hint: engine cycles the client should wait before
+  /// retrying (0 when accepted or when retrying is pointless).
+  Cycle retry_after = 0;
+  std::string detail;
+};
+
+enum class StepStatus {
+  kYield,  ///< more steps remain; context.checkpoint resumes this one
+  kDone,   ///< job finished; output is complete
+  kError,  ///< job failed; no re-queue
+};
+
+/// What a job body sees on each step.
+struct JobContext {
+  comms::Communicator* comm = nullptr;
+  const torus::Partition* partition = nullptr;
+  /// Monotonic step index, continuous across re-queues and migrations.
+  u64 step = 0;
+  /// Checkpoint bytes from the previous yield when resuming on a fresh
+  /// partition (or from the SnapshotStore after a crash); null on a fresh
+  /// start.  The body must rebuild its state from these bytes -- results
+  /// must not depend on where the partition was placed.
+  const std::vector<u8>* resume = nullptr;
+  std::vector<std::string>* output = nullptr;
+  /// The body refills this on every kYield with the bytes a future resume
+  /// needs.  Left empty, the job can only restart from step 0.
+  std::vector<u8> checkpoint;
+};
+
+struct JobSpec {
+  std::string name;   ///< unique per scheduler; keys the checkpoint stream
+  std::string user;   ///< tenant for fair-share and quota accounting
+  std::string image;  ///< executable image name for the boot-image cache
+  torus::Shape box;   ///< machine box to allocate
+  int logical_dims = 1;
+  /// Per-attempt cycle budget checked at step boundaries (0 = none).  An
+  /// attempt that exceeds it is re-queued with a fresh budget, at most
+  /// `max_requeues` times, then fails as kDeadlineExpired.
+  Cycle deadline_cycles = 0;
+  int max_requeues = 1;
+  /// Resume from the newest persisted checkpoint of this job name (crash
+  /// recovery); a fresh start when none is loadable.
+  bool resume_from_store = false;
+  std::function<StepStatus(JobContext&)> body;
+};
+
+struct JobStatusInfo {
+  JobId id = -1;
+  std::string name, user;
+  JobState state = JobState::kSubmitting;
+  fault::JobFailure failure = fault::JobFailure::kNone;
+  u64 steps = 0;
+  int requeues = 0;
+  int migrations = 0;
+  Cycle cycles_run = 0;  ///< engine cycles charged to this job's steps
+  std::string detail;
+  std::vector<std::string> output;  ///< delivered after completion
+};
+
+/// One entry of a job's telemetry stream.
+struct JobEvent {
+  Cycle at = 0;
+  JobState state = JobState::kSubmitting;
+  std::string note;
+};
+
+struct SchedulerConfig {
+  int max_queued = 16;           ///< global admission bound (queued jobs)
+  int max_queued_per_user = 8;   ///< per-tenant quota (queued + running)
+  int max_running = 2;           ///< jobs resident on partitions at once
+  /// Engine cycles the submission packet spends on the Ethernet tree
+  /// before the job becomes visible to the queue.
+  Cycle submit_latency_cycles = 64;
+  /// Backpressure hint attached to retryable rejections.
+  Cycle retry_hint_cycles = 4096;
+  /// Directory for persisted job checkpoints ("" = in-memory only; crash
+  /// resume via resume_from_store needs a real directory).
+  std::string snapshot_dir;
+  /// Injector whose unfired plan events are service-owned during the
+  /// drain-to-quiescence that precedes each migration capture.
+  const fault::FaultInjector* injector = nullptr;
+  ImageCacheParams image_cache;
+  /// Test hook: fired after a migration checkpoint is durably persisted
+  /// and before the job is re-queued (crash-consistency tests die here).
+  std::function<void(JobId)> on_migration_captured;
+};
+
+struct SchedulerReport {
+  u64 submitted = 0;
+  u64 accepted = 0;
+  u64 rejected_queue_full = 0;
+  u64 rejected_quota = 0;
+  u64 rejected_bad_request = 0;
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 requeues = 0;
+  u64 migrations = 0;
+  /// Time-to-boot samples (allocation + image load, in engine cycles),
+  /// split by whether the image load hit the cache on every node.
+  std::vector<Cycle> cold_boot_cycles;
+  std::vector<Cycle> warm_boot_cycles;
+};
+
+class JobScheduler {
+ public:
+  /// `qd` must outlive the scheduler and be booted before the first pump.
+  JobScheduler(Qdaemon* qd, SchedulerConfig cfg = SchedulerConfig{});
+
+  /// Admission decision now; on accept the job arrives in the queue after
+  /// the submission hop (`submit_latency_cycles` of engine time).
+  SubmitOutcome submit(JobSpec spec);
+
+  /// Pump the service until every accepted job reached kDone or kFailed.
+  void run_until_idle();
+  /// Pump for at least `duration` engine cycles (the retry helpers wait
+  /// this way so backoff consumes simulated time, not host time).
+  void run_for(Cycle duration);
+  /// True when no job is queued, in flight, or running.
+  [[nodiscard]] bool idle() const;
+
+  /// Per-user fair-share weight (default 1.0).  Usage is charged as engine
+  /// cycles consumed by the user's steps; the queue and the step
+  /// interleaving both pick the candidate with the least usage/share.
+  void set_share(const std::string& user, double weight);
+
+  JobStatusInfo status(JobId id) const;
+  std::vector<JobStatusInfo> jobs() const;
+  /// Streaming telemetry: events of `id` from `*cursor` on; advances
+  /// `*cursor` past what was returned.  Poll with the same cursor to tail.
+  std::vector<JobEvent> events_since(JobId id, std::size_t* cursor) const;
+
+  const SchedulerReport& report() const { return report_; }
+  BootImageCache& image_cache() { return image_cache_; }
+  Qdaemon& qdaemon() { return *qd_; }
+
+ private:
+  struct Job {
+    JobId id = -1;
+    JobSpec spec;
+    JobState state = JobState::kSubmitting;
+    fault::JobFailure failure = fault::JobFailure::kNone;
+    std::string detail;
+    std::optional<PartitionHandle> handle;
+    std::unique_ptr<comms::Communicator> comm;
+    u64 step = 0;
+    int requeues = 0;
+    int migrations = 0;
+    Cycle cycles_run = 0;       ///< lifetime cycles across attempts
+    Cycle cycles_this_attempt = 0;
+    Cycle arrive_at = 0;  ///< when the submission packet lands in the queue
+    std::vector<u8> checkpoint;      ///< last yielded resume bytes
+    bool have_checkpoint = false;
+    /// The next step must receive the checkpoint as resume bytes (first
+    /// step after a re-placement or a crash-recovery load).
+    bool resume_pending = false;
+    std::vector<std::string> output;
+    std::vector<JobEvent> events;
+    u64 submit_seq = 0;  ///< deterministic FIFO tie-break
+  };
+
+  void record(Job& j, JobState s, std::string note);
+  void finish(Job& j, bool ok, fault::JobFailure f, std::string detail);
+  /// Least usage/share among `candidates` (FIFO within a user); -1 if none.
+  JobId pick_fair(const std::vector<JobId>& candidates) const;
+  /// Try to place and boot one queued job; false if nothing startable.
+  bool try_start_one();
+  bool start_job(Job& j);
+  /// Run one step of the running job chosen by fair share; false if none.
+  bool step_one();
+  void step_job(Job& j);
+  /// Checkpoint + teardown + re-queue a job whose partition was revoked.
+  void migrate_job(Job& j);
+  void requeue_after_deadline(Job& j);
+  /// Persist `j`'s checkpoint through the SnapshotStore (no-op without a
+  /// snapshot_dir).  Returns false when the save failed.
+  [[nodiscard]] bool persist_checkpoint(Job& j);
+  /// Load the newest persisted checkpoint for `j.spec.name`, if any.
+  void try_resume_from_store(Job& j);
+  /// Send the finished job's data stream back over the Ethernet tree.
+  void deliver_output(Job& j);
+  /// One pump iteration; returns false when no progress was possible.
+  bool pump_once();
+  std::vector<JobId> in_state(JobState s) const;
+  double usage_ratio(const std::string& user) const;
+  snapshot::SnapshotStore store_for(const Job& j) const;
+
+  Qdaemon* qd_;
+  machine::Machine* machine_;
+  SchedulerConfig cfg_;
+  BootImageCache image_cache_;
+  std::map<JobId, Job> jobs_;
+  JobId next_id_ = 0;
+  u64 submit_seq_ = 0;
+  std::map<std::string, double> shares_;
+  std::map<std::string, Cycle> usage_;
+  SchedulerReport report_;
+};
+
+}  // namespace qcdoc::host

@@ -140,6 +140,36 @@ std::string format_mem_resilience_report(machine::Machine& m) {
   return line;
 }
 
+namespace {
+
+/// The q-th percentile of a sample set, nearest-rank (0 when empty).
+Cycle percentile(std::vector<Cycle> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+}  // namespace
+
+std::string format_scheduler_report(const host::SchedulerReport& r) {
+  std::ostringstream out;
+  out << "scheduler: " << r.submitted << " submitted, " << r.accepted
+      << " accepted, rejections queue_full=" << r.rejected_queue_full
+      << " quota=" << r.rejected_quota
+      << " bad_request=" << r.rejected_bad_request << "\n";
+  out << "  " << r.completed << " completed, " << r.failed << " failed, "
+      << r.requeues << " requeues, " << r.migrations << " migrations\n";
+  out << "  time-to-boot cold: n=" << r.cold_boot_cycles.size() << " p50="
+      << percentile(r.cold_boot_cycles, 0.5) << " p99="
+      << percentile(r.cold_boot_cycles, 0.99) << " cycles\n";
+  out << "  time-to-boot warm: n=" << r.warm_boot_cycles.size() << " p50="
+      << percentile(r.warm_boot_cycles, 0.5) << " p99="
+      << percentile(r.warm_boot_cycles, 0.99) << " cycles";
+  return out.str();
+}
+
 double machine_peak_flops_per_cycle(const machine::Machine& m) {
   return static_cast<double>(m.num_nodes()) * 2.0;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "host/scheduler.h"
 #include "lattice/cg.h"
 #include "lattice/linalg.h"
 #include "machine/cost.h"
@@ -49,6 +50,13 @@ std::string format_traffic_report(const lattice::TrafficByPrecision& t);
 /// over every node: upsets injected, ECC corrections, rewrite clears,
 /// uncorrectable codewords (machine checks), and scrub work done.
 std::string format_mem_resilience_report(machine::Machine& m);
+
+/// Multi-line summary of a scheduler run: submission/admission counters
+/// (accepted and each typed rejection), completion/failure totals, re-queue
+/// and migration counts, and p50/p99 time-to-boot split into cold and warm
+/// (image-cache hit) starts.  Deterministic counters only, so bench output
+/// stays bit-identical run to run.
+std::string format_scheduler_report(const host::SchedulerReport& r);
 
 /// Machine peak in flops per cycle (nodes x 2).
 double machine_peak_flops_per_cycle(const machine::Machine& m);

@@ -11,6 +11,7 @@
 #include <bit>
 #include <csignal>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "fault/checksum_audit.h"
 #include "fault/fault.h"
 #include "host/qdaemon.h"
+#include "host/scheduler.h"
 #include "lattice/cg.h"
 #include "lattice/linalg.h"
 #include "lattice/wilson.h"
@@ -198,6 +200,156 @@ inline SolveOutcome run_solve(const SolveScenario& sc,
   });
   out.job_ok = job.ok;
   out.log = job.output;
+  out.end_cycle = m.engine().now();
+  out.trace_digest = m.engine().trace_digest();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler-migration rig: one step-based job on the JobScheduler whose
+// result is a placement-independent digest of per-step global sums, so a run
+// that was quarantined off its partition mid-flight (and possibly SIGKILLed
+// mid-migration, right after the checkpoint committed) must land on the same
+// digest as the uninterrupted reference -- on any partition, at any thread
+// count.
+
+struct SchedScenario {
+  std::array<int, 6> machine_extents{4, 2, 1, 1, 1, 1};
+  torus::Shape box{{2, 2, 1, 1, 1, 1}};
+  int logical_dims = 2;
+  int total_steps = 8;
+  /// At the start of this step the body quarantines its own rank-0 node
+  /// (-1 = never): the handle is revoked mid-run and the scheduler must
+  /// checkpoint the job off the box and resume it on clean nodes.
+  int quarantine_at_step = -1;
+  int sim_threads = 1;
+};
+
+struct SchedOutcome {
+  bool accepted = false;
+  host::JobState state = host::JobState::kSubmitting;
+  fault::JobFailure failure = fault::JobFailure::kNone;
+  u64 steps = 0;
+  int requeues = 0;
+  int migrations = 0;
+  u64 result_bits = 0;  ///< digest of every global-sum value, in step order
+  Cycle end_cycle = 0;
+  u64 trace_digest = 0;
+  std::vector<std::string> output;
+  std::string detail;
+
+  bool done() const { return state == host::JobState::kDone; }
+};
+
+/// Run the scenario's job to completion on a fresh machine.
+///   - `snapshot_dir == nullptr`: in-memory only (reference / determinism
+///     runs); a migration still works, it just is not crash-durable.
+///   - `resume_from_store` true: before the first step, load the newest
+///     persisted checkpoint of the job name from `snapshot_dir` and continue
+///     from it (the crash-recovery path).
+///   - `kill_at_migration` true: raise SIGKILL the moment a migration
+///     checkpoint is durably on disk, before the re-queue -- the caller forks
+///     first and reaps a SIGKILLed child, like run_solve's writer mode.
+inline SchedOutcome run_sched_job(const SchedScenario& sc,
+                                  const std::string* snapshot_dir,
+                                  bool resume_from_store = false,
+                                  bool kill_at_migration = false) {
+  SchedOutcome out;
+  machine::MachineConfig cfg;
+  cfg.shape.extent = sc.machine_extents;
+  cfg.sim_threads = sc.sim_threads;
+  machine::Machine m(cfg);
+  host::Qdaemon qd(&m);
+  qd.boot();
+
+  host::SchedulerConfig scfg;
+  scfg.max_running = 1;
+  if (snapshot_dir != nullptr) scfg.snapshot_dir = *snapshot_dir;
+  if (kill_at_migration) {
+    scfg.on_migration_captured = [](host::JobId) { raise(SIGKILL); };
+  }
+  host::JobScheduler sched(&qd, scfg);
+
+  // The digest lives across steps like application state lives in node
+  // memory; the checkpoint is its durable copy.  ctx.resume is only handed
+  // over on the first step after a (re-)placement, so a mid-run step with
+  // neither live state nor resume bytes means the checkpoint chain broke.
+  struct StepperState {
+    u64 acc = sim::detail::kFnvOffset;
+    bool live = false;
+  };
+  auto state = std::make_shared<StepperState>();
+
+  host::JobSpec spec;
+  spec.name = "stepper";
+  spec.user = "alice";
+  spec.image = "stepper.elf";
+  spec.box = sc.box;
+  spec.logical_dims = sc.logical_dims;
+  spec.resume_from_store = resume_from_store;
+  spec.body = [&sc, &qd, &m, &out,
+               state](host::JobContext& ctx) -> host::StepStatus {
+    if (ctx.resume != nullptr) {
+      ByteSource src(*ctx.resume, "sched-rig checkpoint");
+      u64 step = 0, acc = 0;
+      if (!src.get_u64(&step) || !src.get_u64(&acc) ||
+          !src.expect_exhausted() || step != ctx.step) {
+        return host::StepStatus::kError;
+      }
+      state->acc = acc;
+      state->live = true;
+    } else if (ctx.step == 0) {
+      state->acc = sim::detail::kFnvOffset;
+      state->live = true;
+    } else if (!state->live) {
+      return host::StepStatus::kError;  // checkpoint lost: digest unsound
+    }
+    if (static_cast<int>(ctx.step) == sc.quarantine_at_step) {
+      // Fault injection from inside the job, at a deterministic step: the
+      // scheduler notices the revoked handle at the next step boundary.
+      qd.quarantine_node(ctx.partition->nodes()[0]);
+    }
+    const int ranks = ctx.partition->num_nodes();
+    std::vector<double> contrib(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      contrib[static_cast<std::size_t>(r)] =
+          1.0 / static_cast<double>(1 + r + 3 * static_cast<int>(ctx.step));
+    }
+    // The reduction is over logical ranks, so its bits cannot depend on
+    // which machine box the partition occupies -- the property migration
+    // must preserve.  The operation's cost is spent as engine time, which
+    // is what deadlines and fair-share usage are charged in.
+    const auto sum = ctx.comm->global_sum(contrib);
+    m.engine().run_until(m.engine().now() + sum.cycles);
+    state->acc = sim::detail::fnv1a(state->acc, std::bit_cast<u64>(sum.value));
+    if (static_cast<int>(ctx.step) + 1 >= sc.total_steps) {
+      out.result_bits = state->acc;
+      ctx.output->push_back("digest " + std::to_string(state->acc));
+      return host::StepStatus::kDone;
+    }
+    ByteSink sink;
+    sink.put_u64(ctx.step + 1);
+    sink.put_u64(state->acc);
+    ctx.checkpoint = sink.take();
+    return host::StepStatus::kYield;
+  };
+
+  const host::SubmitOutcome sub = sched.submit(spec);
+  out.accepted = sub.accepted;
+  if (!sub.accepted) {
+    out.detail = sub.detail;
+    return out;
+  }
+  sched.run_until_idle();
+
+  const host::JobStatusInfo st = sched.status(sub.id);
+  out.state = st.state;
+  out.failure = st.failure;
+  out.steps = st.steps;
+  out.requeues = st.requeues;
+  out.migrations = st.migrations;
+  out.output = st.output;
+  out.detail = st.detail;
   out.end_cycle = m.engine().now();
   out.trace_digest = m.engine().trace_digest();
   return out;

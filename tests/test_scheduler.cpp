@@ -1,0 +1,353 @@
+// Tier-1 tests for the multi-tenant job scheduler (ISSUE 9): admission
+// control under an overload storm (bounded queue, typed rejections, the
+// qcsh retry helper riding the backpressure hints), fair-share ordering,
+// bounded deadline re-queue, quarantine-driven migration that reproduces
+// the unfaulted run bit-exactly, handle invalidation on quarantine, and a
+// SIGKILL mid-migration whose resume is bit-exact at 1/2/4 threads.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "host/qcsh.h"
+#include "snapshot_rig.h"
+
+namespace qcdoc::host {
+namespace {
+
+using snapshot::testing::SchedOutcome;
+using snapshot::testing::SchedScenario;
+using snapshot::testing::run_sched_job;
+
+machine::MachineConfig small_machine(std::array<int, 6> extents,
+                                     int threads = 1) {
+  machine::MachineConfig cfg;
+  cfg.shape.extent = extents;
+  cfg.sim_threads = threads;
+  return cfg;
+}
+
+JobSpec trivial_spec(const std::string& name, const std::string& user,
+                     torus::Shape box, int dims) {
+  JobSpec spec;
+  spec.name = name;
+  spec.user = user;
+  spec.image = "app.elf";
+  spec.box = box;
+  spec.logical_dims = dims;
+  spec.body = [](JobContext& ctx) {
+    ctx.output->push_back("ok");
+    return StepStatus::kDone;
+  };
+  return spec;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "qcdoc_sched_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(SchedulerAdmission, OverloadStormHitsBoundAndRetryHelperDrains) {
+  machine::Machine m(small_machine({2, 2, 1, 1, 1, 1}));
+  Qdaemon qd(&m);
+  qd.boot();
+  SchedulerConfig cfg;
+  cfg.max_queued = 4;
+  cfg.max_queued_per_user = 16;  // quota out of the way: test the global bound
+  cfg.max_running = 1;
+  JobScheduler sched(&qd, cfg);
+
+  const torus::Shape box{{2, 2, 1, 1, 1, 1}};  // whole machine: serialized
+
+  // Storm: submissions faster than the service drains.  Exactly the bound
+  // is admitted; everything past it gets a typed rejection with a nonzero
+  // retry-after hint -- the queue cannot grow without limit.
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto out = sched.submit(
+        trivial_spec("storm" + std::to_string(i), "u" + std::to_string(i % 4),
+                     box, 2));
+    if (out.accepted) {
+      ++accepted;
+    } else {
+      ++rejected;
+      EXPECT_EQ(out.error, SubmitError::kQueueFull);
+      EXPECT_GT(out.retry_after, 0u);
+      EXPECT_NE(out.detail.find("queue full"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(accepted, cfg.max_queued);
+  EXPECT_EQ(rejected, 10 - cfg.max_queued);
+  EXPECT_EQ(sched.report().rejected_queue_full, static_cast<u64>(rejected));
+
+  // The client half of the contract: retry with exponential backoff and
+  // jitter.  The scheduler keeps pumping while the client waits, so the
+  // queue drains and the resubmission lands.
+  RetryPolicy policy;
+  Rng rng(1234);
+  const auto retried = submit_with_retry(
+      sched, trivial_spec("straggler", "u9", box, 2), policy, rng);
+  EXPECT_TRUE(retried.accepted);
+
+  sched.run_until_idle();
+  EXPECT_EQ(sched.report().completed, static_cast<u64>(accepted) + 1);
+  EXPECT_EQ(sched.report().failed, 0u);
+  for (const auto& j : sched.jobs()) {
+    EXPECT_EQ(j.state, JobState::kDone) << j.name;
+    ASSERT_EQ(j.output.size(), 1u) << j.name;
+    EXPECT_EQ(j.output[0], "ok");
+  }
+}
+
+TEST(SchedulerAdmission, PerUserQuotaIsTypedAndDoesNotBlockOtherTenants) {
+  machine::Machine m(small_machine({2, 2, 1, 1, 1, 1}));
+  Qdaemon qd(&m);
+  qd.boot();
+  SchedulerConfig cfg;
+  cfg.max_queued = 16;
+  cfg.max_queued_per_user = 2;
+  JobScheduler sched(&qd, cfg);
+  const torus::Shape box{{2, 2, 1, 1, 1, 1}};
+
+  EXPECT_TRUE(sched.submit(trivial_spec("a0", "alice", box, 2)).accepted);
+  EXPECT_TRUE(sched.submit(trivial_spec("a1", "alice", box, 2)).accepted);
+  const auto rejected = sched.submit(trivial_spec("a2", "alice", box, 2));
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.error, SubmitError::kUserQuotaFull);
+  EXPECT_GT(rejected.retry_after, 0u);
+  // A different tenant is unaffected by alice's quota.
+  EXPECT_TRUE(sched.submit(trivial_spec("b0", "bob", box, 2)).accepted);
+  sched.run_until_idle();
+  EXPECT_EQ(sched.report().completed, 3u);
+}
+
+TEST(SchedulerAdmission, BadRequestIsPermanentAndNotRetried) {
+  machine::Machine m(small_machine({2, 2, 1, 1, 1, 1}));
+  Qdaemon qd(&m);
+  qd.boot();
+  JobScheduler sched(&qd, SchedulerConfig{});
+
+  // A box that does not tile the machine can never be placed.
+  JobSpec spec = trivial_spec("bad", "alice", torus::Shape{{3, 1, 1, 1, 1, 1}},
+                              1);
+  const auto out = sched.submit(spec);
+  EXPECT_FALSE(out.accepted);
+  EXPECT_EQ(out.error, SubmitError::kBadRequest);
+  EXPECT_EQ(out.retry_after, 0u);
+
+  // The retry helper must give up immediately: retrying cannot fix a
+  // malformed spec, so exactly one more submission is recorded.
+  const u64 before = sched.report().submitted;
+  RetryPolicy policy;
+  Rng rng(5);
+  const auto retried = submit_with_retry(sched, spec, policy, rng);
+  EXPECT_FALSE(retried.accepted);
+  EXPECT_EQ(retried.error, SubmitError::kBadRequest);
+  EXPECT_EQ(sched.report().submitted, before + 1);
+}
+
+JobSpec stepper_spec(machine::Machine* m, const std::string& name,
+                     const std::string& user, torus::Shape box, int steps) {
+  JobSpec spec;
+  spec.name = name;
+  spec.user = user;
+  spec.image = "app.elf";
+  spec.box = box;
+  spec.logical_dims = 2;
+  spec.body = [m, steps](JobContext& ctx) {
+    std::vector<double> contrib(
+        static_cast<std::size_t>(ctx.partition->num_nodes()), 1.0);
+    const auto sum = ctx.comm->global_sum(contrib);
+    // Spend the reduction's cost as engine time: deadlines and fair-share
+    // usage are charged in cycles, not step counts.
+    m->engine().run_until(m->engine().now() + sum.cycles);
+    return static_cast<int>(ctx.step) + 1 >= steps ? StepStatus::kDone
+                                                   : StepStatus::kYield;
+  };
+  return spec;
+}
+
+Cycle done_cycle(const JobScheduler& sched, JobId id) {
+  std::size_t cursor = 0;
+  Cycle at = 0;
+  for (const JobEvent& e : sched.events_since(id, &cursor)) {
+    if (e.state == JobState::kDone) at = e.at;
+  }
+  return at;
+}
+
+TEST(SchedulerFairShare, HigherShareFinishesFirstDespiteLaterSubmission) {
+  machine::Machine m(small_machine({4, 2, 1, 1, 1, 1}));
+  Qdaemon qd(&m);
+  qd.boot();
+  SchedulerConfig cfg;
+  cfg.max_running = 2;  // both tenants resident; shares govern interleaving
+  JobScheduler sched(&qd, cfg);
+  sched.set_share("bob", 4.0);
+
+  const torus::Shape box{{2, 2, 1, 1, 1, 1}};
+  const auto alice = sched.submit(stepper_spec(&m, "a", "alice", box, 8));
+  const auto bob = sched.submit(stepper_spec(&m, "b", "bob", box, 8));
+  ASSERT_TRUE(alice.accepted);
+  ASSERT_TRUE(bob.accepted);
+  sched.run_until_idle();
+
+  ASSERT_EQ(sched.status(alice.id).state, JobState::kDone);
+  ASSERT_EQ(sched.status(bob.id).state, JobState::kDone);
+  // Equal-length jobs, but bob's 4x share earns him ~4 steps per alice
+  // step: he must complete strictly earlier even though he submitted later.
+  EXPECT_LT(done_cycle(sched, bob.id), done_cycle(sched, alice.id));
+}
+
+TEST(SchedulerDeadline, RequeuesAtMostNTimesThenFailsTyped) {
+  machine::Machine m(small_machine({2, 2, 1, 1, 1, 1}));
+  Qdaemon qd(&m);
+  qd.boot();
+  JobScheduler sched(&qd, SchedulerConfig{});
+
+  JobSpec spec = stepper_spec(&m, "slow", "alice",
+                              torus::Shape{{2, 2, 1, 1, 1, 1}}, 1 << 20);
+  spec.deadline_cycles = 1;  // every step blows the per-attempt budget
+  spec.max_requeues = 2;
+  const auto out = sched.submit(spec);
+  ASSERT_TRUE(out.accepted);
+  sched.run_until_idle();
+
+  const JobStatusInfo st = sched.status(out.id);
+  EXPECT_EQ(st.state, JobState::kFailed);
+  EXPECT_EQ(st.failure, fault::JobFailure::kDeadlineExpired);
+  // Attempt 1 re-queues (1), attempt 2 re-queues (2), attempt 3 fails: the
+  // re-queue count is bounded at max_requeues + 1 and no further.
+  EXPECT_EQ(st.requeues, spec.max_requeues + 1);
+  EXPECT_EQ(sched.report().requeues, static_cast<u64>(spec.max_requeues) + 1);
+  EXPECT_EQ(sched.report().failed, 1u);
+}
+
+TEST(Qdaemon, QuarantineInvalidatesHandleAndKeepsNodeOutOfPool) {
+  machine::Machine m(small_machine({4, 2, 1, 1, 1, 1}));
+  Qdaemon qd(&m);
+  qd.boot();
+  const torus::Shape box{{2, 2, 1, 1, 1, 1}};
+  auto h = qd.allocate_partition("victim", box, 2);
+  ASSERT_TRUE(h.has_value());
+  ASSERT_TRUE(qd.valid(*h));
+
+  const NodeId bad = h->partition->nodes()[0];
+  qd.quarantine_node(bad);
+  // The handle is revoked, not dangling: valid() says so and the reason
+  // names the node.  A stale client touching it gets a clean abort.
+  EXPECT_FALSE(qd.valid(*h));
+  EXPECT_NE(qd.revocation_reason(*h).find(std::to_string(bad.value)),
+            std::string::npos);
+  const auto job = qd.run_job(*h, [](comms::Communicator&,
+                                     std::vector<std::string>&) {});
+  EXPECT_FALSE(job.ok);
+
+  // Teardown re-sweeps the freed nodes; the quarantined one stays out, so a
+  // fresh allocation of the same box lands on the other half of the machine.
+  qd.release_partition(*h);
+  auto fresh = qd.allocate_partition("fresh", box, 2);
+  ASSERT_TRUE(fresh.has_value());
+  for (const NodeId n : fresh->partition->nodes()) {
+    EXPECT_NE(n.value, bad.value);
+  }
+}
+
+TEST(SchedulerMigration, QuarantineMidRunMigratesAndMatchesUnfaultedRun) {
+  SchedScenario ref_sc;
+  const SchedOutcome ref = run_sched_job(ref_sc, nullptr);
+  ASSERT_TRUE(ref.done()) << ref.detail;
+  ASSERT_EQ(ref.migrations, 0);
+
+  SchedScenario faulted = ref_sc;
+  faulted.quarantine_at_step = 3;
+  const SchedOutcome got = run_sched_job(faulted, nullptr);
+  ASSERT_TRUE(got.done()) << got.detail;
+  EXPECT_EQ(got.migrations, 1);
+  EXPECT_EQ(got.steps, static_cast<u64>(ref_sc.total_steps));
+  // The migrated run finished on a different box than it started on; the
+  // result must not know the difference.
+  EXPECT_EQ(got.result_bits, ref.result_bits);
+  EXPECT_EQ(got.output, ref.output);
+}
+
+TEST(SchedulerMigration, FaultedRunIsDeterministicAcrossThreadCounts) {
+  SchedScenario sc;
+  sc.quarantine_at_step = 2;
+  sc.sim_threads = 1;
+  const SchedOutcome one = run_sched_job(sc, nullptr);
+  ASSERT_TRUE(one.done()) << one.detail;
+  ASSERT_EQ(one.migrations, 1);
+  for (const int threads : {2, 4}) {
+    sc.sim_threads = threads;
+    const SchedOutcome got = run_sched_job(sc, nullptr);
+    const std::string what = std::to_string(threads) + " threads";
+    ASSERT_TRUE(got.done()) << what;
+    EXPECT_EQ(got.result_bits, one.result_bits) << what;
+    EXPECT_EQ(got.end_cycle, one.end_cycle) << what;
+    EXPECT_EQ(got.trace_digest, one.trace_digest) << what;
+    EXPECT_EQ(got.migrations, one.migrations) << what;
+    EXPECT_EQ(got.steps, one.steps) << what;
+  }
+}
+
+TEST(SchedulerMigration, SigkillMidMigrationResumesBitExactAcrossThreads) {
+  const std::string dir = fresh_dir("kill");
+
+  // Writer child: quarantine revokes the partition at step 3; the process
+  // SIGKILLs itself the instant the migration checkpoint is durable --
+  // before the re-queue, mid-migration.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    SchedScenario sc;
+    sc.quarantine_at_step = 3;
+    sc.sim_threads = 2;
+    (void)run_sched_job(sc, &dir, /*resume_from_store=*/false,
+                        /*kill_at_migration=*/true);
+    _exit(9);  // not reached: the writer kills itself
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  EXPECT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // The durable generation exists and the unfaulted reference is the truth
+  // the recovered runs must reproduce.
+  snapshot::SnapshotStore store(dir, "job_stepper");
+  ASSERT_GE(store.latest_generation(), 1u);
+  const SchedScenario ref_sc;
+  const SchedOutcome ref = run_sched_job(ref_sc, nullptr);
+  ASSERT_TRUE(ref.done()) << ref.detail;
+
+  // Fresh processes (machines) resume the job from the store at 1, 2 and 4
+  // threads: every one must complete the remaining steps to the identical
+  // digest, and the three recoveries must agree with each other exactly.
+  SchedOutcome first;
+  for (const int threads : {1, 2, 4}) {
+    SchedScenario sc;
+    sc.sim_threads = threads;
+    const SchedOutcome got =
+        run_sched_job(sc, &dir, /*resume_from_store=*/true);
+    const std::string what = std::to_string(threads) + " threads";
+    ASSERT_TRUE(got.done()) << what << ": " << got.detail;
+    EXPECT_EQ(got.result_bits, ref.result_bits) << what;
+    EXPECT_EQ(got.output, ref.output) << what;
+    if (threads == 1) {
+      first = got;
+    } else {
+      EXPECT_EQ(got.end_cycle, first.end_cycle) << what;
+      EXPECT_EQ(got.trace_digest, first.trace_digest) << what;
+      EXPECT_EQ(got.steps, first.steps) << what;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qcdoc::host
